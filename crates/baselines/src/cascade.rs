@@ -1,0 +1,130 @@
+//! Cascade-ranking metrics (paper §4.2 / §5.4, Table 5).
+//!
+//! The simulation: items flow through a pipeline of classifiers of
+//! increasing cost; an item survives a stage only if that stage's predicted
+//! category agrees with the previous stage's prediction, and the pipeline's
+//! quality is the *aggregate recall* — the fraction of items classified
+//! correctly by every stage seen so far (an accumulated false negative can
+//! never be recovered, which is why prediction consistency between stages
+//! matters more than individual accuracy).
+//!
+//! The metric computation is a pure function of per-stage predictions, so
+//! the same code scores both the conventional cascade (independently
+//! trained models) and the model-slicing cascade (one model at increasing
+//! slice rates).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-stage outcome of a cascade run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Stage index (0-based).
+    pub stage: usize,
+    /// Precision: this classifier's standalone accuracy over all items.
+    pub precision: f64,
+    /// Aggregate recall: fraction of items predicted correctly by *every*
+    /// stage up to and including this one.
+    pub aggregate_recall: f64,
+    /// Fraction of items still alive (consistent so far) after this stage.
+    pub surviving: f64,
+}
+
+/// Scores a cascade given each stage's predictions over the same item set.
+///
+/// # Panics
+/// If stages have inconsistent lengths or no stages are given.
+pub fn cascade_metrics(stage_predictions: &[Vec<usize>], labels: &[usize]) -> Vec<StageMetrics> {
+    assert!(!stage_predictions.is_empty(), "need at least one stage");
+    let n = labels.len();
+    for (i, p) in stage_predictions.iter().enumerate() {
+        assert_eq!(p.len(), n, "stage {i} prediction count");
+    }
+    let mut all_correct = vec![true; n]; // correct at every stage so far
+    let mut alive = vec![true; n]; // consistent with previous stage
+    let mut out = Vec::with_capacity(stage_predictions.len());
+    let mut prev: Option<&Vec<usize>> = None;
+    for (si, preds) in stage_predictions.iter().enumerate() {
+        let mut correct_here = 0usize;
+        for i in 0..n {
+            let ok = preds[i] == labels[i];
+            if ok {
+                correct_here += 1;
+            }
+            all_correct[i] &= ok;
+            if let Some(prev) = prev {
+                // An item stays in the pipeline only while consecutive
+                // stages agree on its category.
+                alive[i] &= preds[i] == prev[i];
+            }
+        }
+        prev = Some(preds);
+        out.push(StageMetrics {
+            stage: si,
+            precision: correct_here as f64 / n as f64,
+            aggregate_recall: all_correct.iter().filter(|&&c| c).count() as f64 / n as f64,
+            surviving: alive.iter().filter(|&&a| a).count() as f64 / n as f64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stage_recall_equals_precision() {
+        let labels = vec![0, 1, 0, 1];
+        let preds = vec![vec![0, 1, 1, 1]];
+        let m = cascade_metrics(&preds, &labels);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].precision, 0.75);
+        assert_eq!(m[0].aggregate_recall, 0.75);
+        assert_eq!(m[0].surviving, 1.0);
+    }
+
+    #[test]
+    fn aggregate_recall_never_increases() {
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let stages = vec![
+            vec![0, 1, 2, 0, 1, 0], // 5/6
+            vec![0, 1, 2, 1, 1, 2], // 5/6 but different error
+            vec![0, 1, 2, 0, 1, 2], // perfect
+        ];
+        let m = cascade_metrics(&stages, &labels);
+        assert!((m[0].aggregate_recall - 5.0 / 6.0).abs() < 1e-12);
+        assert!((m[1].aggregate_recall - 4.0 / 6.0).abs() < 1e-12);
+        // Recall is monotone non-increasing even when a later stage is
+        // perfect — accumulated false negatives are unrecoverable.
+        assert!(m[2].aggregate_recall <= m[1].aggregate_recall + 1e-12);
+        assert!(m
+            .windows(2)
+            .all(|w| w[1].aggregate_recall <= w[0].aggregate_recall + 1e-12));
+    }
+
+    #[test]
+    fn consistent_stages_keep_items_alive() {
+        let labels = vec![0, 1];
+        let stages = vec![vec![0, 0], vec![0, 0], vec![0, 0]];
+        let m = cascade_metrics(&stages, &labels);
+        // Identical (if half-wrong) predictions: everything survives, but
+        // recall is capped at the shared accuracy.
+        assert_eq!(m[2].surviving, 1.0);
+        assert_eq!(m[2].aggregate_recall, 0.5);
+    }
+
+    #[test]
+    fn disagreeing_stages_shed_items() {
+        let labels = vec![0, 1];
+        let stages = vec![vec![0, 1], vec![1, 0]];
+        let m = cascade_metrics(&stages, &labels);
+        assert_eq!(m[1].surviving, 0.0);
+        assert_eq!(m[1].aggregate_recall, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage 1 prediction count")]
+    fn rejects_mismatched_lengths() {
+        let _ = cascade_metrics(&[vec![0, 1], vec![0]], &[0, 1]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Ensembles of independently trained fixed-width / fixed-depth models.
+//!
+//! The strongest baseline in Figures 2 and 5: one model per operating
+//! point, each trained conventionally. Deploying it costs the *sum* of all
+//! members' storage, and serving requires a scheduler to pick a member per
+//! budget — the two drawbacks (§3, "Existing methods") that model slicing
+//! removes by collapsing the ensemble into one network.
+
+use ms_nn::layer::Layer;
+
+/// A budget-selectable collection of fixed models.
+///
+/// Members are stored with their per-sample MACs (measured at add time) so
+/// selection does not need to re-probe.
+pub struct FixedEnsemble {
+    members: Vec<Member>,
+}
+
+/// One trained member.
+pub struct Member {
+    /// Descriptive label, e.g. `"width-0.5"` or `"depth-8"`.
+    pub label: String,
+    /// The trained model.
+    pub model: Box<dyn Layer>,
+    /// Per-sample MACs.
+    pub flops: u64,
+    /// Parameter count.
+    pub params: u64,
+}
+
+impl FixedEnsemble {
+    /// Creates an empty ensemble.
+    pub fn new() -> Self {
+        FixedEnsemble {
+            members: Vec::new(),
+        }
+    }
+
+    /// Adds a trained model, measuring its cost.
+    pub fn add(&mut self, label: impl Into<String>, mut model: Box<dyn Layer>) {
+        use ms_nn::layer::Network;
+        let flops = model.flops_per_sample();
+        let params = model.full_param_count();
+        self.members.push(Member {
+            label: label.into(),
+            model,
+            flops,
+            params,
+        });
+        self.members.sort_by_key(|m| m.flops);
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Members ascending by cost.
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+
+    /// Mutable member access (evaluation needs `&mut` forward).
+    pub fn members_mut(&mut self) -> &mut [Member] {
+        &mut self.members
+    }
+
+    /// Index of the most expensive member within `budget` MACs per sample,
+    /// or the cheapest member if none fits (degraded service beats none).
+    pub fn select_for_budget(&self, budget: u64) -> usize {
+        let mut best = 0;
+        for (i, m) in self.members.iter().enumerate() {
+            if m.flops <= budget {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Total storage across members — the deployment-cost figure the paper
+    /// contrasts with one sliced model (Table 5: 29.3 M vs 9.42 M).
+    pub fn total_params(&self) -> u64 {
+        self.members.iter().map(|m| m.params).sum()
+    }
+}
+
+impl Default for FixedEnsemble {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_models::mlp::{Mlp, MlpConfig};
+    use ms_tensor::SeededRng;
+
+    fn member(width: usize, rng: &mut SeededRng) -> Box<dyn Layer> {
+        Box::new(Mlp::new(
+            &MlpConfig {
+                input_dim: 8,
+                hidden_dims: vec![width],
+                num_classes: 2,
+                groups: 1,
+                dropout: 0.0,
+                input_rescale: false,
+            },
+            rng,
+        ))
+    }
+
+    #[test]
+    fn members_sorted_and_selected_by_budget() {
+        let mut rng = SeededRng::new(1);
+        let mut e = FixedEnsemble::new();
+        e.add("w32", member(32, &mut rng));
+        e.add("w8", member(8, &mut rng));
+        e.add("w16", member(16, &mut rng));
+        assert_eq!(e.len(), 3);
+        let flops: Vec<u64> = e.members().iter().map(|m| m.flops).collect();
+        assert!(flops.windows(2).all(|w| w[0] < w[1]));
+        // Budget exactly the middle member.
+        assert_eq!(e.select_for_budget(flops[1]), 1);
+        assert_eq!(e.select_for_budget(flops[2] + 10), 2);
+        // Starvation: cheapest member.
+        assert_eq!(e.select_for_budget(0), 0);
+    }
+
+    #[test]
+    fn total_params_sums_members() {
+        let mut rng = SeededRng::new(2);
+        let mut e = FixedEnsemble::new();
+        e.add("a", member(8, &mut rng));
+        e.add("b", member(16, &mut rng));
+        let each: u64 = e.members().iter().map(|m| m.params).sum();
+        assert_eq!(e.total_params(), each);
+        assert!(e.total_params() > e.members()[1].params);
+    }
+}

@@ -1,0 +1,21 @@
+//! Baseline methods the paper compares model slicing against
+//! (Figures 2 and 5, Tables 1, 4 and 5).
+//!
+//! - [`ensemble`] — ensembles of independently trained fixed models of
+//!   varying width or depth: the strongest baseline in Fig. 2/5, and the
+//!   "fixed models" rows of Tables 1/2/4.
+//! - [`slimming`] — Network Slimming (Liu et al. 2017): L1 regularisation
+//!   on normalisation scale factors, channel pruning by γ magnitude, and
+//!   fine-tuning. The width-compression comparator.
+//! - [`skipnet`] — budgeted stochastic layer skipping, a simplified stand-in
+//!   for SkipNet's learned dynamic routing (depth-wise elasticity).
+//! - [`slimmable`] — SlimmableNet (Yu et al. 2018): static scheduling of
+//!   every width with switchable batch-norm, the Table-1 comparison.
+//! - [`cascade`] — the conventional cascade of independently trained models
+//!   used by the Table-5 cascade-ranking simulation.
+
+pub mod cascade;
+pub mod ensemble;
+pub mod skipnet;
+pub mod slimmable;
+pub mod slimming;

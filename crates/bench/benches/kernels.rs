@@ -1,0 +1,68 @@
+//! Kernel microbenchmarks: the sub-block GEMM that powers sliced layers
+//! (full matrix vs top-left block with a large leading dimension — the
+//! block multiply must not pay for the inactive columns) and im2col.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ms_tensor::conv::{im2col, ConvGeom};
+use ms_tensor::matmul::{gemm, Trans};
+use ms_tensor::SeededRng;
+
+fn gemm_blocks(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let full = 256usize;
+    let a: Vec<f32> = (0..full * full).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let b: Vec<f32> = (0..full * full).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let mut group = c.benchmark_group("gemm_subblock");
+    for &frac in &[0.25f32, 0.5, 1.0] {
+        let m = (full as f32 * frac) as usize;
+        let mut out = vec![0.0f32; m * m];
+        group.bench_with_input(BenchmarkId::from_parameter(frac), &frac, |bch, _| {
+            bch.iter(|| {
+                gemm(
+                    Trans::No,
+                    Trans::Yes,
+                    m,
+                    m,
+                    m,
+                    1.0,
+                    &a,
+                    full,
+                    &b,
+                    full,
+                    0.0,
+                    &mut out,
+                    m,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn im2col_lowering(c: &mut Criterion) {
+    let mut rng = SeededRng::new(2);
+    let geom = ConvGeom {
+        h: 16,
+        w: 16,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let channels = 32usize;
+    let input: Vec<f32> = (0..channels * 256).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let mut col = vec![0.0f32; channels * 9 * geom.out_len()];
+    c.bench_function("im2col_32ch_16x16_k3", |b| {
+        b.iter(|| im2col(&input, channels, &geom, &mut col))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = gemm_blocks, im2col_lowering
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Scheduling and rate-switching overhead: drawing a rate list and
+//! re-slicing a whole model must be negligible next to a forward pass
+//! (model slicing's "no weight copies on rate change" property).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ms_bench::bench_vgg;
+use ms_core::scheduler::{Scheduler, SchedulerKind};
+use ms_core::slice_rate::SliceRateList;
+use ms_nn::layer::Layer;
+use ms_nn::slice::SliceRate;
+use ms_tensor::SeededRng;
+
+fn scheduler_draws(c: &mut Criterion) {
+    let mut rng = SeededRng::new(4);
+    let list = SliceRateList::paper_cifar();
+    let mut sched = Scheduler::new(SchedulerKind::r_weighted_3(&list), list, &mut rng);
+    c.bench_function("scheduler_next_rates", |b| b.iter(|| sched.next_rates()));
+}
+
+fn rate_switching(c: &mut Criterion) {
+    let mut model = bench_vgg();
+    let rates = [SliceRate::new(0.375), SliceRate::FULL];
+    let mut i = 0usize;
+    c.bench_function("model_set_slice_rate", |b| {
+        b.iter(|| {
+            model.set_slice_rate(rates[i & 1]);
+            i += 1;
+        })
+    });
+    model.set_slice_rate(SliceRate::FULL);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = scheduler_draws, rate_switching
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! The Eq.-3 claim, measured: wall-clock inference latency of whole models
+//! as a function of the slice rate. Expect roughly quadratic scaling — at
+//! rate 0.5 the VGG forward should cost ≈ 25–35 % of full width (input and
+//! output layers do not slice, so the exponent is slightly below 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ms_bench::{bench_nnlm, bench_vgg};
+use ms_nn::layer::{Layer, Mode};
+use ms_nn::slice::SliceRate;
+use ms_tensor::Tensor;
+
+fn vgg_inference(c: &mut Criterion) {
+    let mut model = bench_vgg();
+    let mut group = c.benchmark_group("vgg_forward_by_rate");
+    for &rate in &[0.375f32, 0.5, 0.625, 0.75, 0.875, 1.0] {
+        model.set_slice_rate(SliceRate::new(rate));
+        let x = Tensor::zeros([8, 3, 12, 12]);
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, _| {
+            b.iter(|| model.forward(&x, Mode::Infer))
+        });
+    }
+    model.set_slice_rate(SliceRate::FULL);
+    group.finish();
+}
+
+fn nnlm_inference(c: &mut Criterion) {
+    let mut model = bench_nnlm();
+    let mut group = c.benchmark_group("nnlm_forward_by_rate");
+    let ids: Vec<f32> = (0..4 * 16).map(|i| (i % 64) as f32).collect();
+    let x = Tensor::from_vec([4, 16], ids).expect("ids");
+    for &rate in &[0.375f32, 0.5, 0.75, 1.0] {
+        model.set_slice_rate(SliceRate::new(rate));
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, _| {
+            b.iter(|| model.forward(&x, Mode::Infer))
+        });
+    }
+    model.set_slice_rate(SliceRate::FULL);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = vgg_inference, nnlm_inference
+}
+criterion_main!(benches);

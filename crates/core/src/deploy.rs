@@ -1,0 +1,106 @@
+//! Standalone deployment of a sliced sub-model (paper §3.1: "a subnet can be
+//! readily sliced and deployed out of the network trained with model slicing
+//! whose disk storage and run-time memory consumption are also roughly
+//! quadratic to the slice rate").
+//!
+//! Because layers store full-width weights and merely index prefixes, a
+//! deployed sub-model is built by *copying the active blocks* into
+//! freshly-sized tensors. Models implement [`DeploySliced`]; this module
+//! provides the block-copy helpers and the trait.
+
+use crate::slice_rate::SliceRate;
+use ms_tensor::Tensor;
+
+/// A model that can emit a standalone narrow copy of itself.
+pub trait DeploySliced {
+    /// The deployed model type (usually `Self` with smaller dimensions).
+    type Deployed;
+
+    /// Builds a standalone model equivalent to `self` sliced at `rate`:
+    /// identical logits on every input, but storing only the active
+    /// parameters. Takes `&mut self` because parameter traversal
+    /// (`Layer::visit_params`) is mutable; the model is left unchanged.
+    fn deploy(&mut self, rate: SliceRate) -> Self::Deployed;
+}
+
+/// Copies the top-left `rows × cols` block of a row-major `[N, M]` matrix.
+///
+/// # Panics
+/// If the block exceeds the source dimensions.
+pub fn copy_block(src: &Tensor, rows: usize, cols: usize) -> Tensor {
+    let dims = src.dims();
+    assert_eq!(dims.len(), 2, "copy_block expects a matrix");
+    let (n, m) = (dims[0], dims[1]);
+    assert!(rows <= n && cols <= m, "block {rows}x{cols} vs {n}x{m}");
+    let mut out = Tensor::zeros([rows, cols]);
+    for r in 0..rows {
+        out.row_mut(r).copy_from_slice(&src.row(r)[..cols]);
+    }
+    out
+}
+
+/// Copies the first `n` entries of a vector parameter.
+pub fn copy_prefix(src: &Tensor, n: usize) -> Tensor {
+    assert!(n <= src.numel());
+    Tensor::from_slice(&src.data()[..n])
+}
+
+/// Copies `rows` rows × `cols` columns from each of the `blocks` row-blocks
+/// of a stacked matrix `[blocks·block_rows, M]` (LSTM gate weights) into a
+/// `[blocks·rows, cols]` matrix.
+pub fn copy_stacked_blocks(
+    src: &Tensor,
+    blocks: usize,
+    block_rows: usize,
+    rows: usize,
+    cols: usize,
+) -> Tensor {
+    let dims = src.dims();
+    assert_eq!(dims.len(), 2);
+    assert_eq!(dims[0], blocks * block_rows, "stacked row count");
+    assert!(rows <= block_rows && cols <= dims[1]);
+    let mut out = Tensor::zeros([blocks * rows, cols]);
+    for b in 0..blocks {
+        for r in 0..rows {
+            out.row_mut(b * rows + r)
+                .copy_from_slice(&src.row(b * block_rows + r)[..cols]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_block_takes_prefix_rows_and_cols() {
+        let src = Tensor::from_vec([3, 4], (0..12).map(|v| v as f32).collect()).unwrap();
+        let blk = copy_block(&src, 2, 3);
+        assert_eq!(blk.dims(), &[2, 3]);
+        assert_eq!(blk.data(), &[0., 1., 2., 4., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block")]
+    fn copy_block_rejects_oversize() {
+        let src = Tensor::zeros([2, 2]);
+        let _ = copy_block(&src, 3, 1);
+    }
+
+    #[test]
+    fn copy_prefix_takes_head() {
+        let src = Tensor::from_slice(&[1., 2., 3., 4.]);
+        assert_eq!(copy_prefix(&src, 2).data(), &[1., 2.]);
+    }
+
+    #[test]
+    fn stacked_blocks_preserve_gate_structure() {
+        // 2 blocks of 3 rows each, keep 2 rows × 2 cols per block.
+        let src = Tensor::from_vec([6, 2], (0..12).map(|v| v as f32).collect()).unwrap();
+        let out = copy_stacked_blocks(&src, 2, 3, 2, 2);
+        assert_eq!(out.dims(), &[4, 2]);
+        // Block 0 rows 0-1, block 1 rows 3-4.
+        assert_eq!(out.data(), &[0., 1., 2., 3., 6., 7., 8., 9.]);
+    }
+}

@@ -1,0 +1,350 @@
+//! Elastic inference: per-query width selection under a budget.
+//!
+//! The engine is deliberately stateless with respect to the network (it
+//! borrows it per call), so one trained model can serve many concurrent
+//! policies. Rate selection composes the measured [`CostModel`] with either
+//! a FLOPs budget (Eq. 3) or the §4.1 latency rule `n·r²·t ≤ T/2`.
+
+use crate::cost::{CostModel, FlopsBudget};
+use crate::slice_rate::SliceRate;
+use ms_nn::layer::{Layer, Mode};
+use ms_tensor::Tensor;
+
+/// Elastic inference engine over a sliced network.
+#[derive(Debug, Clone)]
+pub struct ElasticEngine {
+    cost: CostModel,
+}
+
+impl ElasticEngine {
+    /// Creates an engine from a measured cost model.
+    pub fn new(cost: CostModel) -> Self {
+        ElasticEngine { cost }
+    }
+
+    /// The underlying cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Runs `net` at exactly `rate`, restoring full width afterwards.
+    pub fn predict_at(&self, net: &mut dyn Layer, x: &Tensor, rate: SliceRate) -> Tensor {
+        net.set_slice_rate(rate);
+        let y = net.forward(x, Mode::Infer);
+        net.set_slice_rate(SliceRate::FULL);
+        y
+    }
+
+    /// Selects the widest affordable subnet for a per-sample FLOPs budget
+    /// and predicts. Returns the prediction and the rate used.
+    pub fn predict_with_budget(
+        &self,
+        net: &mut dyn Layer,
+        x: &Tensor,
+        budget: FlopsBudget,
+    ) -> (Tensor, SliceRate) {
+        let rate = self.cost.rate_for_budget(budget);
+        (self.predict_at(net, x, rate), rate)
+    }
+
+    /// §4.1 latency rule: given a batch of `n` samples, the full-model
+    /// per-sample processing time `t_full` and a time budget, pick the
+    /// largest rate with `n·r²·t_full ≤ budget` (cost quadratic in `r`),
+    /// snapped to the candidate list.
+    pub fn rate_for_latency(
+        &self,
+        n: usize,
+        t_full_per_sample: f64,
+        time_budget: f64,
+    ) -> SliceRate {
+        if n == 0 || t_full_per_sample <= 0.0 {
+            return self.cost.list().max();
+        }
+        let r2 = time_budget / (n as f64 * t_full_per_sample);
+        self.cost.list().snap_down(r2.max(0.0).sqrt() as f32)
+    }
+
+    /// Anytime prediction (§2.1 discussion): predictions at every candidate
+    /// rate, cheapest first, so a caller can stop consuming whenever its
+    /// deadline fires and keep the best prediction produced so far.
+    pub fn anytime_predictions(
+        &self,
+        net: &mut dyn Layer,
+        x: &Tensor,
+    ) -> Vec<(SliceRate, Tensor)> {
+        let rates: Vec<SliceRate> = self.cost.list().iter().collect();
+        let mut out = Vec::with_capacity(rates.len());
+        for r in rates {
+            out.push((r, self.predict_at(net, x, r)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice_rate::SliceRateList;
+    use ms_nn::linear::{Linear, LinearConfig};
+    use ms_nn::sequential::Sequential;
+    use ms_tensor::SeededRng;
+
+    fn engine_and_net() -> (ElasticEngine, Sequential) {
+        let mut rng = SeededRng::new(17);
+        let mut net = Sequential::new("net")
+            .push(Linear::new(
+                "fc1",
+                LinearConfig {
+                    in_dim: 8,
+                    out_dim: 16,
+                    in_groups: None,
+                    out_groups: Some(4),
+                    bias: true,
+                    input_rescale: true,
+                },
+                &mut rng,
+            ))
+            .push(Linear::new(
+                "fc2",
+                LinearConfig {
+                    in_dim: 16,
+                    out_dim: 4,
+                    in_groups: Some(4),
+                    out_groups: None,
+                    bias: true,
+                    input_rescale: true,
+                },
+                &mut rng,
+            ));
+        let cost = CostModel::measure(
+            &mut net,
+            SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]),
+        );
+        (ElasticEngine::new(cost), net)
+    }
+
+    #[test]
+    fn budget_prediction_uses_affordable_rate() {
+        let (eng, mut net) = engine_and_net();
+        let x = Tensor::zeros([2, 8]);
+        let full = eng.cost().full_flops();
+        let (y, r) = eng.predict_with_budget(&mut net, &x, FlopsBudget(full));
+        assert!(r.is_full());
+        assert_eq!(y.dims(), &[2, 4]);
+        let half_cost = eng.cost().flops_at(SliceRate::new(0.5));
+        let (_, r) = eng.predict_with_budget(&mut net, &x, FlopsBudget(half_cost));
+        assert_eq!(r.get(), 0.5);
+    }
+
+    #[test]
+    fn latency_rule_is_quadratic() {
+        let (eng, _) = engine_and_net();
+        // 4 samples, 1ms each at full width, 1ms budget: r² ≤ 1/4 → r = 0.5.
+        assert_eq!(eng.rate_for_latency(4, 1.0, 1.0).get(), 0.5);
+        // Loose budget → full.
+        assert!(eng.rate_for_latency(1, 1.0, 100.0).is_full());
+        // Impossible budget → clamped to the base network.
+        assert_eq!(eng.rate_for_latency(1000, 1.0, 0.001).get(), 0.25);
+        // Empty batch degenerates to full width.
+        assert!(eng.rate_for_latency(0, 1.0, 1.0).is_full());
+    }
+
+    #[test]
+    fn anytime_predictions_ascend_in_cost() {
+        let (eng, mut net) = engine_and_net();
+        let x = Tensor::zeros([1, 8]);
+        let preds = eng.anytime_predictions(&mut net, &x);
+        assert_eq!(preds.len(), 4);
+        assert_eq!(preds[0].0.get(), 0.25);
+        assert!(preds[3].0.is_full());
+        for (_, y) in &preds {
+            assert_eq!(y.dims(), &[1, 4]);
+        }
+    }
+
+    #[test]
+    fn predict_at_restores_full_width() {
+        let (eng, mut net) = engine_and_net();
+        let x = Tensor::zeros([1, 8]);
+        let _ = eng.predict_at(&mut net, &x, SliceRate::new(0.25));
+        assert_eq!(net.flops_per_sample(), (8 * 16 + 16 * 4) as u64);
+    }
+}
+
+/// Confidence-gated progressive inference — the "IDK cascade" policy the
+/// paper cites (Wang et al. 2017, [47]): run the cheapest subnet first and
+/// only pay for a wider one while the prediction remains unconfident.
+///
+/// Because subnets of one sliced model agree heavily (Fig. 8), most inputs
+/// exit at the base width, spending a fraction of the full cost; the hard
+/// inputs escalate. This composes the paper's two serving stories — anytime
+/// prediction and cascade consistency — into a per-query policy.
+impl ElasticEngine {
+    /// Predicts with escalation: starting from the base rate, re-run at the
+    /// next wider rate until the max softmax probability reaches
+    /// `confidence` or the full network has answered. Returns the logits,
+    /// the rate that produced them, and the total MACs spent across all
+    /// attempts (escalation is only a win when early exits dominate).
+    pub fn predict_until_confident(
+        &self,
+        net: &mut dyn Layer,
+        x: &Tensor,
+        confidence: f32,
+    ) -> ConfidentPrediction {
+        assert!((0.0..=1.0).contains(&confidence));
+        let rates: Vec<SliceRate> = self.cost.list().iter().collect();
+        let mut spent = 0u64;
+        let batch = x.dims()[0];
+        let mut last = None;
+        for (i, &r) in rates.iter().enumerate() {
+            let logits = self.predict_at(net, x, r);
+            spent += self.cost.flops_at(r) * batch as u64;
+            let conf = min_max_prob(&logits);
+            let is_last = i + 1 == rates.len();
+            if conf >= confidence || is_last {
+                return ConfidentPrediction {
+                    logits,
+                    rate: r,
+                    flops_spent: spent,
+                    confidence: conf,
+                };
+            }
+            last = Some(logits);
+        }
+        // Unreachable: the loop always returns on the last rate; keep the
+        // compiler satisfied without panicking in release.
+        let logits = last.expect("nonempty rate list");
+        let conf = min_max_prob(&logits);
+        ConfidentPrediction {
+            logits,
+            rate: self.cost.list().max(),
+            flops_spent: spent,
+            confidence: conf,
+        }
+    }
+}
+
+/// Result of a confidence-gated prediction.
+#[derive(Debug, Clone)]
+pub struct ConfidentPrediction {
+    /// Logits of the accepted pass.
+    pub logits: Tensor,
+    /// Rate that produced them.
+    pub rate: SliceRate,
+    /// MACs spent over *all* escalation attempts.
+    pub flops_spent: u64,
+    /// The batch's minimum top-class softmax probability at acceptance.
+    pub confidence: f32,
+}
+
+/// Minimum (over the batch) of the maximum softmax probability per row —
+/// the batch is only as confident as its least confident sample.
+fn min_max_prob(logits: &Tensor) -> f32 {
+    let k = *logits.dims().last().expect("rank >= 1");
+    let mut worst = 1.0f32;
+    for row in logits.data().chunks_exact(k) {
+        let mut p = row.to_vec();
+        ms_tensor::ops::softmax_rows_inplace(&mut p, k);
+        let top = p.iter().cloned().fold(0.0f32, f32::max);
+        worst = worst.min(top);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod confidence_tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::slice_rate::SliceRateList;
+    use ms_nn::layer::{Mode, Param};
+
+    /// A fake "model" whose confidence depends on the slice rate: narrow
+    /// widths produce flat logits, wide widths produce peaked ones.
+    struct FakeModel {
+        rate: f32,
+        /// Rate at which the model becomes confident.
+        confident_from: f32,
+    }
+
+    impl Layer for FakeModel {
+        fn forward(&mut self, x: &Tensor, _m: Mode) -> Tensor {
+            let batch = x.dims()[0];
+            let peaked = self.rate >= self.confident_from;
+            let mut t = Tensor::zeros([batch, 4]);
+            for s in 0..batch {
+                t.row_mut(s)[0] = if peaked { 10.0 } else { 0.1 };
+            }
+            t
+        }
+        fn backward(&mut self, dy: &Tensor) -> Tensor {
+            dy.clone()
+        }
+        fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+        fn set_slice_rate(&mut self, r: SliceRate) {
+            self.rate = r.get();
+        }
+        fn flops_per_sample(&self) -> u64 {
+            (self.rate * self.rate * 1000.0) as u64
+        }
+        fn name(&self) -> &str {
+            "fake"
+        }
+    }
+
+    fn engine_for(confident_from: f32) -> (ElasticEngine, FakeModel) {
+        let mut model = FakeModel {
+            rate: 1.0,
+            confident_from,
+        };
+        let cost = CostModel::measure(
+            &mut model,
+            SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]),
+        );
+        (ElasticEngine::new(cost), model)
+    }
+
+    #[test]
+    fn easy_inputs_exit_at_base_width() {
+        let (eng, mut model) = engine_for(0.0); // always confident
+        let x = Tensor::zeros([2, 3]);
+        let p = eng.predict_until_confident(&mut model, &x, 0.9);
+        assert_eq!(p.rate.get(), 0.25);
+        assert!(p.confidence > 0.9);
+        // Spent exactly one base-width pass.
+        assert_eq!(p.flops_spent, eng.cost().flops_at(SliceRate::new(0.25)) * 2);
+    }
+
+    #[test]
+    fn hard_inputs_escalate_to_full_width() {
+        let (eng, mut model) = engine_for(2.0); // never confident
+        let x = Tensor::zeros([1, 3]);
+        let p = eng.predict_until_confident(&mut model, &x, 0.9);
+        assert!(p.rate.is_full());
+        // Paid for every attempt.
+        let total: u64 = [0.25f32, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&r| eng.cost().flops_at(SliceRate::new(r)))
+            .sum();
+        assert_eq!(p.flops_spent, total);
+        assert!(p.confidence < 0.9);
+    }
+
+    #[test]
+    fn escalation_stops_at_the_confident_width() {
+        let (eng, mut model) = engine_for(0.75);
+        let x = Tensor::zeros([1, 3]);
+        let p = eng.predict_until_confident(&mut model, &x, 0.9);
+        assert_eq!(p.rate.get(), 0.75);
+        // Escalation through 0.25 and 0.5 still costs less than one full
+        // pass at this (quadratic) cost profile.
+        assert!(p.flops_spent < 2 * eng.cost().full_flops());
+    }
+
+    #[test]
+    fn zero_threshold_always_takes_first_answer() {
+        let (eng, mut model) = engine_for(2.0);
+        let x = Tensor::zeros([1, 3]);
+        let p = eng.predict_until_confident(&mut model, &x, 0.0);
+        assert_eq!(p.rate.get(), 0.25);
+    }
+}

@@ -1,0 +1,34 @@
+//! Model slicing — the primary contribution of Cai et al. (VLDB 2019).
+//!
+//! This crate turns the sliceable layers of `ms-nn` into the full training
+//! and serving scheme of the paper:
+//!
+//! - [`slice_rate`] — candidate rate lists with a lower bound and granularity
+//!   (§5.1.1/§5.1.3).
+//! - [`scheduler`] — the slice-rate scheduling schemes of §3.4: random
+//!   (uniform / weighted / Eq.-8 discretised distributions), static, and the
+//!   random-static hybrids (R-min, R-max, R-min-max).
+//! - [`trainer`] — Algorithm 1: per iteration, sample a rate list, run one
+//!   forward/backward per scheduled subnet accumulating gradients, then take
+//!   a single optimiser step.
+//! - [`cost`] — the quadratic cost model and the Eq.-3 budget→rate solver.
+//! - [`inference`] — the elastic inference engine: per-query slice-rate
+//!   selection under FLOPs or latency budgets, plus anytime prediction.
+//! - [`deploy`] — extraction of a standalone narrow model from a trained
+//!   sliced model (the "readily sliced and deployed" claim of §3.1).
+//! - [`residual`] — the Eq.-9 incremental-width evaluator that upgrades a
+//!   cached `Subnet-r_a` activation to `Subnet-r_b` without re-evaluating
+//!   the shared block.
+
+pub mod cost;
+pub mod deploy;
+pub mod inference;
+pub mod residual;
+pub mod scheduler;
+pub mod slice_rate;
+pub mod trainer;
+
+pub use cost::{CostModel, FlopsBudget};
+pub use scheduler::{Scheduler, SchedulerKind};
+pub use slice_rate::{SliceRate, SliceRateList};
+pub use trainer::{Batch, Trainer, TrainerConfig};

@@ -1,0 +1,19 @@
+//! Synthetic datasets, batch loaders and evaluation metrics.
+//!
+//! The paper evaluates on CIFAR-10, ImageNet-12 and Penn Tree Bank — none of
+//! which are available in this environment. Per the substitution policy in
+//! `DESIGN.md`, this crate provides procedurally-generated stand-ins that
+//! exercise exactly the same code paths (conv/GroupNorm stacks for images,
+//! embedding/LSTM stacks for text) with controllable difficulty, plus the
+//! loaders (shuffling, crop/flip augmentation, LM batchification) and the
+//! metrics the experiments report (accuracy, perplexity, inclusion
+//! coefficient, FLOPs formatting).
+
+pub mod loader;
+pub mod metrics;
+pub mod synth_images;
+pub mod synth_text;
+
+pub use loader::{ImageBatcher, TextBatcher};
+pub use synth_images::{ImageDataset, ImageDatasetConfig};
+pub use synth_text::{TextCorpus, TextCorpusConfig};

@@ -1,0 +1,142 @@
+//! Figure 5 + Table 4: accuracy vs inference FLOPs for the VGG family.
+//!
+//! Reproduces, on the synthetic CIFAR analogue:
+//! - `VGG-lb-1.0` — conventionally trained, then *direct slicing*: collapses
+//!   as soon as channels are removed (the Table-4 top row / Fig-5 "Direct
+//!   Slicing" curve).
+//! - `VGG-fixed-models` — an ensemble of independently trained fixed-width
+//!   models, one per rate (the strong baseline).
+//! - `VGG-lb-0.375` — one model trained with model slicing, evaluated at
+//!   every rate (the paper's method).
+//!
+//! Expected shape (paper Table 4): the sliced model tracks the fixed-model
+//! ensemble within noise across rates — sometimes beating it near full
+//! width — while the conventionally trained model collapses toward chance.
+
+use ms_baselines::ensemble::FixedEnsemble;
+use ms_core::scheduler::SchedulerKind;
+use ms_core::slice_rate::SliceRate;
+use ms_data::synth_images::ImageDataset;
+use ms_experiments::{
+    accuracy_sweep, eval_accuracy, pct, print_table, test_batches, train_image_model,
+    write_results, ImageSetting,
+};
+use ms_models::vgg::Vgg;
+use ms_tensor::SeededRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig5Results {
+    rates: Vec<f32>,
+    remaining_compute: Vec<f64>,
+    lb_full_direct_slicing: Vec<f64>,
+    fixed_models: Vec<f64>,
+    model_slicing: Vec<f64>,
+    fixed_total_params: u64,
+    sliced_total_params: u64,
+}
+
+fn main() {
+    let start = std::time::Instant::now();
+    let setting = ImageSetting::standard();
+    let ds = ImageDataset::generate(setting.dataset.clone());
+    let test = test_batches(&ds, 128);
+    let rates: Vec<SliceRate> = setting.rates.iter().collect();
+    let mut rng = SeededRng::new(100);
+
+    // (1) Conventional training, then direct slicing (lb = 1.0).
+    eprintln!("[fig5] training conventional model (lb=1.0)…");
+    let mut conventional = Vgg::new(&setting.vgg, &mut rng);
+    train_image_model(
+        &mut conventional,
+        &ds,
+        &setting,
+        SchedulerKind::Fixed(1.0),
+        1,
+        |_, _| {},
+    );
+    let direct: Vec<f64> = rates
+        .iter()
+        .map(|&r| eval_accuracy(&mut conventional, &test, r))
+        .collect();
+
+    // (2) Fixed-width ensemble: one conventional model per rate.
+    let mut fixed_acc = Vec::with_capacity(rates.len());
+    let mut ensemble = FixedEnsemble::new();
+    for (i, &r) in rates.iter().enumerate() {
+        eprintln!("[fig5] training fixed model width {:.3}…", r.get());
+        let cfg = ms_experiments::fixed_vgg_config(&setting.vgg, r);
+        let mut model = Vgg::new(&cfg, &mut rng);
+        train_image_model(
+            &mut model,
+            &ds,
+            &setting,
+            SchedulerKind::Fixed(1.0),
+            10 + i as u64,
+            |_, _| {},
+        );
+        fixed_acc.push(eval_accuracy(&mut model, &test, SliceRate::FULL));
+        ensemble.add(format!("width-{:.3}", r.get()), Box::new(model));
+    }
+
+    // (3) Model slicing: one run, R-weighted-3 scheduling (the paper's
+    // small-dataset reporting configuration, §5.1.2).
+    eprintln!("[fig5] training model-slicing model (lb=0.375)…");
+    let mut sliced = Vgg::new(&setting.vgg, &mut rng);
+    train_image_model(
+        &mut sliced,
+        &ds,
+        &setting,
+        SchedulerKind::r_weighted_3(&setting.rates),
+        2,
+        |_, _| {},
+    );
+    let sweep = accuracy_sweep(&mut sliced, &test, &setting.rates);
+
+    // Report.
+    use ms_nn::layer::Network;
+    let full_flops = sweep.last().expect("nonempty").flops;
+    let headers = [
+        "slice rate",
+        "Ct (%)",
+        "FLOPs",
+        "lb-1.0 (direct)",
+        "fixed-models",
+        "model slicing",
+    ];
+    let mut rows = Vec::new();
+    for (i, p) in sweep.iter().enumerate().rev() {
+        rows.push(vec![
+            format!("{:.4}", p.rate),
+            format!("{:.2}", 100.0 * p.flops as f64 / full_flops as f64),
+            ms_data::metrics::format_flops(p.flops),
+            pct(direct[i]),
+            pct(fixed_acc[i]),
+            pct(p.accuracy.unwrap_or(0.0)),
+        ]);
+    }
+    println!("\nFigure 5 / Table 4 — accuracy vs inference cost (VGG, synthetic CIFAR)\n");
+    print_table(&headers, &rows);
+    println!(
+        "\nDeployment storage: fixed ensemble {} params vs one sliced model {} params",
+        ms_data::metrics::format_params(ensemble.total_params()),
+        ms_data::metrics::format_params(sliced.full_param_count()),
+    );
+    println!("elapsed: {:.1}s", start.elapsed().as_secs_f64());
+
+    write_results(
+        "fig5_table4",
+        &Fig5Results {
+            rates: sweep.iter().map(|p| p.rate).collect(),
+            remaining_compute: sweep
+                .iter()
+                .map(|p| p.flops as f64 / full_flops as f64)
+                .collect(),
+            lb_full_direct_slicing: direct,
+            fixed_models: fixed_acc,
+            model_slicing: sweep.iter().map(|p| p.accuracy.unwrap_or(0.0)).collect(),
+            fixed_total_params: ensemble.total_params(),
+            sliced_total_params: sliced.full_param_count(),
+        },
+    );
+}

@@ -1,0 +1,15 @@
+//! Shared harness for the per-table/per-figure experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §4 for the index). This library holds the pieces they
+//! share: standard dataset and architecture settings, training loops for
+//! sliced and fixed models, rate-sweep evaluation, and plain-text table
+//! printing. Binaries honour the `MS_QUICK=1` environment variable, which
+//! shrinks datasets and epochs for smoke-testing; reported numbers in
+//! `EXPERIMENTS.md` come from full runs.
+
+pub mod harness;
+pub mod table;
+
+pub use harness::*;
+pub use table::*;

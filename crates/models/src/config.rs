@@ -1,0 +1,165 @@
+//! Named experiment architectures — the Table-3 analogue.
+//!
+//! The paper's Table 3 lists VGG-13, ResNet-164 and ResNet-56-2 for CIFAR
+//! plus VGG-16 and ResNet-50 for ImageNet. This module names the scaled
+//! stand-ins the experiments instantiate, and can summarise each one's
+//! structure, parameter count and full-width FLOPs for the `table3` binary.
+
+use crate::mlp::{Mlp, MlpConfig};
+use crate::resnet::{ResNet, ResNetConfig};
+use crate::vgg::{Vgg, VggConfig};
+use ms_nn::layer::{Layer, Network};
+use ms_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// The named architectures of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArchKind {
+    /// Scaled VGG-13 analogue (three plain-conv stages, "CIFAR").
+    VggScaled,
+    /// Deep-narrow ResNet (ResNet-164 analogue).
+    ResNetDeepNarrow,
+    /// Shallow-wide ResNet (ResNet-56-2 analogue).
+    ResNetShallowWide,
+    /// Larger VGG (VGG-16 analogue, "ImageNet" track: lower bound 0.25).
+    Vgg16Like,
+    /// Larger bottleneck ResNet (ResNet-50 analogue).
+    ResNet50Like,
+    /// The dense exposition model.
+    MlpSmall,
+}
+
+impl ArchKind {
+    /// All kinds, in Table-3 order.
+    pub fn all() -> [ArchKind; 6] {
+        [
+            ArchKind::VggScaled,
+            ArchKind::ResNetDeepNarrow,
+            ArchKind::ResNetShallowWide,
+            ArchKind::Vgg16Like,
+            ArchKind::ResNet50Like,
+            ArchKind::MlpSmall,
+        ]
+    }
+
+    /// Display name (paper analogue noted).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArchKind::VggScaled => "VGG-13 (scaled)",
+            ArchKind::ResNetDeepNarrow => "ResNet-164 (scaled deep-narrow)",
+            ArchKind::ResNetShallowWide => "ResNet-56-2 (scaled shallow-wide)",
+            ArchKind::Vgg16Like => "VGG-16 (scaled)",
+            ArchKind::ResNet50Like => "ResNet-50 (scaled)",
+            ArchKind::MlpSmall => "MLP (exposition)",
+        }
+    }
+
+    /// Builds the architecture as a boxed layer.
+    pub fn build(&self, num_classes: usize, groups: usize, rng: &mut SeededRng) -> Box<dyn Layer> {
+        match self {
+            ArchKind::VggScaled => {
+                Box::new(Vgg::new(&VggConfig::vgg13_scaled(num_classes, groups), rng))
+            }
+            ArchKind::ResNetDeepNarrow => Box::new(ResNet::new(
+                &ResNetConfig::deep_narrow(num_classes, groups),
+                rng,
+            )),
+            ArchKind::ResNetShallowWide => Box::new(ResNet::new(
+                &ResNetConfig::shallow_wide(num_classes, groups),
+                rng,
+            )),
+            ArchKind::Vgg16Like => Box::new(Vgg::new(
+                &VggConfig {
+                    in_channels: 3,
+                    image_size: 16,
+                    stages: vec![(2, 16), (2, 32), (3, 64)],
+                    num_classes,
+                    groups,
+                    width_multiplier: 1.0,
+                },
+                rng,
+            )),
+            ArchKind::ResNet50Like => Box::new(ResNet::new(
+                &ResNetConfig {
+                    in_channels: 3,
+                    image_size: 16,
+                    stages: vec![(1, 16), (2, 32), (2, 64)],
+                    expansion: 2,
+                    num_classes,
+                    groups,
+                    width_multiplier: 1.0,
+                },
+                rng,
+            )),
+            ArchKind::MlpSmall => Box::new(Mlp::new(
+                &MlpConfig {
+                    input_dim: 32,
+                    hidden_dims: vec![64, 64],
+                    num_classes,
+                    groups,
+                    dropout: 0.0,
+                    input_rescale: true,
+                },
+                rng,
+            )),
+        }
+    }
+}
+
+/// A Table-3 row: architecture structure summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArchSummary {
+    /// Display name.
+    pub name: String,
+    /// Total parameters at full width.
+    pub params: u64,
+    /// Full-width MACs per sample.
+    pub flops: u64,
+}
+
+/// Summarises an architecture (builds it once with a throwaway seed).
+pub fn summarize(kind: ArchKind, num_classes: usize, groups: usize) -> ArchSummary {
+    let mut rng = SeededRng::new(0);
+    let mut model = kind.build(num_classes, groups, &mut rng);
+    ArchSummary {
+        name: kind.name().to_string(),
+        params: model.full_param_count(),
+        flops: model.flops_per_sample(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_nn::layer::Mode;
+    use ms_tensor::Tensor;
+
+    #[test]
+    fn every_arch_builds_and_forwards() {
+        let mut rng = SeededRng::new(1);
+        for kind in ArchKind::all() {
+            let mut m = kind.build(10, 4, &mut rng);
+            let x = match kind {
+                ArchKind::MlpSmall => Tensor::zeros([2, 32]),
+                _ => Tensor::zeros([2, 3, 16, 16]),
+            };
+            let y = m.forward(&x, Mode::Infer);
+            assert_eq!(y.dims(), &[2, 10], "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn summaries_have_positive_counts() {
+        for kind in ArchKind::all() {
+            let s = summarize(kind, 10, 4);
+            assert!(s.params > 0 && s.flops > 0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn wide_resnet_outweighs_narrow() {
+        let narrow = summarize(ArchKind::ResNetDeepNarrow, 10, 4);
+        let wide = summarize(ArchKind::ResNetShallowWide, 10, 4);
+        assert!(wide.params > narrow.params);
+    }
+}

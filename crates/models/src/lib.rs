@@ -1,0 +1,28 @@
+//! Sliceable model zoo.
+//!
+//! Scaled-down analogues of the paper's evaluation architectures (Table 3),
+//! all built from `ms-nn`'s sliceable layers:
+//!
+//! - [`mlp`] — plain fully-connected classifier (the §3.1 exposition model,
+//!   also the deployment-extraction demonstrator).
+//! - [`vgg`] — VGG-13/16-style plain conv stacks with sliced GroupNorm.
+//! - [`resnet`] — pre-activation bottleneck ResNets (ResNet-164 / -56-2 /
+//!   -50 analogues) with width multiplier.
+//! - [`nnlm`] — the §5.2 language model: embedding + 2 LSTM + decoder.
+//! - [`multi_classifier`] — the depth-wise early-exit baseline
+//!   (ResNet-with-Multi-Classifiers / MSDNet stand-in of Fig. 2).
+//! - [`config`] — named experiment configurations with parameter counts.
+
+pub mod config;
+pub mod mlp;
+pub mod mobile;
+pub mod multi_classifier;
+pub mod nnlm;
+pub mod resnet;
+pub mod vgg;
+
+pub use mlp::{Mlp, MlpConfig};
+pub use mobile::{MobileConfig, MobileNetStyle};
+pub use nnlm::{Nnlm, NnlmConfig};
+pub use resnet::{ResNet, ResNetConfig};
+pub use vgg::{Vgg, VggConfig};

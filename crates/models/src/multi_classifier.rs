@@ -1,0 +1,258 @@
+//! Multi-classifier (early-exit) network — the depth-sliced baseline of
+//! Figure 2 ("ResNet with Multi-Classifiers" / the MSDNet stand-in).
+//!
+//! A fixed-width conv trunk with one classifier head attached after every
+//! stage. Training optimises all exits jointly (summed cross-entropy, the
+//! Adaptive-Loss-Balancing-free variant); inference runs the trunk only as
+//! deep as the selected exit, trading accuracy for computation by *depth*
+//! rather than width. The paper's point, which the Fig-2 experiment
+//! reproduces, is that depth slicing degrades much faster than width
+//! slicing.
+
+use ms_nn::activation::Relu;
+use ms_nn::conv2d::{Conv2d, Conv2dConfig};
+use ms_nn::layer::{Layer, Mode, Param};
+use ms_nn::linear::{Linear, LinearConfig};
+use ms_nn::norm::GroupNorm;
+use ms_nn::pool::{GlobalAvgPool, MaxPool2d};
+use ms_nn::sequential::Sequential;
+use ms_tensor::{SeededRng, Tensor};
+
+/// Configuration for a [`MultiClassifierNet`].
+#[derive(Debug, Clone)]
+pub struct MultiClassifierConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input spatial size.
+    pub image_size: usize,
+    /// Stages `(convs, width)`; one exit head per stage.
+    pub stages: Vec<(usize, usize)>,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+/// Early-exit network with one head per stage.
+pub struct MultiClassifierNet {
+    stages: Vec<Sequential>,
+    heads: Vec<Sequential>,
+    /// Exit used by the plain `Layer::forward` path (0-based stage index).
+    active_exit: usize,
+}
+
+impl MultiClassifierNet {
+    /// Builds the network.
+    pub fn new(cfg: &MultiClassifierConfig, rng: &mut SeededRng) -> Self {
+        assert!(!cfg.stages.is_empty());
+        let mut stages = Vec::with_capacity(cfg.stages.len());
+        let mut heads = Vec::with_capacity(cfg.stages.len());
+        let mut in_ch = cfg.in_channels;
+        let mut hw = cfg.image_size;
+        for (si, &(n_convs, width)) in cfg.stages.iter().enumerate() {
+            let mut stage = Sequential::new(format!("stage{si}"));
+            for ci in 0..n_convs {
+                stage.add(Box::new(Conv2d::new(
+                    format!("s{si}c{ci}"),
+                    Conv2dConfig {
+                        in_ch,
+                        out_ch: width,
+                        kernel: 3,
+                        stride: 1,
+                        pad: 1,
+                        h: hw,
+                        w: hw,
+                        in_groups: None,
+                        out_groups: None,
+                        bias: false,
+                    },
+                    rng,
+                )));
+                stage.add(Box::new(GroupNorm::new(
+                    format!("s{si}c{ci}.gn"),
+                    width,
+                    width.min(4),
+                )));
+                stage.add(Box::new(Relu::new()));
+                in_ch = width;
+            }
+            stage.add(Box::new(MaxPool2d::new(2, 2)));
+            hw /= 2;
+            stages.push(stage);
+
+            let mut head = Sequential::new(format!("head{si}"));
+            head.add(Box::new(GlobalAvgPool::new()));
+            head.add(Box::new(Linear::new(
+                format!("head{si}.fc"),
+                LinearConfig::dense(width, cfg.num_classes),
+                rng,
+            )));
+            heads.push(head);
+        }
+        MultiClassifierNet {
+            active_exit: stages.len() - 1,
+            stages,
+            heads,
+        }
+    }
+
+    /// Number of exits.
+    pub fn num_exits(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Selects the exit used by `Layer::forward`.
+    pub fn set_exit(&mut self, exit: usize) {
+        assert!(exit < self.stages.len());
+        self.active_exit = exit;
+    }
+
+    /// Forward through every exit (joint training and anytime prediction).
+    pub fn forward_exits(&mut self, x: &Tensor, mode: Mode) -> Vec<Tensor> {
+        let mut cur = x.clone();
+        let mut outs = Vec::with_capacity(self.stages.len());
+        for (stage, head) in self.stages.iter_mut().zip(&mut self.heads) {
+            cur = stage.forward(&cur, mode);
+            outs.push(head.forward(&cur, mode));
+        }
+        outs
+    }
+
+    /// Backward for joint training: one gradient per exit (aligned with
+    /// [`MultiClassifierNet::forward_exits`] output).
+    pub fn backward_exits(&mut self, grads: &[Tensor]) {
+        assert_eq!(grads.len(), self.stages.len());
+        let mut d_from_above: Option<Tensor> = None;
+        for i in (0..self.stages.len()).rev() {
+            let mut d = self.heads[i].backward(&grads[i]);
+            if let Some(da) = d_from_above.take() {
+                d.add_assign(&da);
+            }
+            d_from_above = Some(self.stages[i].backward(&d));
+        }
+    }
+
+    /// FLOPs per sample up to (and including) exit `e`.
+    pub fn flops_to_exit(&self, e: usize) -> u64 {
+        let trunk: u64 = self.stages[..=e].iter().map(|s| s.flops_per_sample()).sum();
+        trunk + self.heads[e].flops_per_sample()
+    }
+}
+
+impl Layer for MultiClassifierNet {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = x.clone();
+        for stage in self.stages.iter_mut().take(self.active_exit + 1) {
+            cur = stage.forward(&cur, mode);
+        }
+        self.heads[self.active_exit].forward(&cur, mode)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut d = self.heads[self.active_exit].backward(dy);
+        for stage in self.stages.iter_mut().take(self.active_exit + 1).rev() {
+            d = stage.backward(&d);
+        }
+        d
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for s in &mut self.stages {
+            s.visit_params(f);
+        }
+        for h in &mut self.heads {
+            h.visit_params(f);
+        }
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        self.flops_to_exit(self.active_exit)
+    }
+
+    fn active_param_count(&self) -> u64 {
+        let trunk: u64 = self.stages[..=self.active_exit]
+            .iter()
+            .map(|s| s.active_param_count())
+            .sum();
+        trunk + self.heads[self.active_exit].active_param_count()
+    }
+
+    fn name(&self) -> &str {
+        "multi-classifier"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MultiClassifierConfig {
+        MultiClassifierConfig {
+            in_channels: 3,
+            image_size: 8,
+            stages: vec![(1, 8), (1, 16)],
+            num_classes: 4,
+        }
+    }
+
+    #[test]
+    fn exits_produce_class_logits() {
+        let mut rng = SeededRng::new(1);
+        let mut m = MultiClassifierNet::new(&tiny(), &mut rng);
+        let x = Tensor::zeros([2, 3, 8, 8]);
+        let outs = m.forward_exits(&x, Mode::Infer);
+        assert_eq!(outs.len(), 2);
+        for o in &outs {
+            assert_eq!(o.dims(), &[2, 4]);
+        }
+    }
+
+    #[test]
+    fn early_exit_costs_less() {
+        let mut rng = SeededRng::new(2);
+        let m = MultiClassifierNet::new(&tiny(), &mut rng);
+        assert!(m.flops_to_exit(0) < m.flops_to_exit(1));
+    }
+
+    #[test]
+    fn layer_forward_respects_active_exit() {
+        let mut rng = SeededRng::new(3);
+        let mut m = MultiClassifierNet::new(&tiny(), &mut rng);
+        let x = Tensor::zeros([1, 3, 8, 8]);
+        m.set_exit(0);
+        let early_flops = m.flops_per_sample();
+        assert_eq!(m.forward(&x, Mode::Infer).dims(), &[1, 4]);
+        m.set_exit(1);
+        assert!(m.flops_per_sample() > early_flops);
+        assert_eq!(m.forward(&x, Mode::Infer).dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn joint_backward_reaches_all_stages() {
+        let mut rng = SeededRng::new(4);
+        let mut m = MultiClassifierNet::new(&tiny(), &mut rng);
+        let x = Tensor::full([1, 3, 8, 8], 0.5);
+        let outs = m.forward_exits(&x, Mode::Train);
+        let grads: Vec<Tensor> = outs
+            .iter()
+            .map(|o| Tensor::full(o.shape().clone(), 0.1))
+            .collect();
+        m.backward_exits(&grads);
+        let mut nonzero = 0usize;
+        m.visit_params(&mut |p| {
+            if p.grad.max_abs() > 0.0 {
+                nonzero += 1;
+            }
+        });
+        assert!(nonzero >= 6, "gradient reached {nonzero} params");
+    }
+
+    #[test]
+    fn single_exit_backward_matches_layer_contract() {
+        let mut rng = SeededRng::new(5);
+        let mut m = MultiClassifierNet::new(&tiny(), &mut rng);
+        m.set_exit(0);
+        let x = Tensor::full([1, 3, 8, 8], 0.5);
+        let y = m.forward(&x, Mode::Train);
+        let dx = m.backward(&Tensor::full(y.shape().clone(), 1.0));
+        assert_eq!(dx.dims(), x.dims());
+    }
+}

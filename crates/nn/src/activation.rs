@@ -1,0 +1,109 @@
+//! Parameter-free activation layers.
+
+use crate::layer::{Layer, Mode, Param};
+use ms_tensor::{ops, Tensor};
+
+/// ReLU activation.
+#[derive(Default)]
+pub struct Relu {
+    cache: Option<Tensor>, // forward input
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { cache: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.cache = Some(x.clone());
+        }
+        let mut y = x.clone();
+        ops::relu_inplace(y.data_mut());
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache.take().expect("backward before Train forward");
+        let mut dx = dy.clone();
+        ops::relu_backward_inplace(dx.data_mut(), x.data());
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &str {
+        "relu"
+    }
+}
+
+/// Tanh activation.
+#[derive(Default)]
+pub struct Tanh {
+    cache: Option<Tensor>, // forward *output*
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Tanh { cache: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let y = x.map(f32::tanh);
+        if mode == Mode::Train {
+            self.cache = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let y = self.cache.take().expect("backward before Train forward");
+        let mut dx = dy.clone();
+        for (g, &t) in dx.data_mut().iter_mut().zip(y.data()) {
+            *g *= ops::tanh_grad_from_output(t);
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &str {
+        "tanh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_grads;
+    use ms_tensor::SeededRng;
+
+    #[test]
+    fn relu_forward() {
+        let mut l = Relu::new();
+        let y = l.forward(&Tensor::from_slice(&[-1.0, 2.0]), Mode::Infer);
+        assert_eq!(y.data(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_grads() {
+        let mut rng = SeededRng::new(1);
+        let x = Tensor::from_vec([2, 5], (0..10).map(|_| rng.uniform(-1.0, 1.0)).collect())
+            .unwrap();
+        assert_grads(&mut Relu::new(), &x, &mut rng);
+    }
+
+    #[test]
+    fn tanh_grads() {
+        let mut rng = SeededRng::new(2);
+        let x = Tensor::from_vec([2, 5], (0..10).map(|_| rng.uniform(-2.0, 2.0)).collect())
+            .unwrap();
+        assert_grads(&mut Tanh::new(), &x, &mut rng);
+    }
+}

@@ -1,0 +1,198 @@
+//! Parameter checkpointing: save/load a network's named parameters as JSON.
+//!
+//! Models are rebuilt from their configs (all configs are `serde`-able);
+//! the checkpoint stores only `name → tensor` pairs. Loading matches by
+//! name and validates shapes, so a checkpoint survives refactors that do
+//! not rename or reshape parameters. JSON is chosen over a binary format
+//! deliberately: checkpoints here are small (experiment scale) and
+//! human-inspectable dumps have repeatedly paid for themselves during
+//! debugging.
+
+use crate::layer::Layer;
+use ms_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A serialisable snapshot of every trainable parameter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// `(name, tensor)` in visit order.
+    pub params: Vec<(String, Tensor)>,
+}
+
+/// Errors from checkpoint I/O and application.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialisation failure.
+    Format(serde_json::Error),
+    /// The checkpoint does not match the model.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CheckpointError::Format(e) => write!(f, "checkpoint format: {e}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Format(e)
+    }
+}
+
+impl Checkpoint {
+    /// Captures the current parameters of `net`.
+    pub fn capture(net: &mut dyn Layer) -> Self {
+        let mut params = Vec::new();
+        net.visit_params(&mut |p| params.push((p.name.clone(), p.value.clone())));
+        Checkpoint { version: 1, params }
+    }
+
+    /// Applies the checkpoint to `net`, matching parameters by name.
+    ///
+    /// Fails if any model parameter is missing from the checkpoint or has a
+    /// different shape; checkpoint entries the model does not have are
+    /// ignored (they may belong to frozen heads etc.).
+    pub fn apply(&self, net: &mut dyn Layer) -> Result<(), CheckpointError> {
+        let mut error: Option<String> = None;
+        net.visit_params(&mut |p| {
+            if error.is_some() {
+                return;
+            }
+            match self.params.iter().find(|(n, _)| *n == p.name) {
+                None => error = Some(format!("parameter '{}' not in checkpoint", p.name)),
+                Some((_, value)) => {
+                    if value.shape() != p.value.shape() {
+                        error = Some(format!(
+                            "parameter '{}': checkpoint shape {} vs model {}",
+                            p.name,
+                            value.shape(),
+                            p.value.shape()
+                        ));
+                    } else {
+                        p.value = value.clone();
+                    }
+                }
+            }
+        });
+        match error {
+            Some(e) => Err(CheckpointError::Mismatch(e)),
+            None => Ok(()),
+        }
+    }
+
+    /// Saves to a JSON file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads from a JSON file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+
+    /// Total scalars stored.
+    pub fn scalar_count(&self) -> usize {
+        self.params.iter().map(|(_, t)| t.numel()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use crate::linear::{Linear, LinearConfig};
+    use crate::sequential::Sequential;
+    use ms_tensor::SeededRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = SeededRng::new(seed);
+        Sequential::new("net")
+            .push(Linear::new(
+                "fc1",
+                LinearConfig::dense(4, 8),
+                &mut rng,
+            ))
+            .push(Linear::new(
+                "fc2",
+                LinearConfig::dense(8, 2),
+                &mut rng,
+            ))
+    }
+
+    #[test]
+    fn capture_apply_roundtrip_transfers_weights() {
+        let mut a = net(1);
+        let mut b = net(2);
+        let x = Tensor::full([1, 4], 0.5);
+        let ya = a.forward(&x, Mode::Infer);
+        let yb = b.forward(&x, Mode::Infer);
+        assert_ne!(ya, yb);
+        let ckpt = Checkpoint::capture(&mut a);
+        ckpt.apply(&mut b).unwrap();
+        let yb2 = b.forward(&x, Mode::Infer);
+        assert_eq!(ya, yb2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ms-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.json");
+        let mut a = net(3);
+        let ckpt = Checkpoint::capture(&mut a);
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.version, 1);
+        assert_eq!(loaded.scalar_count(), ckpt.scalar_count());
+        let mut b = net(4);
+        loaded.apply(&mut b).unwrap();
+        let x = Tensor::full([1, 4], -0.25);
+        assert_eq!(a.forward(&x, Mode::Infer), b.forward(&x, Mode::Infer));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn apply_rejects_shape_mismatch() {
+        let mut a = net(5);
+        let ckpt = Checkpoint::capture(&mut a);
+        let mut rng = SeededRng::new(6);
+        let mut wrong = Sequential::new("net").push(Linear::new(
+            "fc1",
+            LinearConfig::dense(4, 16), // different width
+            &mut rng,
+        ));
+        let err = ckpt.apply(&mut wrong).unwrap_err();
+        assert!(err.to_string().contains("fc1"), "{err}");
+    }
+
+    #[test]
+    fn apply_rejects_missing_parameter() {
+        let mut a = net(7);
+        let mut ckpt = Checkpoint::capture(&mut a);
+        ckpt.params.retain(|(n, _)| n != "fc2.bias");
+        let mut b = net(8);
+        let err = ckpt.apply(&mut b).unwrap_err();
+        assert!(err.to_string().contains("fc2.bias"), "{err}");
+    }
+}

@@ -1,0 +1,423 @@
+//! The sliceable 2-D convolution layer — paper §3.2, Eq. 4.
+//!
+//! Channels play the role neurons play in dense layers: the weight tensor is
+//! stored `[N, C·KH·KW]` row-major with the input-channel index outermost in
+//! the row, so slicing input channels selects a contiguous column prefix and
+//! slicing output channels a contiguous row prefix — a sliced convolution is
+//! a sub-block GEMM over the im2col buffer with zero data movement.
+//!
+//! Convolutions are expected to be followed by a sliced GroupNorm for scale
+//! stability (§3.2); they therefore default to having no bias and no input
+//! rescaling.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::slice::{active_units, SliceRate};
+use ms_tensor::conv::{col2im, im2col, ConvGeom};
+use ms_tensor::matmul::{gemm, Trans};
+use ms_tensor::{init, SeededRng, Tensor};
+
+/// Configuration for a [`Conv2d`] layer. Input spatial size is fixed at
+/// construction so FLOPs are known without running the layer.
+#[derive(Debug, Clone)]
+pub struct Conv2dConfig {
+    /// Full input channel count `C`.
+    pub in_ch: usize,
+    /// Full output channel count `N`.
+    pub out_ch: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+    /// Input spatial height.
+    pub h: usize,
+    /// Input spatial width.
+    pub w: usize,
+    /// Input-side group count; `None` pins the input at full width.
+    pub in_groups: Option<usize>,
+    /// Output-side group count; `None` pins the output at full width.
+    pub out_groups: Option<usize>,
+    /// Whether to include a per-output-channel bias.
+    pub bias: bool,
+}
+
+/// Sliceable convolution layer.
+pub struct Conv2d {
+    cfg: Conv2dConfig,
+    name: String,
+    geom: ConvGeom,
+    weight: Param, // [out_ch, in_ch * k * k]
+    bias: Option<Param>,
+    active_in: usize,
+    active_out: usize,
+    col: Vec<f32>, // workhorse im2col buffer (full size)
+    cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates the layer with Kaiming-normal weights (fan-in `C·K²`).
+    pub fn new(name: impl Into<String>, cfg: Conv2dConfig, rng: &mut SeededRng) -> Self {
+        let name = name.into();
+        let geom = ConvGeom {
+            h: cfg.h,
+            w: cfg.w,
+            kh: cfg.kernel,
+            kw: cfg.kernel,
+            stride: cfg.stride,
+            pad: cfg.pad,
+        };
+        assert!(geom.is_valid(), "{name}: invalid conv geometry {geom:?}");
+        if let Some(g) = cfg.in_groups {
+            assert!(g >= 1 && g <= cfg.in_ch);
+        }
+        if let Some(g) = cfg.out_groups {
+            assert!(g >= 1 && g <= cfg.out_ch);
+        }
+        let k2 = cfg.kernel * cfg.kernel;
+        let fan_in = cfg.in_ch * k2;
+        let weight = Param::new(
+            format!("{name}.weight"),
+            init::kaiming_normal([cfg.out_ch, fan_in], fan_in, rng),
+            true,
+        );
+        let bias = cfg
+            .bias
+            .then(|| Param::new(format!("{name}.bias"), Tensor::zeros([cfg.out_ch]), false));
+        let col = vec![0.0; fan_in * geom.out_len()];
+        let (active_in, active_out) = (cfg.in_ch, cfg.out_ch);
+        Conv2d {
+            cfg,
+            name,
+            geom,
+            weight,
+            bias,
+            active_in,
+            active_out,
+            col,
+            cache: None,
+        }
+    }
+
+    /// Currently active `(in, out)` channel counts.
+    pub fn active_channels(&self) -> (usize, usize) {
+        (self.active_in, self.active_out)
+    }
+
+    /// Output spatial size `(OH, OW)`.
+    pub fn out_hw(&self) -> (usize, usize) {
+        (self.geom.out_h(), self.geom.out_w())
+    }
+
+    /// Immutable weight access (deployment/extraction, pruning baselines).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable weight access (pruning baselines reorder channels).
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    fn k2(&self) -> usize {
+        self.cfg.kernel * self.cfg.kernel
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "{}: expect [B,C,H,W]", self.name);
+        let (batch, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, self.active_in, "{}: input channels", self.name);
+        assert_eq!((h, w), (self.geom.h, self.geom.w), "{}: spatial", self.name);
+
+        let out_len = self.geom.out_len();
+        let k_rows = self.active_in * self.k2();
+        let full_k = self.cfg.in_ch * self.k2();
+        let mut y = Tensor::zeros([batch, self.active_out, self.geom.out_h(), self.geom.out_w()]);
+        for s in 0..batch {
+            let col = &mut self.col[..k_rows * out_len];
+            im2col(x.row(s), self.active_in, &self.geom, col);
+            gemm(
+                Trans::No,
+                Trans::No,
+                self.active_out,
+                out_len,
+                k_rows,
+                1.0,
+                self.weight.value.data(),
+                full_k,
+                col,
+                out_len,
+                0.0,
+                y.row_mut(s),
+                out_len,
+            );
+            if let Some(b) = &self.bias {
+                let ys = y.row_mut(s);
+                for ch in 0..self.active_out {
+                    let bv = b.value.data()[ch];
+                    for v in &mut ys[ch * out_len..(ch + 1) * out_len] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache.take().expect("backward before Train forward");
+        let batch = x.dims()[0];
+        let out_len = self.geom.out_len();
+        let k_rows = self.active_in * self.k2();
+        let full_k = self.cfg.in_ch * self.k2();
+        debug_assert_eq!(dy.dims()[1], self.active_out);
+
+        let mut dx = Tensor::zeros(x.shape().clone());
+        let mut dcol = vec![0.0f32; k_rows * out_len];
+        for s in 0..batch {
+            let dys = dy.row(s);
+            // Recompute im2col (cheaper than caching per-sample columns).
+            let col = &mut self.col[..k_rows * out_len];
+            im2col(x.row(s), self.active_in, &self.geom, col);
+            // dW += dy_s · col^T
+            gemm(
+                Trans::No,
+                Trans::Yes,
+                self.active_out,
+                k_rows,
+                out_len,
+                1.0,
+                dys,
+                out_len,
+                col,
+                out_len,
+                1.0,
+                self.weight.grad.data_mut(),
+                full_k,
+            );
+            // db += per-channel spatial sums
+            if let Some(b) = &mut self.bias {
+                for ch in 0..self.active_out {
+                    b.grad.data_mut()[ch] +=
+                        dys[ch * out_len..(ch + 1) * out_len].iter().sum::<f32>();
+                }
+            }
+            // dcol = W^T · dy_s ; dx_s = col2im(dcol)
+            dcol.iter_mut().for_each(|v| *v = 0.0);
+            gemm(
+                Trans::Yes,
+                Trans::No,
+                k_rows,
+                out_len,
+                self.active_out,
+                1.0,
+                self.weight.value.data(),
+                full_k,
+                dys,
+                out_len,
+                1.0,
+                &mut dcol,
+                out_len,
+            );
+            col2im(&dcol, self.active_in, &self.geom, dx.row_mut(s));
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn set_slice_rate(&mut self, r: SliceRate) {
+        self.active_in = match self.cfg.in_groups {
+            Some(g) => active_units(self.cfg.in_ch, g, r),
+            None => self.cfg.in_ch,
+        };
+        self.active_out = match self.cfg.out_groups {
+            Some(g) => active_units(self.cfg.out_ch, g, r),
+            None => self.cfg.out_ch,
+        };
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        (self.active_out * self.active_in * self.k2() * self.geom.out_len()) as u64
+    }
+
+    fn active_param_count(&self) -> u64 {
+        let w = (self.active_out * self.active_in * self.k2()) as u64;
+        let b = if self.bias.is_some() {
+            self.active_out as u64
+        } else {
+            0
+        };
+        w + b
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_grads;
+
+    fn conv(in_ch: usize, out_ch: usize, h: usize, bias: bool) -> Conv2d {
+        let mut rng = SeededRng::new(21);
+        Conv2d::new(
+            "conv",
+            Conv2dConfig {
+                in_ch,
+                out_ch,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                h,
+                w: h,
+                in_groups: Some(in_ch.min(4)),
+                out_groups: Some(out_ch.min(4)),
+                bias,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut l = conv(4, 8, 6, false);
+        let y = l.forward(&Tensor::zeros([2, 4, 6, 6]), Mode::Infer);
+        assert_eq!(y.dims(), &[2, 8, 6, 6]);
+    }
+
+    #[test]
+    fn strided_geometry() {
+        let mut rng = SeededRng::new(5);
+        let mut l = Conv2d::new(
+            "s2",
+            Conv2dConfig {
+                in_ch: 2,
+                out_ch: 3,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+                h: 4,
+                w: 4,
+                in_groups: None,
+                out_groups: None,
+                bias: true,
+            },
+            &mut rng,
+        );
+        let y = l.forward(&Tensor::zeros([1, 2, 4, 4]), Mode::Infer);
+        assert_eq!(y.dims(), &[1, 3, 2, 2]);
+    }
+
+    #[test]
+    fn slicing_shrinks_channels_and_flops() {
+        let mut l = conv(8, 8, 4, false);
+        let full_flops = l.flops_per_sample();
+        l.set_slice_rate(SliceRate::new(0.5));
+        assert_eq!(l.active_channels(), (4, 4));
+        let y = l.forward(&Tensor::zeros([1, 4, 4, 4]), Mode::Infer);
+        assert_eq!(y.dims(), &[1, 4, 4, 4]);
+        // Quadratic cost: half width → quarter FLOPs.
+        assert_eq!(l.flops_per_sample() * 4, full_flops);
+    }
+
+    #[test]
+    fn sliced_output_is_prefix_of_full() {
+        // Input not sliced, output sliced: first channels must match the
+        // full forward exactly (subsumption property).
+        let mut rng = SeededRng::new(6);
+        let mut l = Conv2d::new(
+            "c",
+            Conv2dConfig {
+                in_ch: 3,
+                out_ch: 8,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                h: 5,
+                w: 5,
+                in_groups: None,
+                out_groups: Some(4),
+                bias: true,
+            },
+            &mut rng,
+        );
+        let x = Tensor::from_vec(
+            [1, 3, 5, 5],
+            (0..75).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+        )
+        .unwrap();
+        let full = l.forward(&x, Mode::Infer);
+        l.set_slice_rate(SliceRate::new(0.5));
+        let half = l.forward(&x, Mode::Infer);
+        assert_eq!(half.dims(), &[1, 4, 5, 5]);
+        for c in 0..4 {
+            for i in 0..5 {
+                for j in 0..5 {
+                    assert!(
+                        (half.at(&[0, c, i, j]) - full.at(&[0, c, i, j])).abs() < 1e-5
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_full_width() {
+        let mut rng = SeededRng::new(7);
+        let mut l = conv(3, 4, 4, true);
+        let x = Tensor::from_vec(
+            [2, 3, 4, 4],
+            (0..96).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+        )
+        .unwrap();
+        assert_grads(&mut l, &x, &mut rng);
+    }
+
+    #[test]
+    fn gradients_sliced() {
+        let mut rng = SeededRng::new(8);
+        let mut l = conv(4, 8, 4, false);
+        l.set_slice_rate(SliceRate::new(0.5));
+        let x = Tensor::from_vec(
+            [2, 2, 4, 4],
+            (0..64).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+        )
+        .unwrap();
+        assert_grads(&mut l, &x, &mut rng);
+    }
+
+    #[test]
+    fn sliced_backward_confined_to_active_block() {
+        let mut l = conv(4, 4, 3, false);
+        l.set_slice_rate(SliceRate::new(0.25)); // 1 in-ch, 1 out-ch
+        let x = Tensor::full([1, 1, 3, 3], 1.0);
+        let _ = l.forward(&x, Mode::Train);
+        let _ = l.backward(&Tensor::full([1, 1, 3, 3], 1.0));
+        let g = &l.weight.grad;
+        let k2 = 9;
+        for o in 0..4 {
+            for idx in 0..4 * k2 {
+                let v = g.at(&[o, idx]);
+                if o == 0 && idx < k2 {
+                    assert!(v != 0.0, "active ({o},{idx}) should receive grad");
+                } else {
+                    assert_eq!(v, 0.0, "inactive ({o},{idx}) leaked grad");
+                }
+            }
+        }
+    }
+}

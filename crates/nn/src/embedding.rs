@@ -1,0 +1,150 @@
+//! Token embedding lookup.
+//!
+//! The embedding is the *input layer* of the NNLM and is therefore never
+//! sliced (§5.1.1: slicing applies to hidden layers only). Token ids arrive
+//! as `f32` values in a `[B, T]` tensor — exact for any realistic vocabulary
+//! (integers below 2²⁴ are representable) and keeps the single-dtype tensor
+//! substrate simple.
+
+use crate::layer::{Layer, Mode, Param};
+use ms_tensor::{init, SeededRng, Tensor};
+
+/// Embedding table `[vocab, dim]` with lookup forward and scatter-add
+/// backward.
+pub struct Embedding {
+    name: String,
+    vocab: usize,
+    dim: usize,
+    weight: Param,
+    cache: Option<Vec<usize>>, // flattened token ids of last Train forward
+}
+
+impl Embedding {
+    /// Creates an embedding with `U(-0.1, 0.1)` init (the classic LM choice).
+    pub fn new(name: impl Into<String>, vocab: usize, dim: usize, rng: &mut SeededRng) -> Self {
+        assert!(vocab > 0 && dim > 0);
+        let name = name.into();
+        Embedding {
+            weight: Param::new(
+                format!("{name}.weight"),
+                init::uniform([vocab, dim], 0.1, rng),
+                false,
+            ),
+            vocab,
+            dim,
+            cache: None,
+            name,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    fn ids_of(&self, x: &Tensor) -> Vec<usize> {
+        x.data()
+            .iter()
+            .map(|&v| {
+                let id = v as usize;
+                assert!(
+                    v >= 0.0 && v.fract() == 0.0 && id < self.vocab,
+                    "{}: invalid token id {v} for vocab {}",
+                    self.name,
+                    self.vocab
+                );
+                id
+            })
+            .collect()
+    }
+}
+
+impl Layer for Embedding {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let ids = self.ids_of(x);
+        let mut out_dims = x.dims().to_vec();
+        out_dims.push(self.dim);
+        let mut y = Tensor::zeros(out_dims);
+        for (i, &id) in ids.iter().enumerate() {
+            let dst = &mut y.data_mut()[i * self.dim..(i + 1) * self.dim];
+            dst.copy_from_slice(self.weight.value.row(id));
+        }
+        if mode == Mode::Train {
+            self.cache = Some(ids);
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let ids = self.cache.take().expect("backward before Train forward");
+        debug_assert_eq!(dy.numel(), ids.len() * self.dim);
+        for (i, &id) in ids.iter().enumerate() {
+            let src = &dy.data()[i * self.dim..(i + 1) * self.dim];
+            let dst = &mut self.weight.grad.row_mut(id)[..];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        // Token ids are not differentiable; return a zero gradient of the
+        // id-tensor shape to keep the Layer contract.
+        let mut dims = dy.dims().to_vec();
+        dims.pop();
+        Tensor::zeros(dims)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        0 // lookup, no arithmetic
+    }
+
+    fn active_param_count(&self) -> u64 {
+        (self.vocab * self.dim) as u64
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_scatter() {
+        let mut rng = SeededRng::new(1);
+        let mut emb = Embedding::new("emb", 5, 3, &mut rng);
+        let x = Tensor::from_vec([2, 2], vec![0.0, 4.0, 4.0, 1.0]).unwrap();
+        let y = emb.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[2, 2, 3]);
+        // Rows equal the table rows.
+        assert_eq!(&y.data()[0..3], emb.weight.value.row(0));
+        assert_eq!(&y.data()[3..6], emb.weight.value.row(4));
+
+        let dy = Tensor::full([2, 2, 3], 1.0);
+        let dx = emb.backward(&dy);
+        assert_eq!(dx.dims(), &[2, 2]);
+        // Token 4 appeared twice → grad 2, tokens 0 and 1 once → 1, others 0.
+        assert!(emb.weight.grad.row(4).iter().all(|&v| v == 2.0));
+        assert!(emb.weight.grad.row(0).iter().all(|&v| v == 1.0));
+        assert!(emb.weight.grad.row(1).iter().all(|&v| v == 1.0));
+        assert!(emb.weight.grad.row(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid token id")]
+    fn rejects_out_of_vocab() {
+        let mut rng = SeededRng::new(2);
+        let mut emb = Embedding::new("emb", 3, 2, &mut rng);
+        let x = Tensor::from_vec([1], vec![3.0]).unwrap();
+        let _ = emb.forward(&x, Mode::Infer);
+    }
+}

@@ -1,0 +1,241 @@
+//! Finite-difference gradient checking.
+//!
+//! This is the load-bearing correctness tool for a hand-written backprop
+//! stack: every layer's tests call [`check_layer`] with a handful of shapes
+//! and slice rates, and the integration suite re-runs it over random
+//! configurations via proptest.
+//!
+//! The check builds the scalar loss `L = Σ (y ⊙ s)` for a fixed random seed
+//! tensor `s`, obtains analytic gradients from one forward/backward pair and
+//! compares them element-by-element (sampled for large tensors) against
+//! central differences in f32.
+
+use crate::layer::{Layer, Mode};
+use ms_tensor::{SeededRng, Tensor};
+
+/// Tolerances and sampling for a gradient check.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOpts {
+    /// Central-difference step.
+    pub eps: f32,
+    /// Accepted |analytic − numeric| ≤ `tol_abs + tol_rel·|numeric|`.
+    pub tol_abs: f32,
+    /// Relative tolerance component.
+    pub tol_rel: f32,
+    /// Maximum elements probed per tensor (strided sampling above this).
+    pub max_probes: usize,
+}
+
+impl Default for CheckOpts {
+    fn default() -> Self {
+        CheckOpts {
+            eps: 5e-3,
+            tol_abs: 2e-3,
+            tol_rel: 2e-2,
+            max_probes: 160,
+        }
+    }
+}
+
+fn loss_of(layer: &mut dyn Layer, x: &Tensor, seed: &Tensor) -> f64 {
+    let y = layer.forward(x, Mode::Train);
+    y.data()
+        .iter()
+        .zip(seed.data())
+        .map(|(a, b)| (a * b) as f64)
+        .sum()
+}
+
+fn probe_indices(len: usize, max: usize) -> Vec<usize> {
+    if len <= max {
+        (0..len).collect()
+    } else {
+        let stride = len / max;
+        (0..max).map(|i| i * stride).collect()
+    }
+}
+
+/// Checks the input gradient and every parameter gradient of `layer` at `x`.
+///
+/// Returns `Err` with a human-readable description of the first mismatch.
+/// The layer must be deterministic across repeated `Train` forwards (disable
+/// dropout or set its probability to zero when checking).
+pub fn check_layer(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    rng: &mut SeededRng,
+    opts: &CheckOpts,
+) -> Result<(), String> {
+    // Shape discovery + seed tensor.
+    let y0 = layer.forward(x, Mode::Train);
+    let seed_data: Vec<f32> = (0..y0.numel()).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let seed = Tensor::from_vec(y0.shape().clone(), seed_data).expect("seed shape");
+
+    // Analytic pass.
+    layer.visit_params(&mut |p| p.zero_grad());
+    let _ = layer.forward(x, Mode::Train);
+    let dx = layer.backward(&seed);
+    if dx.shape() != x.shape() {
+        return Err(format!(
+            "backward returned shape {} for input shape {}",
+            dx.shape(),
+            x.shape()
+        ));
+    }
+
+    // Snapshot analytic parameter gradients.
+    let mut param_grads: Vec<(String, Vec<f32>)> = Vec::new();
+    layer.visit_params(&mut |p| param_grads.push((p.name.clone(), p.grad.data().to_vec())));
+
+    let agree = |analytic: f32, numeric: f32| -> bool {
+        (analytic - numeric).abs() <= opts.tol_abs + opts.tol_rel * numeric.abs()
+    };
+    // Piecewise-linear activations (ReLU, max-pool) make the loss
+    // non-smooth; a probe that crosses a kink produces a garbage central
+    // difference. Two step sizes must agree for the probe to count —
+    // otherwise it is skipped as sitting on a kink.
+    let smooth = |d1: f32, d2: f32| -> bool {
+        (d1 - d2).abs() <= 0.05 * (d1.abs() + d2.abs()) + 5e-3
+    };
+
+    // Input gradient.
+    for i in probe_indices(x.numel(), opts.max_probes) {
+        let mut diffs = [0.0f32; 2];
+        for (k, &eps) in [opts.eps, opts.eps * 0.5].iter().enumerate() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let lp = loss_of(layer, &xp, &seed);
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lm = loss_of(layer, &xm, &seed);
+            diffs[k] = ((lp - lm) / (2.0 * eps as f64)) as f32;
+        }
+        if !smooth(diffs[0], diffs[1]) {
+            continue; // kink crossing: numeric estimate unreliable
+        }
+        let numeric = diffs[1];
+        let analytic = dx.data()[i];
+        if !agree(analytic, numeric) {
+            return Err(format!(
+                "input grad mismatch at {i}: analytic {analytic}, numeric {numeric}"
+            ));
+        }
+    }
+
+    // Parameter gradients: perturb the (param_idx, elem) entry through
+    // visit_params with a counter.
+    let perturb = |layer: &mut dyn Layer, pi: usize, ei: usize, delta: f32| {
+        let mut idx = 0usize;
+        layer.visit_params(&mut |p| {
+            if idx == pi {
+                p.value.data_mut()[ei] += delta;
+            }
+            idx += 1;
+        });
+    };
+
+    for (pi, (pname, grads)) in param_grads.iter().enumerate() {
+        for ei in probe_indices(grads.len(), opts.max_probes) {
+            let mut diffs = [0.0f32; 2];
+            for (k, &eps) in [opts.eps, opts.eps * 0.5].iter().enumerate() {
+                perturb(layer, pi, ei, eps);
+                let lp = loss_of(layer, x, &seed);
+                perturb(layer, pi, ei, -2.0 * eps);
+                let lm = loss_of(layer, x, &seed);
+                perturb(layer, pi, ei, eps); // restore
+                diffs[k] = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            }
+            if !smooth(diffs[0], diffs[1]) {
+                continue;
+            }
+            let numeric = diffs[1];
+            let analytic = grads[ei];
+            if !agree(analytic, numeric) {
+                return Err(format!(
+                    "param '{pname}' grad mismatch at {ei}: analytic {analytic}, numeric {numeric}"
+                ));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+/// Asserts a gradient check, panicking with the mismatch description.
+pub fn assert_grads(layer: &mut dyn Layer, x: &Tensor, rng: &mut SeededRng) {
+    check_layer(layer, x, rng, &CheckOpts::default())
+        .unwrap_or_else(|e| panic!("gradient check failed for {}: {e}", layer.name()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Param;
+
+    /// y = w ⊙ x, an elementwise layer with one parameter.
+    struct Scale {
+        w: Param,
+        cache: Option<Tensor>,
+    }
+
+    impl Layer for Scale {
+        fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+            self.cache = Some(x.clone());
+            x.mul(&self.w.value)
+        }
+        fn backward(&mut self, dy: &Tensor) -> Tensor {
+            let x = self.cache.take().expect("forward first");
+            self.w.grad.add_assign(&dy.mul(&x));
+            dy.mul(&self.w.value)
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.w);
+        }
+        fn name(&self) -> &str {
+            "scale"
+        }
+    }
+
+    /// Deliberately wrong backward (factor 2) to prove the checker catches it.
+    struct BrokenScale(Scale);
+    impl Layer for BrokenScale {
+        fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+            self.0.forward(x, mode)
+        }
+        fn backward(&mut self, dy: &Tensor) -> Tensor {
+            let mut dx = self.0.backward(dy);
+            dx.scale(2.0);
+            dx
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            self.0.visit_params(f);
+        }
+        fn name(&self) -> &str {
+            "broken-scale"
+        }
+    }
+
+    #[test]
+    fn accepts_correct_gradients() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = Scale {
+            w: Param::new("w", Tensor::from_slice(&[0.5, -1.5, 2.0, 0.1]), true),
+            cache: None,
+        };
+        let x = Tensor::from_slice(&[1.0, 2.0, -0.5, 3.0]);
+        assert_grads(&mut layer, &x, &mut rng);
+    }
+
+    #[test]
+    fn rejects_wrong_gradients() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = BrokenScale(Scale {
+            w: Param::new("w", Tensor::from_slice(&[0.5, -1.5, 2.0, 0.1]), true),
+            cache: None,
+        });
+        let x = Tensor::from_slice(&[1.0, 2.0, -0.5, 3.0]);
+        let err = check_layer(&mut layer, &x, &mut rng, &CheckOpts::default());
+        assert!(err.is_err());
+        assert!(err.unwrap_err().contains("input grad mismatch"));
+    }
+}

@@ -1,0 +1,174 @@
+//! The [`Layer`] trait, trainable [`Param`]s and execution [`Mode`].
+
+use crate::slice::SliceRate;
+use ms_tensor::Tensor;
+
+/// Whether a forward pass is part of training (caches activations, applies
+/// dropout, updates batch-norm statistics) or inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: layers cache whatever their backward pass needs.
+    Train,
+    /// Inference: no caches, no stochastic regularisation.
+    Infer,
+}
+
+/// A trainable parameter: value, gradient accumulator and optimiser state.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Human-readable name, used in diagnostics and weight dumps.
+    pub name: String,
+    /// The parameter tensor.
+    pub value: Tensor,
+    /// Gradient accumulator, same shape as `value`. Zeroed by the optimiser
+    /// step or explicitly by the trainer; layers always *accumulate* (`+=`).
+    pub grad: Tensor,
+    /// Momentum buffer, lazily allocated by SGD on first use.
+    pub velocity: Option<Tensor>,
+    /// Whether weight decay applies (true for weights, false for biases and
+    /// normalisation affine parameters, per common practice).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor, decay: bool) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            velocity: None,
+            decay,
+        }
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.numel() == 0
+    }
+}
+
+/// A neural-network layer (or container of layers) with hand-written
+/// forward/backward and optional model-slicing support.
+///
+/// Contract:
+/// - `backward` must be called after a `Mode::Train` forward with the same
+///   slice rate still set, and consumes the cache that forward created.
+/// - Parameter gradients are *accumulated*; callers zero them between
+///   optimiser steps (the Algorithm-1 trainer relies on accumulation across
+///   several subnet passes).
+/// - `set_slice_rate` reconfigures the active widths; layers that do not
+///   slice ignore it.
+pub trait Layer {
+    /// Forward pass. `Train` mode caches activations for `backward`.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Backward pass: takes `dL/dy`, accumulates parameter gradients and
+    /// returns `dL/dx`.
+    fn backward(&mut self, dy: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter (used by optimisers and serialisers).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Applies a slice rate. Default: no-op (layer has no width dimension).
+    fn set_slice_rate(&mut self, _r: SliceRate) {}
+
+    /// Multiply–add operations per sample under the *current* slice setting.
+    /// Containers sum their children. Default 0 (parameter-free glue).
+    fn flops_per_sample(&self) -> u64 {
+        0
+    }
+
+    /// Scalar parameters active under the current slice setting.
+    fn active_param_count(&self) -> u64 {
+        0
+    }
+
+    /// Layer name for diagnostics.
+    fn name(&self) -> &str;
+}
+
+/// Convenience alias used throughout the workspace for owned dynamic layers.
+pub type BoxedLayer = Box<dyn Layer>;
+
+/// A network is anything layer-shaped; models in `ms-models` implement this
+/// same trait so trainers and serving code are architecture-agnostic.
+pub trait Network: Layer {
+    /// Total parameter count at full width.
+    fn full_param_count(&mut self) -> u64 {
+        let mut n = 0u64;
+        self.visit_params(&mut |p| n += p.len() as u64);
+        n
+    }
+
+    /// Zeroes all parameter gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Global gradient L2 norm (used for clipping diagnostics).
+    fn grad_norm(&mut self) -> f64 {
+        let mut acc = 0.0f64;
+        self.visit_params(&mut |p| acc += p.grad.sq_norm());
+        acc.sqrt()
+    }
+}
+
+impl<T: Layer + ?Sized> Network for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        p: Param,
+    }
+
+    impl Layer for Dummy {
+        fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+            x.clone()
+        }
+        fn backward(&mut self, dy: &Tensor) -> Tensor {
+            dy.clone()
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p);
+        }
+        fn name(&self) -> &str {
+            "dummy"
+        }
+    }
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new("w", Tensor::full([2, 2], 1.0), true);
+        p.grad.fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&v| v == 0.0));
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn network_helpers() {
+        let mut d = Dummy {
+            p: Param::new("w", Tensor::full([3], 1.0), true),
+        };
+        assert_eq!(d.full_param_count(), 3);
+        d.p.grad.fill(2.0);
+        assert!((d.grad_norm() - (12.0f64).sqrt()).abs() < 1e-9);
+        d.zero_grads();
+        assert_eq!(d.grad_norm(), 0.0);
+    }
+}

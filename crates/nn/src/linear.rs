@@ -1,0 +1,407 @@
+//! The sliceable dense (fully-connected) layer — paper §3.1, Figure 1.
+//!
+//! The weight is stored once at full size `[N, M]` row-major. Under a slice
+//! rate `r` the layer multiplies only the top-left `a_out × a_in` block
+//! (leading dimension `M`, so no copy), adds the first `a_out` bias entries,
+//! and — when `input_rescale` is set — multiplies by `M / a_in` to keep
+//! pre-activation magnitudes slice-invariant (the paper's "output rescaling"
+//! used for dense/recurrent layers, §5.2.2; convolutional stacks rely on
+//! sliced GroupNorm instead).
+
+use crate::layer::{Layer, Mode, Param};
+use crate::slice::{active_units, SliceRate};
+use ms_tensor::matmul::{gemm, Trans};
+use ms_tensor::{init, SeededRng, Tensor};
+
+/// Configuration for a [`Linear`] layer.
+#[derive(Debug, Clone)]
+pub struct LinearConfig {
+    /// Full input dimension `M`.
+    pub in_dim: usize,
+    /// Full output dimension `N`.
+    pub out_dim: usize,
+    /// Input-side group count; `None` pins the input at full width
+    /// (first layer of a network).
+    pub in_groups: Option<usize>,
+    /// Output-side group count; `None` pins the output at full width
+    /// (classifier/decoder layers).
+    pub out_groups: Option<usize>,
+    /// Whether to include a bias vector.
+    pub bias: bool,
+    /// Rescale pre-activations by `M / a_in` when the input is sliced.
+    pub input_rescale: bool,
+}
+
+impl LinearConfig {
+    /// A plain un-sliced dense layer.
+    pub fn dense(in_dim: usize, out_dim: usize) -> Self {
+        LinearConfig {
+            in_dim,
+            out_dim,
+            in_groups: None,
+            out_groups: None,
+            bias: true,
+            input_rescale: false,
+        }
+    }
+}
+
+/// Sliceable dense layer `y = scale · (x · W_activeᵀ) + b`.
+pub struct Linear {
+    cfg: LinearConfig,
+    name: String,
+    weight: Param, // [out_dim, in_dim]
+    bias: Option<Param>,
+    active_in: usize,
+    active_out: usize,
+    cache: Option<Tensor>, // input of the last Train forward
+}
+
+impl Linear {
+    /// Creates the layer with Kaiming-normal weights (fan-in = full `M`).
+    pub fn new(name: impl Into<String>, cfg: LinearConfig, rng: &mut SeededRng) -> Self {
+        assert!(cfg.in_dim > 0 && cfg.out_dim > 0);
+        if let Some(g) = cfg.in_groups {
+            assert!(g >= 1 && g <= cfg.in_dim, "in_groups {g} vs {}", cfg.in_dim);
+        }
+        if let Some(g) = cfg.out_groups {
+            assert!(g >= 1 && g <= cfg.out_dim);
+        }
+        let name = name.into();
+        let weight = Param::new(
+            format!("{name}.weight"),
+            init::kaiming_normal([cfg.out_dim, cfg.in_dim], cfg.in_dim, rng),
+            true,
+        );
+        let bias = cfg.bias.then(|| {
+            Param::new(
+                format!("{name}.bias"),
+                Tensor::zeros([cfg.out_dim]),
+                false,
+            )
+        });
+        let active_in = cfg.in_dim;
+        let active_out = cfg.out_dim;
+        Linear {
+            cfg,
+            name,
+            weight,
+            bias,
+            active_in,
+            active_out,
+            cache: None,
+        }
+    }
+
+    /// Currently active `(in, out)` widths.
+    pub fn active_dims(&self) -> (usize, usize) {
+        (self.active_in, self.active_out)
+    }
+
+    /// Full `(in, out)` widths.
+    pub fn full_dims(&self) -> (usize, usize) {
+        (self.cfg.in_dim, self.cfg.out_dim)
+    }
+
+    /// Immutable weight access (deployment/extraction).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Immutable bias access.
+    pub fn bias(&self) -> Option<&Param> {
+        self.bias.as_ref()
+    }
+
+    fn rescale(&self) -> f32 {
+        if self.cfg.input_rescale && self.active_in < self.cfg.in_dim {
+            self.cfg.in_dim as f32 / self.active_in as f32
+        } else {
+            1.0
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let dims = x.dims();
+        assert_eq!(
+            dims.last().copied(),
+            Some(self.active_in),
+            "{}: input width {:?} != active_in {}",
+            self.name,
+            dims.last(),
+            self.active_in
+        );
+        let batch = x.numel() / self.active_in;
+        let mut y = Tensor::zeros([batch, self.active_out]);
+        // y = scale * x · W[0..a_out, 0..a_in]^T
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            batch,
+            self.active_out,
+            self.active_in,
+            self.rescale(),
+            x.data(),
+            self.active_in,
+            self.weight.value.data(),
+            self.cfg.in_dim,
+            0.0,
+            y.data_mut(),
+            self.active_out,
+        );
+        if let Some(b) = &self.bias {
+            ms_tensor::ops::add_bias_rows(
+                y.data_mut(),
+                b.value.data(),
+                self.active_out,
+                self.active_out,
+            );
+        }
+        if mode == Mode::Train {
+            self.cache = Some(x.clone());
+        }
+        // Preserve leading dims, replacing the trailing one.
+        if dims.len() > 2 {
+            let mut out_dims = dims.to_vec();
+            *out_dims.last_mut().expect("nonempty dims") = self.active_out;
+            y.reshape(out_dims).expect("same numel")
+        } else {
+            y
+        }
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache.take().expect("backward before Train forward");
+        let batch = x.numel() / self.active_in;
+        debug_assert_eq!(dy.numel(), batch * self.active_out);
+        let scale = self.rescale();
+
+        // dW[0..a_out, 0..a_in] += scale * dy^T · x
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            self.active_out,
+            self.active_in,
+            batch,
+            scale,
+            dy.data(),
+            self.active_out,
+            x.data(),
+            self.active_in,
+            1.0,
+            self.weight.grad.data_mut(),
+            self.cfg.in_dim,
+        );
+        if let Some(b) = &mut self.bias {
+            ms_tensor::ops::sum_rows_into(dy.data(), self.active_out, b.grad.data_mut());
+        }
+        // dx = scale * dy · W[0..a_out, 0..a_in]
+        let mut dx = Tensor::zeros(x.shape().clone());
+        gemm(
+            Trans::No,
+            Trans::No,
+            batch,
+            self.active_in,
+            self.active_out,
+            scale,
+            dy.data(),
+            self.active_out,
+            self.weight.value.data(),
+            self.cfg.in_dim,
+            0.0,
+            dx.data_mut(),
+            self.active_in,
+        );
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn set_slice_rate(&mut self, r: SliceRate) {
+        self.active_in = match self.cfg.in_groups {
+            Some(g) => active_units(self.cfg.in_dim, g, r),
+            None => self.cfg.in_dim,
+        };
+        self.active_out = match self.cfg.out_groups {
+            Some(g) => active_units(self.cfg.out_dim, g, r),
+            None => self.cfg.out_dim,
+        };
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        (self.active_in * self.active_out) as u64
+    }
+
+    fn active_param_count(&self) -> u64 {
+        let w = (self.active_in * self.active_out) as u64;
+        let b = if self.bias.is_some() {
+            self.active_out as u64
+        } else {
+            0
+        };
+        w + b
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_grads;
+
+    fn layer(in_dim: usize, out_dim: usize, rescale: bool) -> Linear {
+        let mut rng = SeededRng::new(11);
+        Linear::new(
+            "fc",
+            LinearConfig {
+                in_dim,
+                out_dim,
+                in_groups: Some(4),
+                out_groups: Some(4),
+                bias: true,
+                input_rescale: rescale,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn forward_shape_full_width() {
+        let mut l = layer(8, 12, false);
+        let x = Tensor::zeros([5, 8]);
+        let y = l.forward(&x, Mode::Infer);
+        assert_eq!(y.dims(), &[5, 12]);
+    }
+
+    #[test]
+    fn slicing_changes_active_dims_and_shapes() {
+        let mut l = layer(8, 12, false);
+        l.set_slice_rate(SliceRate::new(0.5));
+        assert_eq!(l.active_dims(), (4, 6));
+        let x = Tensor::zeros([3, 4]);
+        let y = l.forward(&x, Mode::Infer);
+        assert_eq!(y.dims(), &[3, 6]);
+        assert_eq!(l.flops_per_sample(), 24);
+        assert_eq!(l.active_param_count(), 24 + 6);
+    }
+
+    #[test]
+    fn sliced_output_matches_prefix_of_full_output() {
+        // Without input slicing and rescaling, the first a_out outputs of the
+        // sliced layer equal the same outputs of the full layer — the
+        // prefix/subsumption property of §3.1.
+        let mut rng = SeededRng::new(3);
+        let mut l = Linear::new(
+            "fc",
+            LinearConfig {
+                in_dim: 6,
+                out_dim: 8,
+                in_groups: None,
+                out_groups: Some(4),
+                bias: true,
+                input_rescale: false,
+            },
+            &mut rng,
+        );
+        let x = Tensor::from_vec([2, 6], (0..12).map(|v| v as f32 * 0.1).collect()).unwrap();
+        let full = l.forward(&x, Mode::Infer);
+        l.set_slice_rate(SliceRate::new(0.5));
+        let half = l.forward(&x, Mode::Infer);
+        assert_eq!(half.dims(), &[2, 4]);
+        for b in 0..2 {
+            for j in 0..4 {
+                assert!((half.at(&[b, j]) - full.at(&[b, j])).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn rescale_keeps_magnitude() {
+        // With all-ones weights and inputs, a sliced+rescaled layer produces
+        // the same outputs as the full layer.
+        let mut rng = SeededRng::new(4);
+        let mut l = Linear::new(
+            "fc",
+            LinearConfig {
+                in_dim: 8,
+                out_dim: 4,
+                in_groups: Some(4),
+                out_groups: None,
+                bias: false,
+                input_rescale: true,
+            },
+            &mut rng,
+        );
+        l.weight.value.fill(1.0);
+        let x_full = Tensor::full([1, 8], 1.0);
+        let y_full = l.forward(&x_full, Mode::Infer);
+        l.set_slice_rate(SliceRate::new(0.5));
+        let x_half = Tensor::full([1, 4], 1.0);
+        let y_half = l.forward(&x_half, Mode::Infer);
+        for j in 0..4 {
+            assert!((y_full.at(&[0, j]) - y_half.at(&[0, j])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradients_full_width() {
+        let mut rng = SeededRng::new(5);
+        let mut l = layer(6, 5, false);
+        let x = Tensor::from_vec([3, 6], (0..18).map(|_| rng.uniform(-1.0, 1.0)).collect())
+            .unwrap();
+        assert_grads(&mut l, &x, &mut rng);
+    }
+
+    #[test]
+    fn gradients_sliced_with_rescale() {
+        let mut rng = SeededRng::new(6);
+        let mut l = layer(8, 8, true);
+        l.set_slice_rate(SliceRate::new(0.5));
+        let x = Tensor::from_vec([3, 4], (0..12).map(|_| rng.uniform(-1.0, 1.0)).collect())
+            .unwrap();
+        assert_grads(&mut l, &x, &mut rng);
+    }
+
+    #[test]
+    fn sliced_backward_touches_only_active_block() {
+        let mut l = layer(8, 8, false);
+        l.set_slice_rate(SliceRate::new(0.5));
+        let x = Tensor::full([2, 4], 1.0);
+        let _ = l.forward(&x, Mode::Train);
+        let dy = Tensor::full([2, 4], 1.0);
+        let _ = l.backward(&dy);
+        // Rows 4..8 and columns 4..8 of the weight grad must stay zero.
+        for i in 0..8 {
+            for j in 0..8 {
+                let g = l.weight.grad.at(&[i, j]);
+                if i >= 4 || j >= 4 {
+                    assert_eq!(g, 0.0, "grad leaked to inactive ({i},{j})");
+                } else {
+                    assert!(g != 0.0);
+                }
+            }
+        }
+        // Bias grad beyond a_out stays zero.
+        let bg = l.bias.as_ref().unwrap().grad.data();
+        assert!(bg[..4].iter().all(|&v| v != 0.0));
+        assert!(bg[4..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn higher_rank_inputs_keep_leading_dims() {
+        let mut l = layer(8, 12, false);
+        let x = Tensor::zeros([2, 3, 8]);
+        let y = l.forward(&x, Mode::Infer);
+        assert_eq!(y.dims(), &[2, 3, 12]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Sliced Group Normalization (Wu & He 2018), as adapted by model slicing.
+//!
+//! Channels are divided into the *same* `G` groups used for slicing, and the
+//! mean/variance of each group are computed per sample over
+//! `channels-in-group × H × W` (Eq. 5/6 of the paper). Because statistics
+//! never cross group boundaries, slicing off trailing groups leaves the
+//! distribution of every remaining channel untouched — the property that
+//! lets one set of affine parameters serve every subnet.
+//!
+//! The per-channel scale `γ` is also the signal visualised in Figure 6 (the
+//! stratified "group residual" pattern) and the pruning criterion for the
+//! Network Slimming baseline; [`GroupNorm::gammas`] exposes it.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::slice::{active_groups, group_boundary, SliceRate};
+use ms_tensor::{ops, Tensor};
+
+/// Sliced group normalisation over `[B, C_active, H, W]` or `[B, C_active]`.
+pub struct GroupNorm {
+    name: String,
+    channels: usize,
+    groups: usize,
+    eps: f32,
+    gamma: Param,
+    beta: Param,
+    active_groups: usize,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    /// Normalised activations x̂ (same shape as input).
+    xhat: Tensor,
+    /// 1/√(σ²+ε) per (sample, group).
+    inv_std: Vec<f32>,
+    /// Spatial size of the input (H·W; 1 for dense inputs).
+    hw: usize,
+    batch: usize,
+}
+
+impl GroupNorm {
+    /// Creates a group-norm layer over `channels` channels in `groups`
+    /// groups. `groups` must match the slicing group count of the
+    /// convolution it follows.
+    pub fn new(name: impl Into<String>, channels: usize, groups: usize) -> Self {
+        assert!(groups >= 1 && groups <= channels);
+        let name = name.into();
+        GroupNorm {
+            channels,
+            groups,
+            eps: 1e-5,
+            gamma: Param::new(format!("{name}.gamma"), Tensor::full([channels], 1.0), false),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros([channels]), false),
+            active_groups: groups,
+            cache: None,
+            name,
+        }
+    }
+
+    /// Per-channel scale factors γ (Figure 6 probe, slimming criterion).
+    pub fn gammas(&self) -> &[f32] {
+        self.gamma.value.data()
+    }
+
+    /// Channel range `[lo, hi)` of group `i` (0-based).
+    fn group_range(&self, i: usize) -> (usize, usize) {
+        (
+            group_boundary(self.channels, self.groups, i),
+            group_boundary(self.channels, self.groups, i + 1),
+        )
+    }
+
+    /// Number of channels active under the current slice setting.
+    pub fn active_channels(&self) -> usize {
+        group_boundary(self.channels, self.groups, self.active_groups)
+    }
+}
+
+impl Layer for GroupNorm {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let dims = x.dims();
+        assert!(
+            dims.len() == 2 || dims.len() == 4,
+            "{}: expect [B,C] or [B,C,H,W]",
+            self.name
+        );
+        let batch = dims[0];
+        let c_act = dims[1];
+        assert_eq!(
+            c_act,
+            self.active_channels(),
+            "{}: input channels vs active slice",
+            self.name
+        );
+        let hw: usize = dims[2..].iter().product::<usize>().max(1);
+
+        let mut y = x.clone();
+        let mut xhat = x.clone();
+        let mut inv_stds = vec![0.0f32; batch * self.active_groups];
+        for s in 0..batch {
+            let sample_off = s * c_act * hw;
+            for g in 0..self.active_groups {
+                let (lo, hi) = self.group_range(g);
+                let span = sample_off + lo * hw..sample_off + hi * hw;
+                let (mean, var) = ops::mean_var(&y.data()[span.clone()]);
+                let inv_std = 1.0 / (var + self.eps).sqrt();
+                inv_stds[s * self.active_groups + g] = inv_std;
+                // x̂ then y = γ·x̂ + β per channel.
+                let xh = &mut xhat.data_mut()[span.clone()];
+                for v in xh.iter_mut() {
+                    *v = (*v - mean) * inv_std;
+                }
+                let xh = &xhat.data()[span.clone()];
+                let yv = &mut y.data_mut()[span];
+                for (ch_idx, ch) in (lo..hi).enumerate() {
+                    let gamma = self.gamma.value.data()[ch];
+                    let beta = self.beta.value.data()[ch];
+                    let base = ch_idx * hw;
+                    for k in 0..hw {
+                        yv[base + k] = gamma * xh[base + k] + beta;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(Cache {
+                xhat,
+                inv_std: inv_stds,
+                hw,
+                batch,
+            });
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward before Train forward");
+        let c_act = self.active_channels();
+        let hw = cache.hw;
+        let mut dx = Tensor::zeros(dy.shape().clone());
+        for s in 0..cache.batch {
+            let sample_off = s * c_act * hw;
+            for g in 0..self.active_groups {
+                let (lo, hi) = self.group_range(g);
+                let n = ((hi - lo) * hw) as f32;
+                let span = sample_off + lo * hw..sample_off + hi * hw;
+                let xh = &cache.xhat.data()[span.clone()];
+                let dyv = &dy.data()[span.clone()];
+                let inv_std = cache.inv_std[s * self.active_groups + g];
+
+                // Affine grads + dx̂ statistics in one pass.
+                let mut sum_dxhat = 0.0f32;
+                let mut sum_dxhat_xhat = 0.0f32;
+                for (ch_idx, ch) in (lo..hi).enumerate() {
+                    let gamma = self.gamma.value.data()[ch];
+                    let base = ch_idx * hw;
+                    let mut dgamma = 0.0f32;
+                    let mut dbeta = 0.0f32;
+                    for k in 0..hw {
+                        let d = dyv[base + k];
+                        let xv = xh[base + k];
+                        dgamma += d * xv;
+                        dbeta += d;
+                        let dxhat = d * gamma;
+                        sum_dxhat += dxhat;
+                        sum_dxhat_xhat += dxhat * xv;
+                    }
+                    self.gamma.grad.data_mut()[ch] += dgamma;
+                    self.beta.grad.data_mut()[ch] += dbeta;
+                }
+                let mean_dxhat = sum_dxhat / n;
+                let mean_dxhat_xhat = sum_dxhat_xhat / n;
+
+                let dxv = &mut dx.data_mut()[span];
+                for (ch_idx, ch) in (lo..hi).enumerate() {
+                    let gamma = self.gamma.value.data()[ch];
+                    let base = ch_idx * hw;
+                    for k in 0..hw {
+                        let dxhat = dyv[base + k] * gamma;
+                        dxv[base + k] =
+                            inv_std * (dxhat - mean_dxhat - xh[base + k] * mean_dxhat_xhat);
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn set_slice_rate(&mut self, r: SliceRate) {
+        self.active_groups = active_groups(self.channels, self.groups, r);
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        // Two passes over active elements; count as one MAC each.
+        2 * self.active_channels() as u64
+    }
+
+    fn active_param_count(&self) -> u64 {
+        2 * self.active_channels() as u64
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_grads;
+    use ms_tensor::SeededRng;
+
+    fn random_input(rng: &mut SeededRng, dims: [usize; 4]) -> Tensor {
+        let n = dims.iter().product();
+        Tensor::from_vec(dims, (0..n).map(|_| rng.uniform(-2.0, 2.0)).collect()).unwrap()
+    }
+
+    #[test]
+    fn normalises_per_group() {
+        let mut rng = SeededRng::new(1);
+        let mut gn = GroupNorm::new("gn", 8, 4);
+        let x = random_input(&mut rng, [2, 8, 3, 3]);
+        let y = gn.forward(&x, Mode::Infer);
+        // γ=1, β=0 ⇒ each (sample, group) slab has ~zero mean, ~unit var.
+        for s in 0..2 {
+            for g in 0..4 {
+                let slab: Vec<f32> = (2 * g..2 * g + 2)
+                    .flat_map(|c| {
+                        (0..9).map(move |k| (c, k))
+                    })
+                    .map(|(c, k)| y.at(&[s, c, k / 3, k % 3]))
+                    .collect();
+                let (m, v) = ms_tensor::ops::mean_var(&slab);
+                assert!(m.abs() < 1e-4, "mean {m}");
+                assert!((v - 1.0).abs() < 1e-2, "var {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_invariance_of_leading_groups() {
+        // The defining property: outputs of the active prefix are identical
+        // whether or not later groups are active.
+        let mut rng = SeededRng::new(2);
+        let mut gn = GroupNorm::new("gn", 8, 4);
+        let x_full = random_input(&mut rng, [1, 8, 2, 2]);
+        let full = gn.forward(&x_full, Mode::Infer);
+        gn.set_slice_rate(SliceRate::new(0.5));
+        // Slice the input to its first 4 channels.
+        let x_half = Tensor::from_vec([1, 4, 2, 2], x_full.data()[..16].to_vec()).unwrap();
+        let half = gn.forward(&x_half, Mode::Infer);
+        for c in 0..4 {
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert!((half.at(&[0, c, i, j]) - full.at(&[0, c, i, j])).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_full_and_sliced() {
+        let mut rng = SeededRng::new(3);
+        let mut gn = GroupNorm::new("gn", 8, 4);
+        let x = random_input(&mut rng, [2, 8, 2, 2]);
+        assert_grads(&mut gn, &x, &mut rng);
+        gn.set_slice_rate(SliceRate::new(0.5));
+        let x = random_input(&mut rng, [2, 4, 2, 2]);
+        assert_grads(&mut gn, &x, &mut rng);
+    }
+
+    #[test]
+    fn dense_rank2_inputs_supported() {
+        let mut rng = SeededRng::new(4);
+        let mut gn = GroupNorm::new("gn", 8, 2);
+        let x = Tensor::from_vec([3, 8], (0..24).map(|_| rng.uniform(-1.0, 1.0)).collect())
+            .unwrap();
+        let y = gn.forward(&x, Mode::Infer);
+        assert_eq!(y.dims(), &[3, 8]);
+        assert_grads(&mut gn, &x, &mut rng);
+    }
+
+    #[test]
+    fn inactive_gamma_receives_no_grad() {
+        let mut rng = SeededRng::new(5);
+        let mut gn = GroupNorm::new("gn", 8, 4);
+        gn.set_slice_rate(SliceRate::new(0.25));
+        let x = random_input(&mut rng, [1, 2, 2, 2]);
+        let _ = gn.forward(&x, Mode::Train);
+        let _ = gn.backward(&Tensor::full([1, 2, 2, 2], 1.0));
+        assert!(gn.gamma.grad.data()[2..].iter().all(|&v| v == 0.0));
+        assert!(gn.beta.grad.data()[2..].iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,19 @@
+//! Normalisation layers.
+//!
+//! - [`group_norm::GroupNorm`] — the paper's choice for sliced CNNs (§3.2):
+//!   per-group statistics are computed per sample, so they are invariant to
+//!   how many *other* groups are active, solving the scale-instability that
+//!   batch-norm suffers under varying fan-in.
+//! - [`batch_norm::BatchNorm`] — conventional BN with running estimates,
+//!   used by the fixed-width baselines.
+//! - [`switchable::SwitchableBatchNorm`] — one BN per candidate slice rate,
+//!   the SlimmableNet (Yu et al., 2018) alternative that model slicing
+//!   compares against in Table 1.
+
+pub mod batch_norm;
+pub mod group_norm;
+pub mod switchable;
+
+pub use batch_norm::BatchNorm;
+pub use group_norm::GroupNorm;
+pub use switchable::SwitchableBatchNorm;

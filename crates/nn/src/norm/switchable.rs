@@ -1,0 +1,148 @@
+//! Switchable Batch Normalization — the SlimmableNet device (Yu et al. 2018).
+//!
+//! One independent [`BatchNorm`] per candidate slice rate; `set_slice_rate`
+//! routes forward/backward to the instance whose width matches. This is the
+//! multi-BN alternative the paper compares its single-GroupNorm solution
+//! against (§1, §5.1.2): it fixes scale instability but costs `|L|` sets of
+//! statistics and only supports the *predeclared* rates.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::norm::batch_norm::BatchNorm;
+use crate::slice::{active_units, SliceRate};
+use ms_tensor::Tensor;
+
+/// A bank of batch-norm layers, one per candidate slice rate.
+pub struct SwitchableBatchNorm {
+    name: String,
+    /// `(rate, bn)` pairs sorted ascending by rate.
+    banks: Vec<(f32, BatchNorm)>,
+    active: usize,
+}
+
+impl SwitchableBatchNorm {
+    /// Creates one BN per rate in `rates` for a layer whose full output width
+    /// is `channels` with `groups` slicing groups.
+    pub fn new(
+        name: impl Into<String>,
+        channels: usize,
+        groups: usize,
+        rates: &[f32],
+    ) -> Self {
+        assert!(!rates.is_empty(), "need at least one rate");
+        let name = name.into();
+        let mut sorted: Vec<f32> = rates.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+        sorted.dedup();
+        let banks = sorted
+            .iter()
+            .map(|&r| {
+                let width = active_units(channels, groups, SliceRate::new(r));
+                (r, BatchNorm::new(format!("{name}.bn{r:.3}"), width))
+            })
+            .collect::<Vec<_>>();
+        let active = banks.len() - 1; // full width by default
+        SwitchableBatchNorm {
+            name,
+            banks,
+            active,
+        }
+    }
+
+    /// The rate currently routed to.
+    pub fn active_rate(&self) -> f32 {
+        self.banks[self.active].0
+    }
+
+    /// Number of BN banks.
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+}
+
+impl Layer for SwitchableBatchNorm {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.banks[self.active].1.forward(x, mode)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.banks[self.active].1.backward(dy)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for (_, bn) in &mut self.banks {
+            bn.visit_params(f);
+        }
+    }
+
+    fn set_slice_rate(&mut self, r: SliceRate) {
+        // Route to the closest declared rate (exact in normal use; closest
+        // keeps the layer usable if a scheduler interpolates).
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for (i, (rate, _)) in self.banks.iter().enumerate() {
+            let d = (rate - r.get()).abs();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        self.active = best;
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        self.banks[self.active].1.flops_per_sample()
+    }
+
+    fn active_param_count(&self) -> u64 {
+        self.banks[self.active].1.active_param_count()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banks_sized_for_each_rate() {
+        let sbn = SwitchableBatchNorm::new("sbn", 16, 4, &[0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(sbn.num_banks(), 4);
+        let widths: Vec<usize> = sbn.banks.iter().map(|(_, bn)| bn.channels()).collect();
+        assert_eq!(widths, vec![4, 8, 12, 16]);
+        assert_eq!(sbn.active_rate(), 1.0);
+    }
+
+    #[test]
+    fn routing_follows_slice_rate() {
+        let mut sbn = SwitchableBatchNorm::new("sbn", 16, 4, &[0.25, 0.5, 1.0]);
+        sbn.set_slice_rate(SliceRate::new(0.5));
+        assert_eq!(sbn.active_rate(), 0.5);
+        let y = sbn.forward(&Tensor::zeros([2, 8, 2, 2]), Mode::Infer);
+        assert_eq!(y.dims(), &[2, 8, 2, 2]);
+        // Nearest-rate fallback.
+        sbn.set_slice_rate(SliceRate::new(0.6));
+        assert_eq!(sbn.active_rate(), 0.5);
+    }
+
+    #[test]
+    fn independent_statistics_per_bank() {
+        let mut sbn = SwitchableBatchNorm::new("sbn", 8, 4, &[0.5, 1.0]);
+        // Train only the 0.5 bank.
+        sbn.set_slice_rate(SliceRate::new(0.5));
+        let x = Tensor::full([4, 4, 1, 1], 10.0);
+        let _ = sbn.forward(&x, Mode::Train);
+        assert!(sbn.banks[0].1.running_mean.iter().all(|&m| m > 0.0));
+        assert!(sbn.banks[1].1.running_mean.iter().all(|&m| m == 0.0));
+    }
+
+    #[test]
+    fn visit_params_covers_all_banks() {
+        let mut sbn = SwitchableBatchNorm::new("sbn", 8, 4, &[0.5, 1.0]);
+        let mut count = 0;
+        sbn.visit_params(&mut |_| count += 1);
+        assert_eq!(count, 4); // 2 banks × (γ, β)
+    }
+}

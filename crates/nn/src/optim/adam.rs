@@ -1,0 +1,243 @@
+//! Adam optimiser (Kingma & Ba 2015).
+//!
+//! The paper trains everything with SGD; Adam is provided for downstream
+//! users of the library (slicing is optimiser-agnostic: gradients only ever
+//! land in the active parameter prefix, so any first-order update rule
+//! composes with Algorithm 1 unchanged). Moment buffers live beside the
+//! SGD velocity in [`crate::layer::Param`]-adjacent storage — here they are
+//! keyed by parameter name, because `Param` owns only one optimiser slot
+//! and SGD claimed it; the map costs one lookup per parameter per step,
+//! irrelevant next to the backward pass.
+
+use crate::layer::{Layer, Param};
+use ms_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW-style), applied to `decay` params.
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+struct Moments {
+    m: Tensor,
+    v: Tensor,
+}
+
+/// Adam / AdamW optimiser.
+pub struct Adam {
+    cfg: AdamConfig,
+    step: u64,
+    state: HashMap<String, Moments>,
+}
+
+impl Adam {
+    /// Creates the optimiser.
+    pub fn new(cfg: AdamConfig) -> Self {
+        assert!(cfg.lr > 0.0 && (0.0..1.0).contains(&cfg.beta1) && (0.0..1.0).contains(&cfg.beta2));
+        Adam {
+            cfg,
+            step: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.cfg.lr
+    }
+
+    /// Updates the learning rate (schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0);
+        self.cfg.lr = lr;
+    }
+
+    /// Applies one update from accumulated gradients, then zeroes them.
+    ///
+    /// Bias correction uses the global step count; sliced training only
+    /// writes gradients into active prefixes, so inactive entries see zero
+    /// gradient and their moments decay toward zero — exactly the behaviour
+    /// momentum-SGD exhibits, keeping subnets' parameters tied.
+    pub fn step(&mut self, net: &mut dyn Layer) {
+        self.step += 1;
+        let t = self.step as f32;
+        let cfg = self.cfg;
+        let bc1 = 1.0 - cfg.beta1.powf(t);
+        let bc2 = 1.0 - cfg.beta2.powf(t);
+        let state = &mut self.state;
+        net.visit_params(&mut |p: &mut Param| {
+            let entry = state.entry(p.name.clone()).or_insert_with(|| Moments {
+                m: Tensor::zeros(p.value.shape().clone()),
+                v: Tensor::zeros(p.value.shape().clone()),
+            });
+            debug_assert_eq!(entry.m.shape(), p.value.shape(), "{}", p.name);
+            let decay = if p.decay { cfg.weight_decay } else { 0.0 };
+            for (((w, &g), m), v) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(entry.m.data_mut())
+                .zip(entry.v.data_mut())
+            {
+                *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
+                *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
+                let m_hat = *m / bc1;
+                let v_hat = *v / bc2;
+                // Decoupled decay (AdamW): shrink the weight directly.
+                *w -= cfg.lr * (m_hat / (v_hat.sqrt() + cfg.eps) + decay * *w);
+            }
+            p.grad.fill_zero();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Mode, Param};
+
+    struct One {
+        p: Param,
+    }
+    impl Layer for One {
+        fn forward(&mut self, x: &Tensor, _m: Mode) -> Tensor {
+            x.clone()
+        }
+        fn backward(&mut self, dy: &Tensor) -> Tensor {
+            dy.clone()
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p);
+        }
+        fn name(&self) -> &str {
+            "one"
+        }
+    }
+
+    fn param(v: f32) -> One {
+        One {
+            p: Param::new("w", Tensor::from_slice(&[v]), true),
+        }
+    }
+
+    #[test]
+    fn minimises_a_quadratic() {
+        let mut net = param(2.0);
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.1,
+            ..AdamConfig::default()
+        });
+        for _ in 0..200 {
+            let w = net.p.value.data()[0];
+            net.p.grad.data_mut()[0] = w; // ∇(w²/2)
+            opt.step(&mut net);
+        }
+        assert!(net.p.value.data()[0].abs() < 0.02, "{}", net.p.value.data()[0]);
+    }
+
+    #[test]
+    fn first_step_is_lr_sized_regardless_of_grad_scale() {
+        // Adam's signature property: the first update magnitude ≈ lr.
+        for grad in [1e-3f32, 1.0, 1e3] {
+            let mut net = param(0.0);
+            let mut opt = Adam::new(AdamConfig {
+                lr: 0.01,
+                ..AdamConfig::default()
+            });
+            net.p.grad.data_mut()[0] = grad;
+            opt.step(&mut net);
+            let step = net.p.value.data()[0].abs();
+            assert!((step - 0.01).abs() < 1e-3, "grad {grad}: step {step}");
+        }
+    }
+
+    #[test]
+    fn decoupled_weight_decay_shrinks_without_gradient() {
+        let mut net = param(1.0);
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.1,
+            weight_decay: 0.1,
+            ..AdamConfig::default()
+        });
+        opt.step(&mut net); // zero gradient: only decay acts
+        let w = net.p.value.data()[0];
+        assert!((w - 0.99).abs() < 1e-6, "{w}");
+    }
+
+    #[test]
+    fn grads_zeroed_and_state_keyed_by_name() {
+        let mut net = param(1.0);
+        let mut opt = Adam::new(AdamConfig::default());
+        net.p.grad.data_mut()[0] = 5.0;
+        opt.step(&mut net);
+        assert_eq!(net.p.grad.data()[0], 0.0);
+        assert!(opt.state.contains_key("w"));
+    }
+
+    #[test]
+    fn trains_a_sliced_layer() {
+        use crate::linear::{Linear, LinearConfig};
+        use crate::loss::CrossEntropy;
+        use crate::slice::SliceRate;
+        use ms_tensor::SeededRng;
+        let mut rng = SeededRng::new(9);
+        let mut layer = Linear::new(
+            "fc",
+            LinearConfig {
+                in_dim: 4,
+                out_dim: 8,
+                in_groups: None,
+                out_groups: Some(4),
+                bias: true,
+                input_rescale: false,
+            },
+            &mut rng,
+        );
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.05,
+            ..AdamConfig::default()
+        });
+        // Sliced training step must leave inactive rows untouched.
+        layer.set_slice_rate(SliceRate::new(0.5));
+        let before = layer.weight().value.clone();
+        let x = Tensor::full([4, 4], 0.5);
+        let logits = layer.forward(&x, Mode::Train);
+        let (_, dl) = CrossEntropy.forward(&logits, &[0, 1, 2, 3]);
+        let _ = layer.backward(&dl);
+        opt.step(&mut layer);
+        let after = layer.weight().value.clone();
+        for i in 0..8 {
+            for j in 0..4 {
+                let changed = before.at(&[i, j]) != after.at(&[i, j]);
+                if i < 4 {
+                    assert!(changed, "active ({i},{j}) should update");
+                } else {
+                    assert!(!changed, "inactive ({i},{j}) must stay fixed");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Learning-rate schedules.
+//!
+//! - [`StepSchedule`]: divide the LR at fixed fractions of training — the
+//!   paper's CNN recipe (÷10 at 50 % and 75 % on CIFAR, §5.3.2).
+//! - [`PlateauSchedule`]: quarter the LR when validation stops improving —
+//!   the paper's NNLM recipe (§5.2.2).
+
+/// A schedule maps `(epoch, validation metric)` to a learning rate.
+pub trait LrSchedule {
+    /// Returns the LR to use for `epoch` (0-based) given the latest
+    /// validation metric (lower = better; ignored by epoch-based schedules).
+    fn lr_for(&mut self, epoch: usize, val_metric: Option<f64>) -> f32;
+}
+
+/// Step decay at fixed epoch milestones.
+#[derive(Debug, Clone)]
+pub struct StepSchedule {
+    base_lr: f32,
+    /// Epochs at which the LR is multiplied by `factor`.
+    milestones: Vec<usize>,
+    factor: f32,
+}
+
+impl StepSchedule {
+    /// Creates a step schedule.
+    pub fn new(base_lr: f32, milestones: Vec<usize>, factor: f32) -> Self {
+        assert!(base_lr > 0.0 && factor > 0.0 && factor < 1.0);
+        StepSchedule {
+            base_lr,
+            milestones,
+            factor,
+        }
+    }
+
+    /// The paper's CIFAR recipe: ÷10 at 50 % and 75 % of `total_epochs`.
+    pub fn cifar(base_lr: f32, total_epochs: usize) -> Self {
+        StepSchedule::new(
+            base_lr,
+            vec![total_epochs / 2, total_epochs * 3 / 4],
+            0.1,
+        )
+    }
+}
+
+impl LrSchedule for StepSchedule {
+    fn lr_for(&mut self, epoch: usize, _val: Option<f64>) -> f32 {
+        let drops = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.base_lr * self.factor.powi(drops as i32)
+    }
+}
+
+/// Multiply the LR by `factor` whenever the validation metric fails to
+/// improve over its best value.
+#[derive(Debug, Clone)]
+pub struct PlateauSchedule {
+    lr: f32,
+    factor: f32,
+    min_lr: f32,
+    best: f64,
+}
+
+impl PlateauSchedule {
+    /// Creates a plateau schedule; the paper's NNLM uses `factor = 0.25`.
+    pub fn new(base_lr: f32, factor: f32, min_lr: f32) -> Self {
+        assert!(base_lr > 0.0 && factor > 0.0 && factor < 1.0);
+        PlateauSchedule {
+            lr: base_lr,
+            factor,
+            min_lr,
+            best: f64::INFINITY,
+        }
+    }
+}
+
+impl LrSchedule for PlateauSchedule {
+    fn lr_for(&mut self, _epoch: usize, val: Option<f64>) -> f32 {
+        if let Some(v) = val {
+            if v < self.best {
+                self.best = v;
+            } else {
+                self.lr = (self.lr * self.factor).max(self.min_lr);
+            }
+        }
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_schedule_drops_at_milestones() {
+        let mut s = StepSchedule::cifar(0.1, 100);
+        assert_eq!(s.lr_for(0, None), 0.1);
+        assert_eq!(s.lr_for(49, None), 0.1);
+        assert!((s.lr_for(50, None) - 0.01).abs() < 1e-8);
+        assert!((s.lr_for(75, None) - 0.001).abs() < 1e-9);
+        assert!((s.lr_for(99, None) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plateau_quarters_on_stall() {
+        let mut s = PlateauSchedule::new(20.0, 0.25, 0.01);
+        assert_eq!(s.lr_for(0, Some(100.0)), 20.0); // first value = improvement
+        assert_eq!(s.lr_for(1, Some(90.0)), 20.0); // improved
+        assert_eq!(s.lr_for(2, Some(95.0)), 5.0); // stalled → ÷4
+        assert_eq!(s.lr_for(3, Some(80.0)), 5.0); // improved again
+        assert_eq!(s.lr_for(4, Some(85.0)), 1.25);
+    }
+
+    #[test]
+    fn plateau_respects_min_lr() {
+        let mut s = PlateauSchedule::new(1.0, 0.25, 0.1);
+        for _ in 0..10 {
+            s.lr_for(0, Some(f64::INFINITY));
+        }
+        assert!(s.lr_for(0, Some(f64::INFINITY)) >= 0.1);
+    }
+}

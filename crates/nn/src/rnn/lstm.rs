@@ -1,0 +1,525 @@
+//! The sliceable LSTM layer — paper §3.3.
+//!
+//! Both input sets of the recurrence (`x_t` and `h_{t-1}`) are sliced
+//! *separately*, each regulated by the same slice rate: the input dimension
+//! follows the producing layer's group structure, and the hidden/memory
+//! state plus all four gates follow this layer's own groups. With fewer
+//! active inputs the pre-activations are rescaled by `full/active` (the
+//! paper's output-rescaling device for dense layers, §5.2.2), keeping gate
+//! saturation behaviour width-invariant.
+//!
+//! Weight layout: `w_x: [4H, D]`, `w_h: [4H, H]`, `bias: [4H]`, with the
+//! gate blocks ordered `i, f, g, o` in chunks of `H` rows. Slicing the
+//! hidden width to `a_h` activates the first `a_h` rows *of each block*, so
+//! each gate runs four small sub-block GEMMs.
+//!
+//! State (`h`, `c`) is zero-initialised per forward call: the trainer uses
+//! truncated BPTT with state reset at batch boundaries (a documented
+//! simplification — see DESIGN.md §2).
+
+use crate::layer::{Layer, Mode, Param};
+use crate::slice::{active_units, SliceRate};
+use ms_tensor::matmul::{gemm, Trans};
+use ms_tensor::ops::{sigmoid, sigmoid_grad_from_output, tanh_grad_from_output};
+use ms_tensor::{init, SeededRng, Tensor};
+
+const GATES: usize = 4; // i, f, g, o
+
+/// Configuration for a [`Lstm`] layer.
+#[derive(Debug, Clone)]
+pub struct LstmConfig {
+    /// Full input dimension `D`.
+    pub in_dim: usize,
+    /// Full hidden dimension `H`.
+    pub hidden_dim: usize,
+    /// Input-side group count; `None` pins the input at full width.
+    pub in_groups: Option<usize>,
+    /// Hidden-side group count; `None` pins hidden/gates at full width.
+    pub out_groups: Option<usize>,
+    /// Rescale sliced contributions by `full/active`.
+    pub input_rescale: bool,
+}
+
+/// Per-timestep cache for BPTT.
+struct StepCache {
+    x: Tensor,       // [B, a_d]
+    h_prev: Tensor,  // [B, a_h]
+    c_prev: Tensor,  // [B, a_h]
+    gates: Tensor,   // [B, 4*a_h] post-activation (i, f, g, o)
+    tanh_c: Tensor,  // [B, a_h]
+}
+
+/// Sliceable LSTM over `[B, T, D_active] → [B, T, H_active]`.
+pub struct Lstm {
+    cfg: LstmConfig,
+    name: String,
+    w_x: Param, // [4H, D]
+    w_h: Param, // [4H, H]
+    bias: Param, // [4H]
+    active_in: usize,
+    active_h: usize,
+    cache: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-uniform weights and forget-gate bias 1.0.
+    pub fn new(name: impl Into<String>, cfg: LstmConfig, rng: &mut SeededRng) -> Self {
+        assert!(cfg.in_dim > 0 && cfg.hidden_dim > 0);
+        if let Some(g) = cfg.in_groups {
+            assert!(g >= 1 && g <= cfg.in_dim);
+        }
+        if let Some(g) = cfg.out_groups {
+            assert!(g >= 1 && g <= cfg.hidden_dim);
+        }
+        let name = name.into();
+        let (d, h) = (cfg.in_dim, cfg.hidden_dim);
+        let w_x = Param::new(
+            format!("{name}.w_x"),
+            init::xavier_uniform([GATES * h, d], d, h, rng),
+            true,
+        );
+        let w_h = Param::new(
+            format!("{name}.w_h"),
+            init::xavier_uniform([GATES * h, h], h, h, rng),
+            true,
+        );
+        // Forget-gate bias at 1.0 eases early-training gradient flow.
+        let mut bias_t = Tensor::zeros([GATES * h]);
+        for v in &mut bias_t.data_mut()[h..2 * h] {
+            *v = 1.0;
+        }
+        let bias = Param::new(format!("{name}.bias"), bias_t, false);
+        Lstm {
+            active_in: d,
+            active_h: h,
+            cfg,
+            name,
+            w_x,
+            w_h,
+            bias,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Currently active `(input, hidden)` widths.
+    pub fn active_dims(&self) -> (usize, usize) {
+        (self.active_in, self.active_h)
+    }
+
+    fn scale_x(&self) -> f32 {
+        if self.cfg.input_rescale && self.active_in < self.cfg.in_dim {
+            self.cfg.in_dim as f32 / self.active_in as f32
+        } else {
+            1.0
+        }
+    }
+
+    fn scale_h(&self) -> f32 {
+        if self.cfg.input_rescale && self.active_h < self.cfg.hidden_dim {
+            self.cfg.hidden_dim as f32 / self.active_h as f32
+        } else {
+            1.0
+        }
+    }
+
+    /// Computes pre-activations `z = s_x·W_x·x + s_h·W_h·h + b` for all four
+    /// gates into `z` (`[B, 4*a_h]`, gate-major columns).
+    fn gate_preacts(&self, x: &Tensor, h_prev: &Tensor, batch: usize, z: &mut [f32]) {
+        let (d_full, h_full) = (self.cfg.in_dim, self.cfg.hidden_dim);
+        let (a_d, a_h) = (self.active_in, self.active_h);
+        for gate in 0..GATES {
+            // z[:, gate*a_h .. (gate+1)*a_h] — strided columns: run GEMM into
+            // the slab with ldc = 4*a_h and column offset.
+            let w_x_block = &self.w_x.value.data()[gate * h_full * d_full..];
+            gemm(
+                Trans::No,
+                Trans::Yes,
+                batch,
+                a_h,
+                a_d,
+                self.scale_x(),
+                x.data(),
+                a_d,
+                w_x_block,
+                d_full,
+                1.0,
+                &mut z[gate * a_h..],
+                GATES * a_h,
+            );
+            let w_h_block = &self.w_h.value.data()[gate * h_full * h_full..];
+            gemm(
+                Trans::No,
+                Trans::Yes,
+                batch,
+                a_h,
+                a_h,
+                self.scale_h(),
+                h_prev.data(),
+                a_h,
+                w_h_block,
+                h_full,
+                1.0,
+                &mut z[gate * a_h..],
+                GATES * a_h,
+            );
+            let b = &self.bias.value.data()[gate * h_full..gate * h_full + a_h];
+            for row in 0..batch {
+                let base = row * GATES * a_h + gate * a_h;
+                for (v, &bv) in z[base..base + a_h].iter_mut().zip(b) {
+                    *v += bv;
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 3, "{}: expect [B, T, D]", self.name);
+        let (batch, steps, d) = (dims[0], dims[1], dims[2]);
+        assert_eq!(d, self.active_in, "{}: input width", self.name);
+        let a_h = self.active_h;
+
+        self.cache.clear();
+        let mut h = Tensor::zeros([batch, a_h]);
+        let mut c = Tensor::zeros([batch, a_h]);
+        let mut out = Tensor::zeros([batch, steps, a_h]);
+
+        for t in 0..steps {
+            // Gather x_t: [B, a_d] (strided over the time axis).
+            let mut xt = Tensor::zeros([batch, d]);
+            for s in 0..batch {
+                let src = &x.data()[(s * steps + t) * d..(s * steps + t + 1) * d];
+                xt.row_mut(s).copy_from_slice(src);
+            }
+            let mut z = vec![0.0f32; batch * GATES * a_h];
+            self.gate_preacts(&xt, &h, batch, &mut z);
+
+            // Activations + state update.
+            let mut gates = Tensor::zeros([batch, GATES * a_h]);
+            let c_prev = c.clone();
+            let mut tanh_c = Tensor::zeros([batch, a_h]);
+            for s in 0..batch {
+                let zrow = &z[s * GATES * a_h..(s + 1) * GATES * a_h];
+                let grow = gates.row_mut(s);
+                for k in 0..a_h {
+                    grow[k] = sigmoid(zrow[k]); // i
+                    grow[a_h + k] = sigmoid(zrow[a_h + k]); // f
+                    grow[2 * a_h + k] = zrow[2 * a_h + k].tanh(); // g
+                    grow[3 * a_h + k] = sigmoid(zrow[3 * a_h + k]); // o
+                }
+                let crow = c.row_mut(s);
+                let grow = gates.row(s);
+                for k in 0..a_h {
+                    crow[k] = grow[a_h + k] * c_prev.row(s)[k] + grow[k] * grow[2 * a_h + k];
+                }
+                let tc = tanh_c.row_mut(s);
+                let crow = c.row(s);
+                for k in 0..a_h {
+                    tc[k] = crow[k].tanh();
+                }
+                let hrow = h.row_mut(s);
+                for k in 0..a_h {
+                    hrow[k] = grow[3 * a_h + k] * tc[k];
+                }
+                let dst = &mut out.data_mut()[(s * steps + t) * a_h..(s * steps + t + 1) * a_h];
+                dst.copy_from_slice(&h.row(s)[..a_h]);
+            }
+
+            if mode == Mode::Train {
+                self.cache.push(StepCache {
+                    x: xt,
+                    h_prev: if t == 0 {
+                        Tensor::zeros([batch, a_h])
+                    } else {
+                        // h before this step = previous output row; clone the
+                        // running state *before* overwrite is what we need,
+                        // which is h_prev = previous h. We reconstruct it
+                        // from `out` at t-1.
+                        let mut hp = Tensor::zeros([batch, a_h]);
+                        for s in 0..batch {
+                            let src = &out.data()
+                                [(s * steps + t - 1) * a_h..(s * steps + t) * a_h];
+                            hp.row_mut(s).copy_from_slice(src);
+                        }
+                        hp
+                    },
+                    c_prev,
+                    gates,
+                    tanh_c,
+                });
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert!(!self.cache.is_empty(), "backward before Train forward");
+        let steps = self.cache.len();
+        let a_h = self.active_h;
+        let a_d = self.active_in;
+        let (d_full, h_full) = (self.cfg.in_dim, self.cfg.hidden_dim);
+        let batch = self.cache[0].x.dims()[0];
+        debug_assert_eq!(dy.dims(), &[batch, steps, a_h]);
+
+        let mut dx = Tensor::zeros([batch, steps, a_d]);
+        let mut dh_next = Tensor::zeros([batch, a_h]);
+        let mut dc_next = Tensor::zeros([batch, a_h]);
+        let (sx, sh) = (self.scale_x(), self.scale_h());
+
+        for t in (0..steps).rev() {
+            let step = self.cache.pop().expect("cache per step");
+            // dh_t = dy_t + recurrent dh_next
+            let mut dh = dh_next.clone();
+            for s in 0..batch {
+                let src = &dy.data()[(s * steps + t) * a_h..(s * steps + t + 1) * a_h];
+                for (v, &g) in dh.row_mut(s).iter_mut().zip(src) {
+                    *v += g;
+                }
+            }
+            // Per-element gate gradients → dz [B, 4*a_h].
+            let mut dz = Tensor::zeros([batch, GATES * a_h]);
+            let mut dc_prev = Tensor::zeros([batch, a_h]);
+            for s in 0..batch {
+                let g = step.gates.row(s);
+                let tc = step.tanh_c.row(s);
+                let cp = step.c_prev.row(s);
+                let dzr = dz.row_mut(s);
+                let dhr = dh.row(s);
+                let dcn = dc_next.row(s);
+                let dcp = dc_prev.row_mut(s);
+                for k in 0..a_h {
+                    let (i, f, gg, o) = (g[k], g[a_h + k], g[2 * a_h + k], g[3 * a_h + k]);
+                    let do_ = dhr[k] * tc[k];
+                    let dc = dcn[k] + dhr[k] * o * tanh_grad_from_output(tc[k]);
+                    let di = dc * gg;
+                    let dg = dc * i;
+                    let df = dc * cp[k];
+                    dcp[k] = dc * f;
+                    dzr[k] = di * sigmoid_grad_from_output(i);
+                    dzr[a_h + k] = df * sigmoid_grad_from_output(f);
+                    dzr[2 * a_h + k] = dg * tanh_grad_from_output(gg);
+                    dzr[3 * a_h + k] = do_ * sigmoid_grad_from_output(o);
+                }
+            }
+            dc_next = dc_prev;
+
+            // Parameter gradients and input/recurrent gradients per gate.
+            let mut dh_prev = Tensor::zeros([batch, a_h]);
+            for gate in 0..GATES {
+                // Views of dz for this gate: column slab [B, a_h] at offset.
+                // dW_x[gate] += s_x * dz_g^T · x
+                gemm(
+                    Trans::Yes,
+                    Trans::No,
+                    a_h,
+                    a_d,
+                    batch,
+                    sx,
+                    &dz.data()[gate * a_h..],
+                    GATES * a_h,
+                    step.x.data(),
+                    a_d,
+                    1.0,
+                    &mut self.w_x.grad.data_mut()[gate * h_full * d_full..],
+                    d_full,
+                );
+                // dW_h[gate] += s_h * dz_g^T · h_prev
+                gemm(
+                    Trans::Yes,
+                    Trans::No,
+                    a_h,
+                    a_h,
+                    batch,
+                    sh,
+                    &dz.data()[gate * a_h..],
+                    GATES * a_h,
+                    step.h_prev.data(),
+                    a_h,
+                    1.0,
+                    &mut self.w_h.grad.data_mut()[gate * h_full * h_full..],
+                    h_full,
+                );
+                // db[gate] += colsum(dz_g)
+                for s in 0..batch {
+                    let base = s * GATES * a_h + gate * a_h;
+                    let dzs = &dz.data()[base..base + a_h];
+                    let bg = &mut self.bias.grad.data_mut()
+                        [gate * h_full..gate * h_full + a_h];
+                    for (b, &v) in bg.iter_mut().zip(dzs) {
+                        *b += v;
+                    }
+                }
+                // dx_t += s_x * dz_g · W_x[gate]
+                for s in 0..batch {
+                    let dzs_off = s * GATES * a_h + gate * a_h;
+                    let dst = &mut dx.data_mut()[(s * steps + t) * a_d..(s * steps + t + 1) * a_d];
+                    gemm(
+                        Trans::No,
+                        Trans::No,
+                        1,
+                        a_d,
+                        a_h,
+                        sx,
+                        &dz.data()[dzs_off..dzs_off + a_h],
+                        a_h,
+                        &self.w_x.value.data()[gate * h_full * d_full..],
+                        d_full,
+                        1.0,
+                        dst,
+                        a_d,
+                    );
+                }
+                // dh_prev += s_h * dz_g · W_h[gate]
+                gemm(
+                    Trans::No,
+                    Trans::No,
+                    batch,
+                    a_h,
+                    a_h,
+                    sh,
+                    &dz.data()[gate * a_h..],
+                    GATES * a_h,
+                    &self.w_h.value.data()[gate * h_full * h_full..],
+                    h_full,
+                    1.0,
+                    dh_prev.data_mut(),
+                    a_h,
+                );
+            }
+            dh_next = dh_prev;
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w_x);
+        f(&mut self.w_h);
+        f(&mut self.bias);
+    }
+
+    fn set_slice_rate(&mut self, r: SliceRate) {
+        self.active_in = match self.cfg.in_groups {
+            Some(g) => active_units(self.cfg.in_dim, g, r),
+            None => self.cfg.in_dim,
+        };
+        self.active_h = match self.cfg.out_groups {
+            Some(g) => active_units(self.cfg.hidden_dim, g, r),
+            None => self.cfg.hidden_dim,
+        };
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        // Per timestep: 4 gates × (a_h·a_d + a_h·a_h) MACs; callers multiply
+        // by sequence length themselves (we report per token).
+        (GATES * (self.active_h * self.active_in + self.active_h * self.active_h)) as u64
+    }
+
+    fn active_param_count(&self) -> u64 {
+        (GATES * (self.active_h * self.active_in + self.active_h * self.active_h)
+            + GATES * self.active_h) as u64
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{check_layer, CheckOpts};
+    use ms_tensor::SeededRng;
+
+    fn lstm(in_dim: usize, hidden: usize, rescale: bool) -> Lstm {
+        let mut rng = SeededRng::new(31);
+        Lstm::new(
+            "lstm",
+            LstmConfig {
+                in_dim,
+                hidden_dim: hidden,
+                in_groups: Some(in_dim.min(4)),
+                out_groups: Some(hidden.min(4)),
+                input_rescale: rescale,
+            },
+            &mut rng,
+        )
+    }
+
+    fn random_input(rng: &mut SeededRng, dims: [usize; 3]) -> Tensor {
+        let n = dims.iter().product();
+        Tensor::from_vec(dims, (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut l = lstm(4, 8, false);
+        let x = Tensor::zeros([2, 5, 4]);
+        let y = l.forward(&x, Mode::Infer);
+        assert_eq!(y.dims(), &[2, 5, 8]);
+    }
+
+    #[test]
+    fn slicing_shrinks_hidden() {
+        let mut l = lstm(8, 8, true);
+        l.set_slice_rate(SliceRate::new(0.5));
+        assert_eq!(l.active_dims(), (4, 4));
+        let x = Tensor::zeros([1, 3, 4]);
+        let y = l.forward(&x, Mode::Infer);
+        assert_eq!(y.dims(), &[1, 3, 4]);
+        // FLOPs quadratic in rate.
+        let half = l.flops_per_sample();
+        l.set_slice_rate(SliceRate::FULL);
+        assert_eq!(l.flops_per_sample(), half * 4);
+    }
+
+    #[test]
+    fn gradients_full_width() {
+        let mut rng = SeededRng::new(32);
+        let mut l = lstm(3, 4, false);
+        let x = random_input(&mut rng, [2, 3, 3]);
+        check_layer(&mut l, &x, &mut rng, &CheckOpts::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn gradients_sliced_with_rescale() {
+        let mut rng = SeededRng::new(33);
+        let mut l = lstm(8, 8, true);
+        l.set_slice_rate(SliceRate::new(0.5));
+        let x = random_input(&mut rng, [2, 3, 4]);
+        check_layer(&mut l, &x, &mut rng, &CheckOpts::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn state_resets_between_forwards() {
+        let mut l = lstm(4, 4, false);
+        let x = Tensor::full([1, 2, 4], 0.5);
+        let y1 = l.forward(&x, Mode::Infer);
+        let y2 = l.forward(&x, Mode::Infer);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn sliced_grads_confined_to_active_rows() {
+        let mut l = lstm(8, 8, false);
+        l.set_slice_rate(SliceRate::new(0.5)); // a_d = a_h = 4
+        let x = Tensor::full([1, 2, 4], 0.3);
+        let _ = l.forward(&x, Mode::Train);
+        let _ = l.backward(&Tensor::full([1, 2, 4], 1.0));
+        // Rows 4..8 of every gate block in w_x must be untouched, as must
+        // columns 4..8 of active rows.
+        for gate in 0..4 {
+            for row in 0..8 {
+                for col in 0..8 {
+                    let v = l.w_x.grad.at(&[gate * 8 + row, col]);
+                    if row >= 4 || col >= 4 {
+                        assert_eq!(v, 0.0, "w_x leak at gate {gate} ({row},{col})");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Recurrent layers.
+
+pub mod gru;
+pub mod lstm;
+
+pub use gru::{Gru, GruConfig};
+pub use lstm::{Lstm, LstmConfig};

@@ -1,0 +1,170 @@
+//! Sequential container.
+
+use crate::layer::{BoxedLayer, Layer, Mode, Param};
+use crate::slice::SliceRate;
+use ms_tensor::Tensor;
+
+/// A chain of layers executed in order; the workhorse container for MLPs and
+/// VGG-style models. Slice rates propagate to every child.
+pub struct Sequential {
+    name: String,
+    layers: Vec<BoxedLayer>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sequential {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn add(&mut self, layer: BoxedLayer) {
+        self.layers.push(layer);
+    }
+
+    /// Number of child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrow a child layer.
+    pub fn layer(&self, idx: usize) -> &dyn Layer {
+        self.layers[idx].as_ref()
+    }
+
+    /// Mutably borrow a child layer.
+    pub fn layer_mut(&mut self, idx: usize) -> &mut BoxedLayer {
+        &mut self.layers[idx]
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode);
+        }
+        cur
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut cur = dy.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn set_slice_rate(&mut self, r: SliceRate) {
+        for layer in &mut self.layers {
+            layer.set_slice_rate(r);
+        }
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        self.layers.iter().map(|l| l.flops_per_sample()).sum()
+    }
+
+    fn active_param_count(&self) -> u64 {
+        self.layers.iter().map(|l| l.active_param_count()).sum()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::gradcheck::assert_grads;
+    use crate::linear::{Linear, LinearConfig};
+    use ms_tensor::SeededRng;
+
+    fn mlp(rng: &mut SeededRng) -> Sequential {
+        Sequential::new("mlp")
+            .push(Linear::new(
+                "fc1",
+                LinearConfig {
+                    in_dim: 6,
+                    out_dim: 8,
+                    in_groups: None,
+                    out_groups: Some(4),
+                    bias: true,
+                    input_rescale: true,
+                },
+                rng,
+            ))
+            .push(Relu::new())
+            .push(Linear::new(
+                "fc2",
+                LinearConfig {
+                    in_dim: 8,
+                    out_dim: 3,
+                    in_groups: Some(4),
+                    out_groups: None,
+                    bias: true,
+                    input_rescale: true,
+                },
+                rng,
+            ))
+    }
+
+    #[test]
+    fn chains_forward_and_slices_children() {
+        let mut rng = SeededRng::new(1);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::zeros([2, 6]);
+        assert_eq!(net.forward(&x, Mode::Infer).dims(), &[2, 3]);
+        net.set_slice_rate(SliceRate::new(0.5));
+        assert_eq!(net.forward(&x, Mode::Infer).dims(), &[2, 3]);
+        // FLOPs shrink when sliced.
+        let sliced = net.flops_per_sample();
+        net.set_slice_rate(SliceRate::FULL);
+        assert!(net.flops_per_sample() > sliced);
+    }
+
+    #[test]
+    fn end_to_end_gradients_full_and_sliced() {
+        let mut rng = SeededRng::new(2);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::from_vec([3, 6], (0..18).map(|_| rng.uniform(-1.0, 1.0)).collect())
+            .unwrap();
+        assert_grads(&mut net, &x, &mut rng);
+        net.set_slice_rate(SliceRate::new(0.5));
+        assert_grads(&mut net, &x, &mut rng);
+    }
+
+    #[test]
+    fn param_visit_covers_all_children() {
+        let mut rng = SeededRng::new(3);
+        let mut net = mlp(&mut rng);
+        let mut names = Vec::new();
+        net.visit_params(&mut |p| names.push(p.name.clone()));
+        assert_eq!(
+            names,
+            vec!["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Slice-rate and group arithmetic (paper §3.1).
+//!
+//! A sliceable dimension of full size `M` is divided into `G` contiguous
+//! groups with boundaries `g_i = round(i·M/G)` for `i = 1..=G`. A slice rate
+//! `r ∈ (0, 1]` activates the largest boundary not exceeding `round(r·M)`,
+//! but never fewer than one group — the base group always participates
+//! (Eq. 2's partial order guarantees activated components form a prefix).
+
+use serde::{Deserialize, Serialize};
+
+/// A slice rate `r ∈ (0, 1]` — the single knob of model slicing.
+///
+/// Construction clamps into `(0, 1]`; a rate of exactly `1.0` means the full
+/// network. Equality/order are on the raw f32, which is safe because rates
+/// originate from small rational lists (`k/G`) and are never accumulated.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct SliceRate(f32);
+
+impl SliceRate {
+    /// Full-width rate.
+    pub const FULL: SliceRate = SliceRate(1.0);
+
+    /// Creates a rate, clamping into `(0, 1]`.
+    ///
+    /// # Panics
+    /// If `r` is NaN or not strictly positive.
+    pub fn new(r: f32) -> Self {
+        assert!(r.is_finite() && r > 0.0, "slice rate must be in (0,1], got {r}");
+        SliceRate(r.min(1.0))
+    }
+
+    /// The raw value.
+    #[inline]
+    pub fn get(&self) -> f32 {
+        self.0
+    }
+
+    /// Whether this is the full network.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.0 >= 1.0
+    }
+}
+
+impl std::fmt::Display for SliceRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+/// Group boundary `g_i`: index of the rightmost component of the first `i`
+/// groups of a dimension of size `m` split into `groups` groups.
+#[inline]
+pub fn group_boundary(m: usize, groups: usize, i: usize) -> usize {
+    debug_assert!(i <= groups && groups > 0);
+    // Rounded split keeps groups within ±1 of each other for any m, G.
+    (i * m + groups / 2) / groups
+}
+
+/// Number of active components of a dimension of full size `m` with `groups`
+/// groups under slice rate `r`: the largest group boundary `g_i ≤ round(r·m)`
+/// with a floor of one group.
+pub fn active_units(m: usize, groups: usize, r: SliceRate) -> usize {
+    debug_assert!(groups >= 1 && groups <= m, "groups {groups} vs size {m}");
+    if r.is_full() {
+        return m;
+    }
+    let target = (r.get() * m as f32).round() as usize;
+    let mut best = group_boundary(m, groups, 1); // the base group, always on
+    for i in 2..=groups {
+        let b = group_boundary(m, groups, i);
+        if b <= target {
+            best = b;
+        } else {
+            break;
+        }
+    }
+    best.max(1)
+}
+
+/// Number of active *groups* under slice rate `r` (used by GroupNorm, whose
+/// statistics are per group).
+pub fn active_groups(m: usize, groups: usize, r: SliceRate) -> usize {
+    let a = active_units(m, groups, r);
+    let mut g = 1;
+    for i in 2..=groups {
+        if group_boundary(m, groups, i) <= a {
+            g = i;
+        } else {
+            break;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_partition_the_dimension() {
+        for m in [1usize, 3, 7, 16, 64, 100] {
+            for g in 1..=m.min(8) {
+                assert_eq!(group_boundary(m, g, 0), 0);
+                assert_eq!(group_boundary(m, g, g), m);
+                for i in 1..=g {
+                    assert!(group_boundary(m, g, i) > group_boundary(m, g, i - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn active_units_snaps_to_boundaries() {
+        // 16 units, 4 groups: boundaries 4, 8, 12, 16.
+        assert_eq!(active_units(16, 4, SliceRate::new(1.0)), 16);
+        assert_eq!(active_units(16, 4, SliceRate::new(0.75)), 12);
+        assert_eq!(active_units(16, 4, SliceRate::new(0.5)), 8);
+        assert_eq!(active_units(16, 4, SliceRate::new(0.25)), 4);
+        // Rates between boundaries snap *down*.
+        assert_eq!(active_units(16, 4, SliceRate::new(0.6)), 8);
+        // Below the first boundary: the base group still runs.
+        assert_eq!(active_units(16, 4, SliceRate::new(0.01)), 4);
+    }
+
+    #[test]
+    fn active_units_monotone_in_rate() {
+        for m in [8usize, 12, 33] {
+            for g in [1usize, 2, 4, 8] {
+                if g > m {
+                    continue;
+                }
+                let mut prev = 0;
+                for k in 1..=20 {
+                    let r = SliceRate::new(k as f32 / 20.0);
+                    let a = active_units(m, g, r);
+                    assert!(a >= prev, "m={m} g={g} r={r}");
+                    assert!(a >= 1 && a <= m);
+                    prev = a;
+                }
+                assert_eq!(prev, m, "rate 1.0 must activate everything");
+            }
+        }
+    }
+
+    #[test]
+    fn active_groups_consistent_with_units() {
+        for &r in &[0.25f32, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0] {
+            let rate = SliceRate::new(r);
+            let u = active_units(32, 8, rate);
+            let g = active_groups(32, 8, rate);
+            assert_eq!(group_boundary(32, 8, g), u);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slice rate must be in (0,1]")]
+    fn rejects_zero_rate() {
+        SliceRate::new(0.0);
+    }
+
+    #[test]
+    fn clamps_above_one() {
+        assert!(SliceRate::new(1.5).is_full());
+    }
+}

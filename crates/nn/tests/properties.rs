@@ -1,0 +1,175 @@
+//! Property-based tests over the sliceable layers: subsumption, gradient
+//! confinement and scale stability across random configurations.
+
+use ms_nn::conv2d::{Conv2d, Conv2dConfig};
+use ms_nn::gradcheck::{check_layer, CheckOpts};
+use ms_nn::layer::{Layer, Mode};
+use ms_nn::norm::GroupNorm;
+use ms_nn::rnn::lstm::{Lstm, LstmConfig};
+use ms_nn::slice::{active_units, SliceRate};
+use ms_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+fn random_tensor(rng: &mut SeededRng, dims: Vec<usize>) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec(dims, (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()).expect("tensor")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conv subsumption: with the input unsliced, the sliced conv's output
+    /// equals the first channels of the full conv's output for any
+    /// geometry and rate.
+    #[test]
+    fn conv_prefix_subsumption(
+        out_ch_groups in 1usize..4, // out_ch = 4 * this
+        hw in 3usize..7,
+        kernel in 1usize..4,
+        rate_idx in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let out_ch = 4 * out_ch_groups;
+        prop_assume!(hw >= kernel);
+        let mut rng = SeededRng::new(seed);
+        let mut conv = Conv2d::new(
+            "c",
+            Conv2dConfig {
+                in_ch: 3,
+                out_ch,
+                kernel,
+                stride: 1,
+                pad: kernel / 2,
+                h: hw,
+                w: hw,
+                in_groups: None,
+                out_groups: Some(4),
+                bias: true,
+            },
+            &mut rng,
+        );
+        let x = random_tensor(&mut rng, vec![1, 3, hw, hw]);
+        let full = conv.forward(&x, Mode::Infer);
+        let rate = SliceRate::new(rate_idx as f32 / 4.0);
+        conv.set_slice_rate(rate);
+        let sliced = conv.forward(&x, Mode::Infer);
+        let a_out = active_units(out_ch, 4, rate);
+        prop_assert_eq!(sliced.dims()[1], a_out);
+        let plane = full.dims()[2] * full.dims()[3];
+        for c in 0..a_out {
+            for k in 0..plane {
+                let a = sliced.data()[c * plane + k];
+                let b = full.data()[c * plane + k];
+                prop_assert!((a - b).abs() < 1e-4, "ch {c} px {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// GroupNorm scale stability: the normalised output distribution of the
+    /// active prefix is unchanged by how many groups are active.
+    #[test]
+    fn group_norm_prefix_invariance(
+        groups in 2usize..6,
+        ch_per_group in 1usize..4,
+        active in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let channels = groups * ch_per_group;
+        let active = active.min(groups);
+        let mut rng = SeededRng::new(seed);
+        let mut gn = GroupNorm::new("g", channels, groups);
+        let x_full = random_tensor(&mut rng, vec![2, channels, 2, 2]);
+        let full = gn.forward(&x_full, Mode::Infer);
+        // Slice input to the first `active` groups.
+        let keep = active * ch_per_group;
+        let mut x_small = Tensor::zeros([2, keep, 2, 2]);
+        for s in 0..2 {
+            let src = &x_full.row(s)[..keep * 4];
+            x_small.row_mut(s).copy_from_slice(src);
+        }
+        gn.set_slice_rate(SliceRate::new(active as f32 / groups as f32));
+        let sliced = gn.forward(&x_small, Mode::Infer);
+        for s in 0..2 {
+            for i in 0..keep * 4 {
+                let a = sliced.row(s)[i];
+                let b = full.row(s)[i];
+                prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    /// Sliced conv gradients never leak outside the active block, for any
+    /// rate and kernel size.
+    #[test]
+    fn conv_gradient_confinement(
+        rate_idx in 1usize..4,
+        kernel in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let mut conv = Conv2d::new(
+            "c",
+            Conv2dConfig {
+                in_ch: 8,
+                out_ch: 8,
+                kernel,
+                stride: 1,
+                pad: kernel / 2,
+                h: 5,
+                w: 5,
+                in_groups: Some(4),
+                out_groups: Some(4),
+                bias: false,
+            },
+            &mut rng,
+        );
+        let rate = SliceRate::new(rate_idx as f32 / 4.0);
+        conv.set_slice_rate(rate);
+        let a = active_units(8, 4, rate);
+        let x = random_tensor(&mut rng, vec![1, a, 5, 5]);
+        let y = conv.forward(&x, Mode::Train);
+        let _ = conv.backward(&Tensor::full(y.shape().clone(), 1.0));
+        let k2 = kernel * kernel;
+        let mut leaked = false;
+        conv.visit_params(&mut |p| {
+            for o in 0..8 {
+                for idx in 0..8 * k2 {
+                    let v = p.grad.at(&[o, idx]);
+                    let active_cell = o < a && idx < a * k2;
+                    if !active_cell && v != 0.0 {
+                        leaked = true;
+                    }
+                }
+            }
+        });
+        prop_assert!(!leaked, "gradient leaked outside active block");
+    }
+
+    /// LSTM gradcheck across random widths and rates.
+    #[test]
+    fn lstm_gradcheck_random_configs(
+        hidden_groups in 1usize..3, // hidden = 4 * this
+        rate_idx in 2usize..5,      // rate in {0.5, 0.75, 1.0}
+        rescale in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let hidden = 4 * hidden_groups;
+        let mut rng = SeededRng::new(seed);
+        let mut lstm = Lstm::new(
+            "l",
+            LstmConfig {
+                in_dim: 4,
+                hidden_dim: hidden,
+                in_groups: None,
+                out_groups: Some(4),
+                input_rescale: rescale,
+            },
+            &mut rng,
+        );
+        let rate = SliceRate::new(rate_idx as f32 / 4.0);
+        lstm.set_slice_rate(rate);
+        let x = random_tensor(&mut rng, vec![2, 2, 4]);
+        let res = check_layer(&mut lstm, &x, &mut rng, &CheckOpts::default());
+        prop_assert!(res.is_ok(), "{:?}", res.err());
+    }
+}

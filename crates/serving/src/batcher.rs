@@ -1,0 +1,46 @@
+//! The §4.1 batching policy.
+//!
+//! "Build a mini-batch in every `T/2` time, and utilise the rest `T/2` time
+//! budget for processing." One tick of the simulation *is* one `T/2`
+//! interval: arrivals during tick `t` form the batch processed during tick
+//! `t + 1`, giving every sample a worst-case latency of `T` (up to `T/2`
+//! waiting + up to `T/2` processing) when the controller keeps processing
+//! within budget.
+
+use serde::{Deserialize, Serialize};
+
+/// A mini-batch handed to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingBatch {
+    /// Tick at which the batch closed (arrivals collected during it).
+    pub formed_at: usize,
+    /// Number of queries in the batch.
+    pub size: usize,
+}
+
+/// Turns an arrival trace into the stream of batches the server processes.
+pub fn batches_of(arrivals: &[usize]) -> Vec<PendingBatch> {
+    arrivals
+        .iter()
+        .enumerate()
+        .map(|(t, &n)| PendingBatch {
+            formed_at: t,
+            size: n,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_batch_per_tick_preserving_counts() {
+        let arrivals = vec![3, 0, 7, 1];
+        let batches = batches_of(&arrivals);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[2], PendingBatch { formed_at: 2, size: 7 });
+        let total: usize = batches.iter().map(|b| b.size).sum();
+        assert_eq!(total, 11);
+    }
+}

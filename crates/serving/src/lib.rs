@@ -1,0 +1,29 @@
+//! Dynamic-workload serving (paper §4.1).
+//!
+//! The paper's deployment story: queries arrive as a stream with a dynamic
+//! latency constraint `T`; the server builds a mini-batch every `T/2` and
+//! spends the remaining `T/2` processing it, choosing the slice rate `r`
+//! with `n·r²·t ≤ T/2` so every sample meets its deadline and no compute is
+//! wasted. This crate simulates that loop and the baselines it replaces:
+//!
+//! - [`workload`] — arrival processes with diurnal cycles and flash-crowd
+//!   spikes up to ≥16× the base rate (the Singles'-Day scenario of §1).
+//! - [`batcher`] — the `T/2` mini-batch accumulation policy.
+//! - [`controller`] — slice-rate selection policies, including the paper's
+//!   elastic policy and the coarse degradation baselines (fixed model,
+//!   model swap, candidate dropping).
+//! - [`simulator`] — a discrete-time loop producing per-batch latency,
+//!   width, shed-rate and accuracy-proxy traces.
+//! - [`queue_sim`] — a backlog-aware variant (queries queue with deadlines
+//!   instead of being shed) showing the fixed-width server's backlog
+//!   snowballing through spikes while the elastic server drains it.
+
+pub mod batcher;
+pub mod controller;
+pub mod queue_sim;
+pub mod simulator;
+pub mod workload;
+
+pub use controller::{AccuracyTable, Policy};
+pub use simulator::{SimConfig, SimReport, Simulator};
+pub use workload::{WorkloadConfig, WorkloadTrace};

@@ -1,0 +1,221 @@
+//! Backlog-aware serving simulation.
+//!
+//! The batch simulator in [`crate::simulator`] makes an independent decision
+//! per tick, which matches the paper's §4.1 batching design exactly (every
+//! query is answered or shed within its own interval). Real deployments
+//! often *queue* instead of shedding: a query waits until served or until
+//! its deadline expires. This module simulates that regime — a FIFO backlog
+//! with per-query deadlines — and shows the same headline from a different
+//! angle: with elastic width the backlog drains during the same tick it
+//! forms, while the fixed-width server's backlog snowballs through a spike
+//! and keeps violating deadlines long after the spike ends (the
+//! "system may crash when the workload exceeds system capacity" scenario
+//! of §1).
+
+use crate::controller::AccuracyTable;
+use crate::workload::WorkloadTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Queueing policy: what width the server uses each tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueuePolicy {
+    /// Always full width.
+    FixedFull,
+    /// Elastic: the widest rate that drains the current backlog within one
+    /// tick (or the base rate if even that cannot).
+    Elastic,
+}
+
+/// Configuration of the queueing simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueSimConfig {
+    /// Full-model per-query processing time (seconds).
+    pub t_full: f64,
+    /// Tick length = processing budget per tick (seconds).
+    pub tick: f64,
+    /// Deadline in ticks: a query older than this on service completion
+    /// counts as a violation (it is still served, late).
+    pub deadline_ticks: usize,
+}
+
+/// Aggregate outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueReport {
+    /// Policy simulated.
+    pub policy: QueuePolicy,
+    /// Queries served within their deadline.
+    pub on_time: usize,
+    /// Queries served late.
+    pub late: usize,
+    /// Queries still queued when the trace ended.
+    pub residual_backlog: usize,
+    /// Maximum backlog length observed.
+    pub peak_backlog: usize,
+    /// Mean accuracy over served queries (width-dependent).
+    pub mean_accuracy: f64,
+    /// Mean wait in ticks over served queries.
+    pub mean_wait_ticks: f64,
+}
+
+/// Runs the backlog simulation.
+pub fn run_queue_sim(
+    cfg: &QueueSimConfig,
+    table: &AccuracyTable,
+    policy: QueuePolicy,
+    trace: &WorkloadTrace,
+) -> QueueReport {
+    assert!(cfg.t_full > 0.0 && cfg.tick > 0.0 && cfg.deadline_ticks > 0);
+    let mut backlog: VecDeque<usize> = VecDeque::new(); // arrival tick per query
+    let mut on_time = 0usize;
+    let mut late = 0usize;
+    let mut acc_sum = 0.0f64;
+    let mut wait_sum = 0.0f64;
+    let mut served = 0usize;
+    let mut peak = 0usize;
+    for (now, &arrivals) in trace.arrivals.iter().enumerate() {
+        for _ in 0..arrivals {
+            backlog.push_back(now);
+        }
+        peak = peak.max(backlog.len());
+        // Pick the width for this tick.
+        let n = backlog.len();
+        if n == 0 {
+            continue;
+        }
+        let rate = match policy {
+            QueuePolicy::FixedFull => table.list().max(),
+            QueuePolicy::Elastic => {
+                // Largest rate draining the whole backlog this tick.
+                let r2 = cfg.tick / (n as f64 * cfg.t_full);
+                table.list().snap_down(r2.max(0.0).sqrt() as f32)
+            }
+        };
+        let per = cfg.t_full * (rate.get() as f64) * (rate.get() as f64);
+        let capacity = (cfg.tick / per).floor() as usize;
+        let accuracy = table.at(rate);
+        for _ in 0..capacity.min(n) {
+            let arrived = backlog.pop_front().expect("n > 0");
+            let wait = now - arrived;
+            if wait <= cfg.deadline_ticks {
+                on_time += 1;
+            } else {
+                late += 1;
+            }
+            acc_sum += accuracy;
+            wait_sum += wait as f64;
+            served += 1;
+        }
+    }
+    QueueReport {
+        policy,
+        on_time,
+        late,
+        residual_backlog: backlog.len(),
+        peak_backlog: peak,
+        mean_accuracy: if served > 0 { acc_sum / served as f64 } else { 1.0 },
+        mean_wait_ticks: if served > 0 {
+            wait_sum / served as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadConfig;
+    use ms_core::slice_rate::SliceRateList;
+
+    fn table() -> AccuracyTable {
+        AccuracyTable::new(
+            SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]),
+            vec![0.90, 0.93, 0.94, 0.95],
+        )
+    }
+
+    fn cfg() -> QueueSimConfig {
+        QueueSimConfig {
+            t_full: 1e-3,
+            tick: 0.02, // 20 full-width queries per tick
+            deadline_ticks: 2,
+        }
+    }
+
+    fn bursty() -> WorkloadTrace {
+        WorkloadTrace::generate(&WorkloadConfig {
+            ticks: 1500,
+            base_rate: 10.0,
+            diurnal_amplitude: 2.0,
+            diurnal_period: 300,
+            spike_prob: 0.005,
+            spike_multiplier: 10.0,
+            spike_len: 20,
+            seed: 31,
+        })
+    }
+
+    #[test]
+    fn conservation_and_bounds() {
+        let trace = bursty();
+        for policy in [QueuePolicy::FixedFull, QueuePolicy::Elastic] {
+            let r = run_queue_sim(&cfg(), &table(), policy, &trace);
+            assert_eq!(
+                r.on_time + r.late + r.residual_backlog,
+                trace.total(),
+                "{policy:?}"
+            );
+            assert!(r.mean_accuracy > 0.8 && r.mean_accuracy <= 0.95 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn elastic_drains_backlog_fixed_snowballs() {
+        let trace = bursty();
+        let fixed = run_queue_sim(&cfg(), &table(), QueuePolicy::FixedFull, &trace);
+        let elastic = run_queue_sim(&cfg(), &table(), QueuePolicy::Elastic, &trace);
+        // The elastic server waits less, misses fewer deadlines and its
+        // backlog never grows as far.
+        assert!(elastic.late < fixed.late, "{elastic:?} vs {fixed:?}");
+        assert!(elastic.mean_wait_ticks < fixed.mean_wait_ticks);
+        assert!(elastic.peak_backlog <= fixed.peak_backlog);
+        // And the price is bounded: accuracy stays above the base model's.
+        assert!(elastic.mean_accuracy > 0.90);
+    }
+
+    #[test]
+    fn idle_trace_gives_full_width_and_no_waits() {
+        let trace = WorkloadTrace::generate(&WorkloadConfig {
+            ticks: 200,
+            base_rate: 3.0,
+            diurnal_amplitude: 1.0,
+            spike_prob: 0.0,
+            ..WorkloadConfig::default()
+        });
+        let r = run_queue_sim(&cfg(), &table(), QueuePolicy::Elastic, &trace);
+        assert_eq!(r.late, 0);
+        assert!((r.mean_accuracy - 0.95).abs() < 1e-9);
+        assert_eq!(r.mean_wait_ticks, 0.0);
+    }
+
+    #[test]
+    fn deadline_sensitivity() {
+        // A tighter deadline converts waits into violations for the fixed
+        // server but not for the elastic one.
+        let trace = bursty();
+        let tight = QueueSimConfig {
+            deadline_ticks: 1,
+            ..cfg()
+        };
+        let fixed = run_queue_sim(&tight, &table(), QueuePolicy::FixedFull, &trace);
+        let elastic = run_queue_sim(&tight, &table(), QueuePolicy::Elastic, &trace);
+        let fixed_rate = fixed.late as f64 / (fixed.on_time + fixed.late).max(1) as f64;
+        let elastic_rate =
+            elastic.late as f64 / (elastic.on_time + elastic.late).max(1) as f64;
+        assert!(
+            elastic_rate < fixed_rate,
+            "elastic {elastic_rate} vs fixed {fixed_rate}"
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! Convolution lowering (im2col/col2im) and pooling kernels.
+//!
+//! Layout conventions: a single sample is `[C, H, W]` row-major. The im2col
+//! buffer is `[C·KH·KW, OH·OW]` row-major with the channel index *outermost*
+//! in the row dimension — this is load-bearing for model slicing: the first
+//! `c_act` input channels occupy the first `c_act·KH·KW` rows, i.e. a
+//! contiguous prefix, so a sliced convolution is a plain sub-block GEMM (see
+//! `crate::matmul`) with no data movement.
+
+/// Geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both directions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height.
+    #[inline]
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad).saturating_sub(self.kh) / self.stride + 1
+    }
+
+    /// Output width.
+    #[inline]
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad).saturating_sub(self.kw) / self.stride + 1
+    }
+
+    /// Number of spatial output positions.
+    #[inline]
+    pub fn out_len(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Whether the geometry is valid (kernel fits in the padded input).
+    pub fn is_valid(&self) -> bool {
+        self.stride > 0
+            && self.kh > 0
+            && self.kw > 0
+            && self.h + 2 * self.pad >= self.kh
+            && self.w + 2 * self.pad >= self.kw
+    }
+}
+
+/// Lowers `channels` input channels of a `[C, H, W]` sample into the im2col
+/// buffer `col` of shape `[channels·KH·KW, OH·OW]` (row-major).
+///
+/// `col` must have exactly `channels * kh * kw * out_len` elements; it is
+/// fully overwritten.
+pub fn im2col(input: &[f32], channels: usize, geom: &ConvGeom, col: &mut [f32]) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let out_len = oh * ow;
+    debug_assert!(geom.is_valid(), "invalid conv geometry {geom:?}");
+    debug_assert!(input.len() >= channels * geom.h * geom.w);
+    debug_assert_eq!(col.len(), channels * geom.kh * geom.kw * out_len);
+
+    let mut row = 0usize;
+    for c in 0..channels {
+        let plane = &input[c * geom.h * geom.w..(c + 1) * geom.h * geom.w];
+        for ki in 0..geom.kh {
+            for kj in 0..geom.kw {
+                let dst = &mut col[row * out_len..(row + 1) * out_len];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ki) as isize - geom.pad as isize;
+                    if iy < 0 || iy as usize >= geom.h {
+                        dst[idx..idx + ow].iter_mut().for_each(|v| *v = 0.0);
+                        idx += ow;
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * geom.w..(iy as usize + 1) * geom.w];
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kj) as isize - geom.pad as isize;
+                        dst[idx] = if ix < 0 || ix as usize >= geom.w {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Scatter-adds an im2col-layout gradient back to the input gradient
+/// (`dinput`, `[channels, H, W]`, accumulated — caller zeroes it first).
+pub fn col2im(col: &[f32], channels: usize, geom: &ConvGeom, dinput: &mut [f32]) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let out_len = oh * ow;
+    debug_assert_eq!(col.len(), channels * geom.kh * geom.kw * out_len);
+    debug_assert!(dinput.len() >= channels * geom.h * geom.w);
+
+    let mut row = 0usize;
+    for c in 0..channels {
+        let plane = &mut dinput[c * geom.h * geom.w..(c + 1) * geom.h * geom.w];
+        for ki in 0..geom.kh {
+            for kj in 0..geom.kw {
+                let src = &col[row * out_len..(row + 1) * out_len];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ki) as isize - geom.pad as isize;
+                    if iy < 0 || iy as usize >= geom.h {
+                        idx += ow;
+                        continue;
+                    }
+                    let dst_row =
+                        &mut plane[iy as usize * geom.w..(iy as usize + 1) * geom.w];
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kj) as isize - geom.pad as isize;
+                        if ix >= 0 && (ix as usize) < geom.w {
+                            dst_row[ix as usize] += src[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Max-pooling over one `[C, H, W]` sample. Writes the pooled output and the
+/// flat argmax index (into the input plane) per output cell for backward.
+pub fn maxpool_forward(
+    input: &[f32],
+    channels: usize,
+    geom: &ConvGeom,
+    output: &mut [f32],
+    argmax: &mut [u32],
+) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    debug_assert_eq!(output.len(), channels * oh * ow);
+    debug_assert_eq!(argmax.len(), output.len());
+    for c in 0..channels {
+        let plane = &input[c * geom.h * geom.w..(c + 1) * geom.h * geom.w];
+        let out_plane = &mut output[c * oh * ow..(c + 1) * oh * ow];
+        let arg_plane = &mut argmax[c * oh * ow..(c + 1) * oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0u32;
+                for ki in 0..geom.kh {
+                    let iy = (oy * geom.stride + ki) as isize - geom.pad as isize;
+                    if iy < 0 || iy as usize >= geom.h {
+                        continue;
+                    }
+                    for kj in 0..geom.kw {
+                        let ix = (ox * geom.stride + kj) as isize - geom.pad as isize;
+                        if ix < 0 || ix as usize >= geom.w {
+                            continue;
+                        }
+                        let flat = iy as usize * geom.w + ix as usize;
+                        let v = plane[flat];
+                        if v > best {
+                            best = v;
+                            best_idx = flat as u32;
+                        }
+                    }
+                }
+                out_plane[oy * ow + ox] = best;
+                arg_plane[oy * ow + ox] = best_idx;
+            }
+        }
+    }
+}
+
+/// Max-pooling backward: routes each output gradient to its argmax input
+/// cell (accumulating into `dinput`; caller zeroes it first).
+pub fn maxpool_backward(
+    doutput: &[f32],
+    argmax: &[u32],
+    channels: usize,
+    geom: &ConvGeom,
+    dinput: &mut [f32],
+) {
+    let out_len = geom.out_len();
+    debug_assert_eq!(doutput.len(), channels * out_len);
+    for c in 0..channels {
+        let dplane = &mut dinput[c * geom.h * geom.w..(c + 1) * geom.h * geom.w];
+        let dout = &doutput[c * out_len..(c + 1) * out_len];
+        let args = &argmax[c * out_len..(c + 1) * out_len];
+        for (&g, &a) in dout.iter().zip(args) {
+            dplane[a as usize] += g;
+        }
+    }
+}
+
+/// Global average pooling: `[C, H, W] → [C]`.
+pub fn global_avgpool_forward(input: &[f32], channels: usize, hw: usize, output: &mut [f32]) {
+    debug_assert_eq!(input.len(), channels * hw);
+    debug_assert!(output.len() >= channels);
+    let inv = 1.0 / hw as f32;
+    for (c, out) in output.iter_mut().enumerate().take(channels) {
+        let plane = &input[c * hw..(c + 1) * hw];
+        *out = plane.iter().sum::<f32>() * inv;
+    }
+}
+
+/// Global average pooling backward: spreads each channel gradient uniformly.
+pub fn global_avgpool_backward(doutput: &[f32], channels: usize, hw: usize, dinput: &mut [f32]) {
+    debug_assert!(doutput.len() >= channels);
+    debug_assert_eq!(dinput.len(), channels * hw);
+    let inv = 1.0 / hw as f32;
+    for c in 0..channels {
+        let g = doutput[c] * inv;
+        for v in &mut dinput[c * hw..(c + 1) * hw] {
+            *v += g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(h: usize, w: usize, k: usize, stride: usize, pad: usize) -> ConvGeom {
+        ConvGeom {
+            h,
+            w,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
+    }
+
+    #[test]
+    fn output_shape_math() {
+        let g = geom(4, 4, 3, 1, 1);
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+        let g = geom(4, 4, 2, 2, 0);
+        assert_eq!((g.out_h(), g.out_w()), (2, 2));
+        let g = geom(5, 5, 3, 2, 1);
+        assert_eq!((g.out_h(), g.out_w()), (3, 3));
+        assert!(!geom(2, 2, 5, 1, 0).is_valid());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: col == input.
+        let input: Vec<f32> = (0..8).map(|v| v as f32).collect(); // 2 ch, 2x2
+        let g = geom(2, 2, 1, 1, 0);
+        let mut col = vec![0.0; 2 * 4]; // 2 ch × (1·1 kernel) × 4 positions
+        im2col(&input, 2, &g, &mut col);
+        assert_eq!(col, input);
+    }
+
+    #[test]
+    fn im2col_padding_produces_zeros() {
+        let input = vec![1.0f32; 4]; // 1 ch, 2x2 of ones
+        let g = geom(2, 2, 3, 1, 1);
+        let mut col = vec![7.0; 9 * 4];
+        im2col(&input, 1, &g, &mut col);
+        // Centre tap (ki=1,kj=1) row must be all ones; corner tap (0,0) row
+        // sees padding for output (0,0).
+        let out_len = 4;
+        let centre = &col[(3 + 1) * out_len..(3 + 2) * out_len];
+        assert_eq!(centre, &[1.0, 1.0, 1.0, 1.0]);
+        let corner = &col[0..out_len];
+        assert_eq!(corner, &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property that makes the conv backward pass correct.
+        use crate::rng::SeededRng;
+        let mut rng = SeededRng::new(3);
+        let g = geom(5, 4, 3, 2, 1);
+        let c = 3;
+        let x: Vec<f32> = (0..c * 20).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let col_len = c * 9 * g.out_len();
+        let y: Vec<f32> = (0..col_len).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut col = vec![0.0; col_len];
+        im2col(&x, c, &g, &mut col);
+        let lhs: f64 = col.iter().zip(&y).map(|(a, b)| (a * b) as f64).sum();
+        let mut xback = vec![0.0; x.len()];
+        col2im(&y, c, &g, &mut xback);
+        let rhs: f64 = x.iter().zip(&xback).map(|(a, b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn maxpool_roundtrip() {
+        let input = vec![
+            1.0, 2.0, //
+            3.0, 4.0, //
+        ];
+        let g = geom(2, 2, 2, 2, 0);
+        let mut out = vec![0.0; 1];
+        let mut arg = vec![0u32; 1];
+        maxpool_forward(&input, 1, &g, &mut out, &mut arg);
+        assert_eq!(out, vec![4.0]);
+        assert_eq!(arg, vec![3]);
+        let mut dx = vec![0.0; 4];
+        maxpool_backward(&[10.0], &arg, 1, &g, &mut dx);
+        assert_eq!(dx, vec![0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn global_avgpool_roundtrip() {
+        let input = vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0]; // 2ch 2x2
+        let mut out = vec![0.0; 2];
+        global_avgpool_forward(&input, 2, 4, &mut out);
+        assert_eq!(out, vec![4.0, 2.0]);
+        let mut dx = vec![0.0; 8];
+        global_avgpool_backward(&[4.0, 8.0], 2, 4, &mut dx);
+        assert_eq!(dx, vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+}

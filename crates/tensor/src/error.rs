@@ -1,0 +1,73 @@
+//! Error type for tensor construction and shape algebra.
+
+use std::fmt;
+
+/// Errors raised by fallible tensor operations.
+///
+/// Hot-path kernels (`matmul`, `conv`) use `debug_assert!` instead and are
+/// documented as panicking on misuse; the fallible surface is the public
+/// construction/reshape API where user input first enters the system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A shape with a zero-sized dimension or an element count that does not
+    /// match the provided buffer.
+    ShapeMismatch {
+        /// What the operation expected (human-readable).
+        expected: String,
+        /// What it got.
+        got: String,
+    },
+    /// An axis index out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// Arguments were individually valid but mutually inconsistent
+    /// (e.g. a convolution whose kernel is larger than its padded input).
+    Incompatible(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::Incompatible(msg) => write!(f, "incompatible arguments: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = TensorError::ShapeMismatch {
+            expected: "[2, 3]".into(),
+            got: "[3, 2]".into(),
+        };
+        assert_eq!(e.to_string(), "shape mismatch: expected [2, 3], got [3, 2]");
+        let e = TensorError::AxisOutOfRange { axis: 4, rank: 2 };
+        assert_eq!(e.to_string(), "axis 4 out of range for rank 2");
+        let e = TensorError::Incompatible("kernel larger than input".into());
+        assert_eq!(
+            e.to_string(),
+            "incompatible arguments: kernel larger than input"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TensorError::AxisOutOfRange { axis: 0, rank: 0 });
+    }
+}

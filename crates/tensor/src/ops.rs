@@ -1,0 +1,205 @@
+//! Elementwise activations, row-wise softmax and small reductions.
+//!
+//! Activations come in `(forward, backward)` pairs; backward functions take
+//! the *forward output* where that is cheaper (sigmoid/tanh) and the forward
+//! input where required (ReLU), matching what the layer caches store.
+
+/// ReLU forward, in place.
+pub fn relu_inplace(x: &mut [f32]) {
+    for v in x {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// ReLU backward: `dx = dy * (x > 0)`, written into `dy` in place given the
+/// forward *input* `x`.
+pub fn relu_backward_inplace(dy: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(dy.len(), x.len());
+    for (g, &v) in dy.iter_mut().zip(x) {
+        if v <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Numerically safe sigmoid.
+#[inline]
+pub fn sigmoid(v: f32) -> f32 {
+    if v >= 0.0 {
+        let e = (-v).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = v.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Sigmoid derivative from the forward *output* `s`: `s * (1 - s)`.
+#[inline]
+pub fn sigmoid_grad_from_output(s: f32) -> f32 {
+    s * (1.0 - s)
+}
+
+/// Tanh derivative from the forward *output* `t`: `1 - t²`.
+#[inline]
+pub fn tanh_grad_from_output(t: f32) -> f32 {
+    1.0 - t * t
+}
+
+/// Row-wise softmax over a `rows × cols` row-major buffer, in place.
+/// Uses the max-subtraction trick for stability.
+pub fn softmax_rows_inplace(x: &mut [f32], cols: usize) {
+    debug_assert!(cols > 0 && x.len().is_multiple_of(cols));
+    for row in x.chunks_exact_mut(cols) {
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Row-wise log-softmax, in place.
+pub fn log_softmax_rows_inplace(x: &mut [f32], cols: usize) {
+    debug_assert!(cols > 0 && x.len().is_multiple_of(cols));
+    for row in x.chunks_exact_mut(cols) {
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let log_sum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+}
+
+/// Index of the maximum element of a row (first on ties).
+pub fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Adds a bias vector to every row of a `rows × cols` buffer.
+/// Only the first `active` bias components are used — the sliced path.
+pub fn add_bias_rows(x: &mut [f32], bias: &[f32], cols: usize, active: usize) {
+    debug_assert!(active <= cols && active <= bias.len());
+    for row in x.chunks_exact_mut(cols) {
+        for (v, &b) in row[..active].iter_mut().zip(&bias[..active]) {
+            *v += b;
+        }
+    }
+}
+
+/// Column-sums of a `rows × cols` buffer into `out[..cols]` (accumulating).
+/// This is the bias gradient.
+pub fn sum_rows_into(x: &[f32], cols: usize, out: &mut [f32]) {
+    debug_assert!(x.len().is_multiple_of(cols) && out.len() >= cols);
+    for row in x.chunks_exact(cols) {
+        for (o, &v) in out[..cols].iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+}
+
+/// Mean and (population) variance of a slice using a single pass with f64
+/// accumulators.
+pub fn mean_var(x: &[f32]) -> (f32, f32) {
+    if x.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = x.len() as f64;
+    let mut sum = 0.0f64;
+    let mut sq = 0.0f64;
+    for &v in x {
+        sum += v as f64;
+        sq += (v as f64) * (v as f64);
+    }
+    let mean = sum / n;
+    let var = (sq / n - mean * mean).max(0.0);
+    (mean as f32, var as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_pair() {
+        let mut x = vec![-1.0, 0.0, 2.0];
+        let input = x.clone();
+        relu_inplace(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.0]);
+        let mut dy = vec![1.0, 1.0, 1.0];
+        relu_backward_inplace(&mut dy, &input);
+        assert_eq!(dy, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_correct() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) >= 0.0 && sigmoid(-100.0) < 1e-3);
+        let s = sigmoid(0.3);
+        assert!((sigmoid_grad_from_output(s) - s * (1.0 - s)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0];
+        softmax_rows_inplace(&mut x, 3);
+        let s0: f32 = x[..3].iter().sum();
+        let s1: f32 = x[3..].iter().sum();
+        assert!((s0 - 1.0).abs() < 1e-5);
+        assert!((s1 - 1.0).abs() < 1e-5);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+        assert!((x[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let x0 = vec![0.5, -1.0, 2.0, 0.0];
+        let mut ls = x0.clone();
+        log_softmax_rows_inplace(&mut ls, 4);
+        let mut sm = x0.clone();
+        softmax_rows_inplace(&mut sm, 4);
+        for (a, b) in ls.iter().zip(sm.iter()) {
+            assert!((a.exp() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 0.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    fn bias_ops_respect_active_prefix() {
+        let mut x = vec![0.0; 6]; // 2 rows x 3 cols
+        add_bias_rows(&mut x, &[1.0, 2.0, 3.0], 3, 2);
+        assert_eq!(x, vec![1.0, 2.0, 0.0, 1.0, 2.0, 0.0]);
+        let mut out = vec![0.0; 3];
+        sum_rows_into(&x, 3, &mut out);
+        assert_eq!(out, vec![2.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_var_matches_definition() {
+        let (m, v) = mean_var(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m - 2.5).abs() < 1e-6);
+        assert!((v - 1.25).abs() < 1e-6);
+        assert_eq!(mean_var(&[]), (0.0, 0.0));
+    }
+}

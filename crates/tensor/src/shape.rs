@@ -1,0 +1,186 @@
+//! Shape and index arithmetic for row-major dense tensors.
+
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a dense row-major tensor.
+///
+/// Ranks in this codebase are small (≤ 4: `[batch, channels, height, width]`
+/// is the largest layout used), so dimensions are kept in a plain `Vec` and
+/// strides are derived on demand.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimensions. Zero-sized dimensions are allowed
+    /// (they denote empty tensors) but are rare in practice.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The dimensions as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of one axis.
+    ///
+    /// # Panics
+    /// If `axis >= rank`.
+    #[inline]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index.
+    ///
+    /// # Panics
+    /// In debug builds, if the index rank or any coordinate is out of range.
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for (i, (&ix, &d)) in index.iter().zip(self.0.iter()).enumerate().rev() {
+            debug_assert!(ix < d, "index {ix} out of range {d} at axis {i}");
+            let _ = i;
+            off += ix * stride;
+            stride *= d;
+        }
+        off
+    }
+
+    /// Validates that this shape can reinterpret a buffer of `len` elements.
+    pub fn check_len(&self, len: usize) -> Result<()> {
+        if self.numel() == len {
+            Ok(())
+        } else {
+            Err(TensorError::ShapeMismatch {
+                expected: format!("{} elements for shape {self}", self.numel()),
+                got: format!("{len} elements"),
+            })
+        }
+    }
+
+    /// Returns a new shape with `axis` replaced by `size`.
+    pub fn with_dim(&self, axis: usize, size: usize) -> Result<Self> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
+        }
+        let mut dims = self.0.clone();
+        dims[axis] = size;
+        Ok(Shape(dims))
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let s = Shape::from([5]);
+        assert_eq!(s.strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[0, 1, 2]), 6);
+    }
+
+    #[test]
+    fn check_len_validates() {
+        let s = Shape::from([2, 3]);
+        assert!(s.check_len(6).is_ok());
+        assert!(s.check_len(5).is_err());
+    }
+
+    #[test]
+    fn with_dim_replaces_axis() {
+        let s = Shape::from([2, 3]);
+        assert_eq!(s.with_dim(1, 7).unwrap(), Shape::from([2, 7]));
+        assert!(s.with_dim(2, 7).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

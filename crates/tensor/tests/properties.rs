@@ -1,0 +1,165 @@
+//! Property-based tests for the tensor kernels.
+
+use ms_tensor::conv::{col2im, im2col, ConvGeom};
+use ms_tensor::matmul::{dot, gemm, Trans};
+use ms_tensor::ops;
+use ms_tensor::{SeededRng, Shape, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GEMM is linear in alpha: C(2α) - C(0) == 2·(C(α) - C(0)).
+    #[test]
+    fn gemm_linear_in_alpha(
+        m in 1usize..8, n in 1usize..8, k in 1usize..8,
+        alpha in -2.0f32..2.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let run = |al: f32| {
+            let mut c = vec![0.0f32; m * n];
+            gemm(Trans::No, Trans::No, m, n, k, al, &a, k, &b, n, 0.0, &mut c, n);
+            c
+        };
+        let c1 = run(alpha);
+        let c2 = run(2.0 * alpha);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((2.0 * x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ: computing with swapped transposes matches.
+    #[test]
+    fn gemm_transpose_identity(
+        m in 1usize..8, n in 1usize..8, k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        // C = A·B  (m×n)
+        let mut c = vec![0.0f32; m * n];
+        gemm(Trans::No, Trans::No, m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n);
+        // D = Bᵀ·Aᵀ (n×m), via the transpose flags on the stored matrices.
+        let mut d = vec![0.0f32; n * m];
+        gemm(Trans::Yes, Trans::Yes, n, m, k, 1.0, &b, n, &a, k, 0.0, &mut d, m);
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert!((c[i * n + j] - d[j * m + i]).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// dot is symmetric and matches the simple sum.
+    #[test]
+    fn dot_symmetric(len in 0usize..64, seed in any::<u64>()) {
+        let mut rng = SeededRng::new(seed);
+        let a: Vec<f32> = (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-5);
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        prop_assert!((dot(&a, &b) - naive).abs() < 1e-3);
+    }
+
+    /// im2col/col2im adjointness for arbitrary geometry:
+    /// <im2col(x), y> == <x, col2im(y)>.
+    #[test]
+    fn conv_lowering_adjoint(
+        h in 3usize..8, w in 3usize..8,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        c in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let geom = ConvGeom { h, w, kh: k, kw: k, stride, pad };
+        prop_assume!(geom.is_valid());
+        let mut rng = SeededRng::new(seed);
+        let x: Vec<f32> = (0..c * h * w).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let col_len = c * k * k * geom.out_len();
+        let y: Vec<f32> = (0..col_len).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut col = vec![0.0f32; col_len];
+        im2col(&x, c, &geom, &mut col);
+        let lhs: f64 = col.iter().zip(&y).map(|(a, b)| (a * b) as f64).sum();
+        let mut back = vec![0.0f32; x.len()];
+        col2im(&y, c, &geom, &mut back);
+        let rhs: f64 = x.iter().zip(&back).map(|(a, b)| (a * b) as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    /// Shape offset is a bijection onto 0..numel.
+    #[test]
+    fn shape_offsets_are_bijective(dims in proptest::collection::vec(1usize..5, 1..4)) {
+        let shape = Shape::new(dims.clone());
+        let mut seen = vec![false; shape.numel()];
+        let mut index = vec![0usize; dims.len()];
+        loop {
+            let off = shape.offset(&index);
+            prop_assert!(!seen[off], "offset collision at {index:?}");
+            seen[off] = true;
+            // Odometer increment.
+            let mut axis = dims.len();
+            loop {
+                if axis == 0 { break; }
+                axis -= 1;
+                index[axis] += 1;
+                if index[axis] < dims[axis] { break; }
+                index[axis] = 0;
+                if axis == 0 { break; }
+            }
+            if index.iter().all(|&v| v == 0) { break; }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// log-softmax exp-normalises to softmax for arbitrary rows.
+    #[test]
+    fn log_softmax_consistency(
+        vals in proptest::collection::vec(-30.0f32..30.0, 2..20),
+    ) {
+        let cols = vals.len();
+        let mut ls = vals.clone();
+        ops::log_softmax_rows_inplace(&mut ls, cols);
+        let mut sm = vals;
+        ops::softmax_rows_inplace(&mut sm, cols);
+        for (a, b) in ls.iter().zip(&sm) {
+            prop_assert!((a.exp() - b).abs() < 1e-4);
+        }
+    }
+
+    /// mean_var matches the two-pass definition.
+    #[test]
+    fn mean_var_matches_two_pass(
+        vals in proptest::collection::vec(-10.0f32..10.0, 1..50),
+    ) {
+        let (m, v) = ops::mean_var(&vals);
+        let n = vals.len() as f64;
+        let mean: f64 = vals.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var: f64 = vals.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((m as f64 - mean).abs() < 1e-4);
+        prop_assert!((v as f64 - var).abs() < 1e-2 * (1.0 + var));
+    }
+
+    /// Tensor axpy/scale algebra: (x + αy)·β == βx + αβ·y.
+    #[test]
+    fn tensor_axpy_scale_algebra(
+        len in 1usize..32,
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::from_vec([len], (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap();
+        let y = Tensor::from_vec([len], (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap();
+        let mut lhs = x.clone();
+        lhs.axpy(alpha, &y);
+        lhs.scale(beta);
+        let mut rhs = x.clone();
+        rhs.scale(beta);
+        rhs.axpy(alpha * beta, &y);
+        for (a, b) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Anytime prediction (paper §2.1 / §3): a model trained with slicing can
+//! answer *whenever the deadline fires* — run the cheapest subnet first,
+//! then keep refining with wider subnets while time remains, reusing the
+//! shared computation conceptually (Eq. 9 does it exactly for dense layers;
+//! see `ms_core::residual`).
+//!
+//! Run with: `cargo run --release --example anytime_prediction`
+
+use modelslicing::models::mlp::{Mlp, MlpConfig};
+use modelslicing::prelude::*;
+use modelslicing::slicing::inference::ElasticEngine;
+use modelslicing::slicing::residual::upgrade_linear;
+use modelslicing::slicing::trainer::Batch;
+
+fn main() {
+    let mut rng = SeededRng::new(9);
+
+    // Train a sliceable MLP on a toy 3-class problem.
+    let make_batch = |rng: &mut SeededRng, n: usize| -> Batch {
+        let mut xs = Vec::with_capacity(n * 4);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cls = rng.below(3);
+            for d in 0..4 {
+                let centre = (cls as f32 - 1.0) * (d as f32 + 1.0) * 0.3;
+                xs.push(centre + rng.normal(0.0, 0.4));
+            }
+            ys.push(cls);
+        }
+        Batch {
+            x: Tensor::from_vec([n, 4], xs).expect("batch"),
+            y: ys,
+        }
+    };
+    let train: Vec<Batch> = (0..24).map(|_| make_batch(&mut rng, 32)).collect();
+
+    let mut model = Mlp::new(
+        &MlpConfig {
+            input_dim: 4,
+            hidden_dims: vec![32, 32],
+            num_classes: 3,
+            groups: 4,
+            dropout: 0.0,
+            input_rescale: true,
+        },
+        &mut rng,
+    );
+    let rates = SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]);
+    let scheduler = Scheduler::new(SchedulerKind::Static, rates.clone(), &mut rng);
+    let mut trainer = Trainer::new(scheduler, TrainerConfig::default());
+    for _ in 0..30 {
+        trainer.train_epoch(&mut model, &train);
+    }
+
+    // Anytime prediction: cheapest answer first, refine while time remains.
+    let engine = ElasticEngine::new(CostModel::measure(&mut model, rates));
+    let query = Tensor::from_vec([1, 4], vec![0.4, 0.7, 1.0, 1.4]).expect("query");
+    println!("anytime predictions (cheapest → most refined):");
+    for (rate, logits) in engine.anytime_predictions(&mut model, &query) {
+        let probs: Vec<f32> = {
+            let mut p = logits.clone();
+            modelslicing::tensor::ops::softmax_rows_inplace(p.data_mut(), 3);
+            p.data().to_vec()
+        };
+        println!(
+            "  rate {:.2} ({:>6} MACs): class {} (p = {:.3})",
+            rate.get(),
+            engine.cost().flops_at(rate),
+            modelslicing::tensor::ops::argmax(&probs),
+            probs.iter().cloned().fold(0.0f32, f32::max),
+        );
+    }
+
+    // Eq. 9 in action on a single dense layer: upgrading the cached
+    // half-width pre-activation to full width costs fewer MACs than
+    // re-evaluating, and is exact.
+    let w = modelslicing::tensor::init::kaiming_normal([64, 64], 64, &mut rng);
+    let x = modelslicing::tensor::init::kaiming_normal([1, 64], 64, &mut rng);
+    let mut y_half = Tensor::zeros([1, 32]);
+    modelslicing::tensor::matmul::gemm(
+        modelslicing::tensor::matmul::Trans::No,
+        modelslicing::tensor::matmul::Trans::Yes,
+        1,
+        32,
+        32,
+        1.0,
+        x.data(),
+        64,
+        w.data(),
+        64,
+        0.0,
+        y_half.data_mut(),
+        32,
+    );
+    let up = upgrade_linear(&w, &x, &y_half, 32, 64, 32, 64);
+    println!(
+        "\nEq.-9 incremental upgrade 32→64 wide: {} MACs vs {} from scratch ({}% saved)",
+        up.flops_spent,
+        up.flops_full,
+        100 * (up.flops_full - up.flops_spent) / up.flops_full
+    );
+}

@@ -1,0 +1,76 @@
+//! Elastic serving under a bursty workload (paper §4.1).
+//!
+//! Simulates the paper's deployment story end-to-end: a query stream whose
+//! rate spikes 16×, a latency constraint `T`, batches formed every `T/2`,
+//! and a controller that picks the slice rate per batch via `n·r²·t ≤ T/2`.
+//! Compares against the coarse degradation policies the paper criticises.
+//!
+//! Run with: `cargo run --release --example elastic_serving`
+
+use modelslicing::serving::controller::{AccuracyTable, Policy};
+use modelslicing::serving::simulator::{SimConfig, Simulator};
+use modelslicing::serving::workload::{WorkloadConfig, WorkloadTrace};
+use modelslicing::slicing::slice_rate::SliceRateList;
+
+fn main() {
+    // Accuracy-per-width of a trained sliced model. These are the measured
+    // numbers from the fig5_table4 experiment; substitute your own model's
+    // sweep in a real deployment (see `crates/experiments`).
+    let rates = SliceRateList::paper_cifar();
+    let table = AccuracyTable::new(rates, vec![0.9375, 0.9525, 0.9725, 0.9900, 0.9925, 0.9950]);
+
+    // Singles'-Day-style workload: diurnal swing plus 9× flash crowds.
+    // Peaks land near the base subnet's capacity (≈ 7× the full model's) —
+    // the §4.1 regime where fine-grained degradation shines. Beyond that
+    // (say 16× spikes) even the base subnet overflows and an ultra-cheap
+    // model swap wins on raw throughput; see tests/serving_sla.rs for that
+    // boundary case.
+    let trace = WorkloadTrace::generate(&WorkloadConfig {
+        ticks: 2000,
+        base_rate: 8.0,
+        diurnal_amplitude: 2.0,
+        diurnal_period: 400,
+        spike_prob: 0.004,
+        spike_multiplier: 9.0,
+        spike_len: 30,
+        seed: 7,
+    });
+    println!(
+        "workload: {} queries, volatility {:.1}x",
+        trace.total(),
+        trace.volatility()
+    );
+
+    // Latency constraint 40 ms; full model needs 1 ms per sample.
+    let sim = Simulator::new(
+        SimConfig {
+            t_full: 1e-3,
+            latency: 0.04,
+        },
+        table,
+    );
+
+    for (name, policy) in [
+        ("fixed full-width model ", Policy::FixedFull),
+        ("fixed base-width model ", Policy::FixedBase),
+        (
+            "swap to cheap model    ",
+            Policy::ModelSwap {
+                rel_cost: 0.05,
+                accuracy: 0.72,
+            },
+        ),
+        ("drop excess candidates ", Policy::DropCandidates),
+        ("model slicing (elastic)", Policy::ModelSlicing),
+    ] {
+        let r = sim.run(policy, &trace);
+        println!(
+            "{name}: served {:>6}/{:<6} shed {:>5}  eff-accuracy {:>5.1}%  budget-util {:.2}",
+            r.served,
+            r.arrived,
+            r.shed,
+            r.mean_accuracy * 100.0,
+            r.utilization
+        );
+    }
+}

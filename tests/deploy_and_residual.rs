@@ -1,0 +1,113 @@
+//! Deployment extraction and Eq.-9 reuse, end to end.
+
+use modelslicing::models::mlp::{Mlp, MlpConfig};
+use modelslicing::prelude::*;
+use modelslicing::slicing::deploy::DeploySliced;
+use modelslicing::slicing::trainer::Batch;
+
+fn trained_mlp(rng: &mut SeededRng) -> Mlp {
+    let mut model = Mlp::new(
+        &MlpConfig {
+            input_dim: 6,
+            hidden_dims: vec![16, 16],
+            num_classes: 3,
+            groups: 4,
+            dropout: 0.0,
+            input_rescale: true,
+        },
+        rng,
+    );
+    // A few steps of real training so deployed weights are non-trivial.
+    let rates = SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]);
+    let scheduler = Scheduler::new(SchedulerKind::Static, rates, rng);
+    let mut trainer = Trainer::new(scheduler, TrainerConfig::default());
+    for _ in 0..10 {
+        let xs: Vec<f32> = (0..32 * 6).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let ys: Vec<usize> = (0..32).map(|i| i % 3).collect();
+        let batch = Batch {
+            x: Tensor::from_vec([32, 6], xs).unwrap(),
+            y: ys,
+        };
+        trainer.step(&mut model, &batch);
+    }
+    model
+}
+
+#[test]
+fn deployed_submodel_is_bit_equivalent_at_every_rate() {
+    let mut rng = SeededRng::new(11);
+    let mut model = trained_mlp(&mut rng);
+    let x = Tensor::from_vec(
+        [5, 6],
+        (0..30).map(|i| ((i * 7) % 13) as f32 * 0.1 - 0.6).collect(),
+    )
+    .unwrap();
+    for &r in &[0.25f32, 0.5, 0.75, 1.0] {
+        let rate = SliceRate::new(r);
+        model.set_slice_rate(rate);
+        let want = model.forward(&x, Mode::Infer);
+        model.set_slice_rate(SliceRate::FULL);
+        let mut deployed = model.deploy(rate);
+        let got = deployed.forward(&x, Mode::Infer);
+        for (a, b) in want.data().iter().zip(got.data()) {
+            assert!((a - b).abs() < 1e-4, "rate {r}: {a} vs {b}");
+        }
+        // Storage claim: deployed params equal the parent's active params.
+        model.set_slice_rate(rate);
+        let active = model.active_param_count();
+        model.set_slice_rate(SliceRate::FULL);
+        assert_eq!(deployed.active_param_count(), active, "rate {r}");
+    }
+}
+
+#[test]
+fn incremental_upgrade_matches_wide_forward_for_linear_stack() {
+    use modelslicing::slicing::residual::upgrade_linear;
+    use modelslicing::tensor::matmul::{gemm, Trans};
+    let mut rng = SeededRng::new(12);
+    let w = modelslicing::tensor::init::kaiming_normal([12, 10], 10, &mut rng);
+    let x = modelslicing::tensor::init::kaiming_normal([4, 10], 10, &mut rng);
+    // Narrow pass: first 5 inputs → first 6 outputs.
+    let mut x_narrow = Tensor::zeros([4, 5]);
+    for s in 0..4 {
+        x_narrow.row_mut(s).copy_from_slice(&x.row(s)[..5]);
+    }
+    let mut y_narrow = Tensor::zeros([4, 6]);
+    gemm(
+        Trans::No,
+        Trans::Yes,
+        4,
+        6,
+        5,
+        1.0,
+        x_narrow.data(),
+        5,
+        w.data(),
+        10,
+        0.0,
+        y_narrow.data_mut(),
+        6,
+    );
+    let up = upgrade_linear(&w, &x, &y_narrow, 5, 10, 6, 12);
+    // Reference: full-width evaluation.
+    let mut want = Tensor::zeros([4, 12]);
+    gemm(
+        Trans::No,
+        Trans::Yes,
+        4,
+        12,
+        10,
+        1.0,
+        x.data(),
+        10,
+        w.data(),
+        10,
+        0.0,
+        want.data_mut(),
+        12,
+    );
+    for (a, b) in up.y.data().iter().zip(want.data()) {
+        assert!((a - b).abs() < 1e-4);
+    }
+    assert!(up.flops_spent < up.flops_full);
+}
