@@ -39,6 +39,56 @@ fn gemm_blocks(c: &mut Criterion) {
     group.finish();
 }
 
+/// Layer-shaped GEMMs at the paper's slice rates. Both channel widths
+/// (`m` = output rows, `k` = reduction) scale with the rate while the
+/// batch/spatial dimension `n` is fixed, so the measured cost must track
+/// `r²` — the Eq. 3 quadratic-cost claim, on real VGG/ResNet/LSTM shapes.
+/// Sliced blocks read the top-left corner of the full buffers, i.e. with
+/// leading dimensions larger than the active widths.
+fn gemm_layer_shapes(c: &mut Criterion) {
+    // (label, full_m, n, full_k). Conv layers lower to m = out_ch,
+    // k = in_ch·K², n = OH·OW; the LSTM gate matmul is taken transposed so
+    // that its sliceable widths (4H, D) also land on m and k.
+    let shapes: [(&str, usize, usize, usize); 3] = [
+        ("vgg_conv3_128_28x28", 128, 784, 1152),
+        ("resnet_conv3_256_14x14", 256, 196, 2304),
+        ("lstm_gates_h256_b32", 1024, 32, 256),
+    ];
+    let mut rng = SeededRng::new(3);
+    for (label, full_m, n, full_k) in shapes {
+        let a: Vec<f32> = (0..full_m * full_k)
+            .map(|_| rng.uniform(-1.0, 1.0))
+            .collect();
+        let b: Vec<f32> = (0..full_k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut group = c.benchmark_group(label);
+        for &rate in &[0.375f32, 0.5, 0.75, 1.0] {
+            let m = (full_m as f32 * rate).round() as usize;
+            let k = (full_k as f32 * rate).round() as usize;
+            let mut out = vec![0.0f32; m * n];
+            group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |bch, _| {
+                bch.iter(|| {
+                    gemm(
+                        Trans::No,
+                        Trans::No,
+                        m,
+                        n,
+                        k,
+                        1.0,
+                        &a,
+                        full_k,
+                        &b,
+                        n,
+                        0.0,
+                        &mut out,
+                        n,
+                    )
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 fn im2col_lowering(c: &mut Criterion) {
     let mut rng = SeededRng::new(2);
     let geom = ConvGeom {
@@ -50,7 +100,9 @@ fn im2col_lowering(c: &mut Criterion) {
         pad: 1,
     };
     let channels = 32usize;
-    let input: Vec<f32> = (0..channels * 256).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let input: Vec<f32> = (0..channels * 256)
+        .map(|_| rng.uniform(-1.0, 1.0))
+        .collect();
     let mut col = vec![0.0f32; channels * 9 * geom.out_len()];
     c.bench_function("im2col_32ch_16x16_k3", |b| {
         b.iter(|| im2col(&input, channels, &geom, &mut col))
@@ -63,6 +115,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(30);
-    targets = gemm_blocks, im2col_lowering
+    targets = gemm_blocks, gemm_layer_shapes, im2col_lowering
 }
 criterion_main!(benches);

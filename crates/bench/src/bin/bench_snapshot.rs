@@ -1,0 +1,147 @@
+//! Before/after snapshot for the packed register-blocked GEMM.
+//!
+//! Times `gemm_unblocked` (the pre-PR kernel, kept as a baseline) against
+//! the packed `gemm` on the 256³ acceptance shape and on sliced layer
+//! shapes, then writes `results/BENCH_kernels_pr1.json`. Run in release:
+//!
+//! ```text
+//! cargo run --release -p ms-bench --bin bench_snapshot
+//! ```
+
+use ms_tensor::matmul::{gemm, gemm_unblocked, Trans};
+use ms_tensor::SeededRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Seconds per call, best-of-5 batches, each batch long enough to swamp
+/// timer noise.
+fn time_per_call(mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut iters = 1u32;
+    // Calibrate the batch size to ≥ 20ms.
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed().as_secs_f64() >= 0.02 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+struct Entry {
+    label: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    unblocked_ms: f64,
+    packed_ms: f64,
+}
+
+fn measure(label: &'static str, m: usize, n: usize, k: usize) -> Entry {
+    let mut rng = SeededRng::new(9);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let mut c = vec![0.0f32; m * n];
+    let unblocked = time_per_call(|| {
+        gemm_unblocked(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            k,
+            &b,
+            n,
+            0.0,
+            &mut c,
+            n,
+        )
+    });
+    let packed = time_per_call(|| {
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            k,
+            &b,
+            n,
+            0.0,
+            &mut c,
+            n,
+        )
+    });
+    Entry {
+        label,
+        m,
+        n,
+        k,
+        unblocked_ms: unblocked * 1e3,
+        packed_ms: packed * 1e3,
+    }
+}
+
+fn main() {
+    // The 256³ acceptance shape, sliced variants of it (Eq. 3: both widths
+    // scale with the rate), and the layer shapes from the kernels bench.
+    let entries = vec![
+        measure("gemm_256_full", 256, 256, 256),
+        measure("gemm_256_rate0.75", 192, 256, 192),
+        measure("gemm_256_rate0.5", 128, 256, 128),
+        measure("gemm_256_rate0.375", 96, 256, 96),
+        measure("vgg_conv3_128_28x28", 128, 784, 1152),
+        measure("resnet_conv3_256_14x14", 256, 196, 2304),
+        measure("lstm_gates_h256_b32", 1024, 32, 256),
+    ];
+
+    let mut json = String::from("{\n  \"bench\": \"pr1 packed gemm vs unblocked baseline\",\n");
+    json.push_str("  \"kernel\": \"MR=6 NR=16 MC=72 KC=256 NC=1024, packed panels, fma\",\n");
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let flops = 2.0 * e.m as f64 * e.n as f64 * e.k as f64;
+        writeln!(
+            json,
+            "    {{\"label\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \
+             \"unblocked_ms\": {:.4}, \"packed_ms\": {:.4}, \
+             \"speedup\": {:.2}, \"packed_gflops\": {:.2}}}{}",
+            e.label,
+            e.m,
+            e.n,
+            e.k,
+            e.unblocked_ms,
+            e.packed_ms,
+            e.unblocked_ms / e.packed_ms,
+            flops / (e.packed_ms * 1e-3) / 1e9,
+            if i + 1 == entries.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_kernels_pr1.json"
+    );
+    std::fs::write(path, &json).expect("write snapshot");
+    print!("{json}");
+    eprintln!("wrote {path}");
+}

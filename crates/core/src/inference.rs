@@ -67,11 +67,7 @@ impl ElasticEngine {
     /// Anytime prediction (§2.1 discussion): predictions at every candidate
     /// rate, cheapest first, so a caller can stop consuming whenever its
     /// deadline fires and keep the best prediction produced so far.
-    pub fn anytime_predictions(
-        &self,
-        net: &mut dyn Layer,
-        x: &Tensor,
-    ) -> Vec<(SliceRate, Tensor)> {
+    pub fn anytime_predictions(&self, net: &mut dyn Layer, x: &Tensor) -> Vec<(SliceRate, Tensor)> {
         let rates: Vec<SliceRate> = self.cost.list().iter().collect();
         let mut out = Vec::with_capacity(rates.len());
         for r in rates {
@@ -116,10 +112,7 @@ mod tests {
                 },
                 &mut rng,
             ));
-        let cost = CostModel::measure(
-            &mut net,
-            SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]),
-        );
+        let cost = CostModel::measure(&mut net, SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]));
         (ElasticEngine::new(cost), net)
     }
 
@@ -209,7 +202,11 @@ impl ElasticEngine {
                     confidence: conf,
                 };
             }
-            last = Some(logits);
+            // Superseded logits go back to the buffer pool; steady-state
+            // escalation re-acquires the same buffers on the next attempt.
+            if let Some(prev) = last.replace(logits) {
+                prev.recycle();
+            }
         }
         // Unreachable: the loop always returns on the last rate; keep the
         // compiler satisfied without panicking in release.
@@ -241,13 +238,15 @@ pub struct ConfidentPrediction {
 /// the batch is only as confident as its least confident sample.
 fn min_max_prob(logits: &Tensor) -> f32 {
     let k = *logits.dims().last().expect("rank >= 1");
+    let mut p = ms_tensor::pool::acquire(k);
     let mut worst = 1.0f32;
     for row in logits.data().chunks_exact(k) {
-        let mut p = row.to_vec();
+        p.copy_from_slice(row);
         ms_tensor::ops::softmax_rows_inplace(&mut p, k);
         let top = p.iter().cloned().fold(0.0f32, f32::max);
         worst = worst.min(top);
     }
+    ms_tensor::pool::release(p);
     worst
 }
 

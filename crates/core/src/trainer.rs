@@ -103,7 +103,10 @@ impl Trainer {
             net.set_slice_rate(r);
             let logits = net.forward(&batch.x, Mode::Train);
             let (loss, dlogits) = self.criterion.forward(&logits, &batch.y);
-            let _ = net.backward(&dlogits);
+            logits.recycle();
+            let dx = net.backward(&dlogits);
+            dx.recycle();
+            dlogits.recycle();
             subnet_losses.push((r, loss));
         }
         if self.average && rates.len() > 1 {
@@ -138,12 +141,7 @@ impl Trainer {
 
     /// Evaluates `(mean cross-entropy, accuracy)` of `net` sliced at `rate`.
     /// The network is restored to full width afterwards.
-    pub fn evaluate(
-        &self,
-        net: &mut dyn Layer,
-        batches: &[Batch],
-        rate: SliceRate,
-    ) -> (f64, f64) {
+    pub fn evaluate(&self, net: &mut dyn Layer, batches: &[Batch], rate: SliceRate) -> (f64, f64) {
         net.set_slice_rate(rate);
         let mut loss = 0.0f64;
         let mut correct = 0usize;
@@ -158,6 +156,7 @@ impl Trainer {
                 }
             }
             total += batch.y.len();
+            logits.recycle();
         }
         net.set_slice_rate(SliceRate::FULL);
         if total == 0 {

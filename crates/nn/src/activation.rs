@@ -19,17 +19,18 @@ impl Relu {
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         if mode == Mode::Train {
-            self.cache = Some(x.clone());
+            self.cache = Some(x.pooled_clone());
         }
-        let mut y = x.clone();
+        let mut y = x.pooled_clone();
         ops::relu_inplace(y.data_mut());
         y
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let x = self.cache.take().expect("backward before Train forward");
-        let mut dx = dy.clone();
+        let mut dx = dy.pooled_clone();
         ops::relu_backward_inplace(dx.data_mut(), x.data());
+        x.recycle();
         dx
     }
 
@@ -55,19 +56,21 @@ impl Tanh {
 
 impl Layer for Tanh {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let y = x.map(f32::tanh);
+        let mut y = x.pooled_clone();
+        y.map_inplace(f32::tanh);
         if mode == Mode::Train {
-            self.cache = Some(y.clone());
+            self.cache = Some(y.pooled_clone());
         }
         y
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let y = self.cache.take().expect("backward before Train forward");
-        let mut dx = dy.clone();
+        let mut dx = dy.pooled_clone();
         for (g, &t) in dx.data_mut().iter_mut().zip(y.data()) {
             *g *= ops::tanh_grad_from_output(t);
         }
+        y.recycle();
         dx
     }
 
@@ -94,16 +97,16 @@ mod tests {
     #[test]
     fn relu_grads() {
         let mut rng = SeededRng::new(1);
-        let x = Tensor::from_vec([2, 5], (0..10).map(|_| rng.uniform(-1.0, 1.0)).collect())
-            .unwrap();
+        let x =
+            Tensor::from_vec([2, 5], (0..10).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap();
         assert_grads(&mut Relu::new(), &x, &mut rng);
     }
 
     #[test]
     fn tanh_grads() {
         let mut rng = SeededRng::new(2);
-        let x = Tensor::from_vec([2, 5], (0..10).map(|_| rng.uniform(-2.0, 2.0)).collect())
-            .unwrap();
+        let x =
+            Tensor::from_vec([2, 5], (0..10).map(|_| rng.uniform(-2.0, 2.0)).collect()).unwrap();
         assert_grads(&mut Tanh::new(), &x, &mut rng);
     }
 }

@@ -128,16 +128,8 @@ mod tests {
     fn net(seed: u64) -> Sequential {
         let mut rng = SeededRng::new(seed);
         Sequential::new("net")
-            .push(Linear::new(
-                "fc1",
-                LinearConfig::dense(4, 8),
-                &mut rng,
-            ))
-            .push(Linear::new(
-                "fc2",
-                LinearConfig::dense(8, 2),
-                &mut rng,
-            ))
+            .push(Linear::new("fc1", LinearConfig::dense(4, 8), &mut rng))
+            .push(Linear::new("fc2", LinearConfig::dense(8, 2), &mut rng))
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::slice::{active_units, SliceRate};
+use crate::workspace::{Role, Workspace};
 use ms_tensor::conv::{col2im, im2col, ConvGeom};
 use ms_tensor::matmul::{gemm, Trans};
 use ms_tensor::{init, SeededRng, Tensor};
@@ -51,7 +52,7 @@ pub struct Conv2d {
     bias: Option<Param>,
     active_in: usize,
     active_out: usize,
-    col: Vec<f32>, // workhorse im2col buffer (full size)
+    ws: Workspace, // im2col columns and their gradient
     cache: Option<Tensor>,
 }
 
@@ -84,7 +85,6 @@ impl Conv2d {
         let bias = cfg
             .bias
             .then(|| Param::new(format!("{name}.bias"), Tensor::zeros([cfg.out_ch]), false));
-        let col = vec![0.0; fan_in * geom.out_len()];
         let (active_in, active_out) = (cfg.in_ch, cfg.out_ch);
         Conv2d {
             cfg,
@@ -94,9 +94,14 @@ impl Conv2d {
             bias,
             active_in,
             active_out,
-            col,
+            ws: Workspace::new(),
             cache: None,
         }
+    }
+
+    /// Scratch-buffer counters (zero-allocation instrumentation).
+    pub fn workspace_stats(&self) -> crate::workspace::WorkspaceStats {
+        self.ws.stats()
     }
 
     /// Currently active `(in, out)` channel counts.
@@ -135,10 +140,11 @@ impl Layer for Conv2d {
         let out_len = self.geom.out_len();
         let k_rows = self.active_in * self.k2();
         let full_k = self.cfg.in_ch * self.k2();
-        let mut y = Tensor::zeros([batch, self.active_out, self.geom.out_h(), self.geom.out_w()]);
+        let mut y =
+            Tensor::pooled_zeros([batch, self.active_out, self.geom.out_h(), self.geom.out_w()]);
+        let mut col = self.ws.take(Role::Cols, k_rows * out_len);
         for s in 0..batch {
-            let col = &mut self.col[..k_rows * out_len];
-            im2col(x.row(s), self.active_in, &self.geom, col);
+            im2col(x.row(s), self.active_in, &self.geom, &mut col);
             gemm(
                 Trans::No,
                 Trans::No,
@@ -148,7 +154,7 @@ impl Layer for Conv2d {
                 1.0,
                 self.weight.value.data(),
                 full_k,
-                col,
+                &col,
                 out_len,
                 0.0,
                 y.row_mut(s),
@@ -164,8 +170,9 @@ impl Layer for Conv2d {
                 }
             }
         }
+        self.ws.put(Role::Cols, col);
         if mode == Mode::Train {
-            self.cache = Some(x.clone());
+            self.cache = Some(x.pooled_clone());
         }
         y
     }
@@ -178,13 +185,13 @@ impl Layer for Conv2d {
         let full_k = self.cfg.in_ch * self.k2();
         debug_assert_eq!(dy.dims()[1], self.active_out);
 
-        let mut dx = Tensor::zeros(x.shape().clone());
-        let mut dcol = vec![0.0f32; k_rows * out_len];
+        let mut dx = Tensor::pooled_zeros(x.shape().clone());
+        let mut col = self.ws.take(Role::Cols, k_rows * out_len);
+        let mut dcol = self.ws.take(Role::ColGrad, k_rows * out_len);
         for s in 0..batch {
             let dys = dy.row(s);
             // Recompute im2col (cheaper than caching per-sample columns).
-            let col = &mut self.col[..k_rows * out_len];
-            im2col(x.row(s), self.active_in, &self.geom, col);
+            im2col(x.row(s), self.active_in, &self.geom, &mut col);
             // dW += dy_s · col^T
             gemm(
                 Trans::No,
@@ -195,7 +202,7 @@ impl Layer for Conv2d {
                 1.0,
                 dys,
                 out_len,
-                col,
+                &col,
                 out_len,
                 1.0,
                 self.weight.grad.data_mut(),
@@ -227,6 +234,9 @@ impl Layer for Conv2d {
             );
             col2im(&dcol, self.active_in, &self.geom, dx.row_mut(s));
         }
+        self.ws.put(Role::Cols, col);
+        self.ws.put(Role::ColGrad, dcol);
+        x.recycle();
         dx
     }
 
@@ -367,9 +377,7 @@ mod tests {
         for c in 0..4 {
             for i in 0..5 {
                 for j in 0..5 {
-                    assert!(
-                        (half.at(&[0, c, i, j]) - full.at(&[0, c, i, j])).abs() < 1e-5
-                    );
+                    assert!((half.at(&[0, c, i, j]) - full.at(&[0, c, i, j])).abs() < 1e-5);
                 }
             }
         }

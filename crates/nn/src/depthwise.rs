@@ -81,64 +81,62 @@ impl DepthwiseConv2d {
     pub fn active_channels(&self) -> usize {
         self.active
     }
+}
 
-    /// Convolves one channel plane with one kernel, accumulating into `out`.
-    fn conv_plane(&self, plane: &[f32], kernel: &[f32], out: &mut [f32]) {
-        let g = &self.geom;
-        let (oh, ow) = (g.out_h(), g.out_w());
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = 0.0f32;
-                for ki in 0..g.kh {
-                    let iy = (oy * g.stride + ki) as isize - g.pad as isize;
-                    if iy < 0 || iy as usize >= g.h {
-                        continue;
-                    }
-                    for kj in 0..g.kw {
-                        let ix = (ox * g.stride + kj) as isize - g.pad as isize;
-                        if ix < 0 || ix as usize >= g.w {
-                            continue;
-                        }
-                        acc += kernel[ki * g.kw + kj] * plane[iy as usize * g.w + ix as usize];
-                    }
-                }
-                out[oy * ow + ox] += acc;
-            }
-        }
-    }
-
-    /// Correlates dy with the input plane to get kernel gradients, and
-    /// scatters dy through the kernel to get the input-plane gradient.
-    fn backward_plane(
-        &self,
-        plane: &[f32],
-        kernel: &[f32],
-        dy: &[f32],
-        dkernel: &mut [f32],
-        dplane: &mut [f32],
-    ) {
-        let g = &self.geom;
-        let (oh, ow) = (g.out_h(), g.out_w());
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let gout = dy[oy * ow + ox];
-                if gout == 0.0 {
+/// Convolves one channel plane with one kernel, accumulating into `out`.
+fn conv_plane(g: &ConvGeom, plane: &[f32], kernel: &[f32], out: &mut [f32]) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0.0f32;
+            for ki in 0..g.kh {
+                let iy = (oy * g.stride + ki) as isize - g.pad as isize;
+                if iy < 0 || iy as usize >= g.h {
                     continue;
                 }
-                for ki in 0..g.kh {
-                    let iy = (oy * g.stride + ki) as isize - g.pad as isize;
-                    if iy < 0 || iy as usize >= g.h {
+                for kj in 0..g.kw {
+                    let ix = (ox * g.stride + kj) as isize - g.pad as isize;
+                    if ix < 0 || ix as usize >= g.w {
                         continue;
                     }
-                    for kj in 0..g.kw {
-                        let ix = (ox * g.stride + kj) as isize - g.pad as isize;
-                        if ix < 0 || ix as usize >= g.w {
-                            continue;
-                        }
-                        let flat = iy as usize * g.w + ix as usize;
-                        dkernel[ki * g.kw + kj] += gout * plane[flat];
-                        dplane[flat] += gout * kernel[ki * g.kw + kj];
+                    acc += kernel[ki * g.kw + kj] * plane[iy as usize * g.w + ix as usize];
+                }
+            }
+            out[oy * ow + ox] += acc;
+        }
+    }
+}
+
+/// Correlates dy with the input plane to get kernel gradients, and
+/// scatters dy through the kernel to get the input-plane gradient.
+fn backward_plane(
+    g: &ConvGeom,
+    plane: &[f32],
+    kernel: &[f32],
+    dy: &[f32],
+    dkernel: &mut [f32],
+    dplane: &mut [f32],
+) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let gout = dy[oy * ow + ox];
+            if gout == 0.0 {
+                continue;
+            }
+            for ki in 0..g.kh {
+                let iy = (oy * g.stride + ki) as isize - g.pad as isize;
+                if iy < 0 || iy as usize >= g.h {
+                    continue;
+                }
+                for kj in 0..g.kw {
+                    let ix = (ox * g.stride + kj) as isize - g.pad as isize;
+                    if ix < 0 || ix as usize >= g.w {
+                        continue;
                     }
+                    let flat = iy as usize * g.w + ix as usize;
+                    dkernel[ki * g.kw + kj] += gout * plane[flat];
+                    dplane[flat] += gout * kernel[ki * g.kw + kj];
                 }
             }
         }
@@ -154,7 +152,7 @@ impl Layer for DepthwiseConv2d {
         let (oh, ow) = (self.geom.out_h(), self.geom.out_w());
         let out_len = oh * ow;
         let in_len = self.geom.h * self.geom.w;
-        let mut y = Tensor::zeros([batch, c, oh, ow]);
+        let mut y = Tensor::pooled_zeros([batch, c, oh, ow]);
         for s in 0..batch {
             for ch in 0..c {
                 let plane = &x.row(s)[ch * in_len..(ch + 1) * in_len];
@@ -162,11 +160,11 @@ impl Layer for DepthwiseConv2d {
                 let bias = self.bias.value.data()[ch];
                 let out = &mut y.row_mut(s)[ch * out_len..(ch + 1) * out_len];
                 out.iter_mut().for_each(|v| *v = bias);
-                self.conv_plane(plane, kernel, out);
+                conv_plane(&self.geom, plane, kernel, out);
             }
         }
         if mode == Mode::Train {
-            self.cache = Some(x.clone());
+            self.cache = Some(x.pooled_clone());
         }
         y
     }
@@ -176,22 +174,22 @@ impl Layer for DepthwiseConv2d {
         let (batch, c) = (x.dims()[0], x.dims()[1]);
         let out_len = self.geom.out_len();
         let in_len = self.geom.h * self.geom.w;
-        let mut dx = Tensor::zeros(x.shape().clone());
+        let mut dx = Tensor::pooled_zeros(x.shape().clone());
+        let w = &mut self.weight;
         for s in 0..batch {
             for ch in 0..c {
                 let plane = &x.row(s)[ch * in_len..(ch + 1) * in_len];
                 let dys = &dy.row(s)[ch * out_len..(ch + 1) * out_len];
                 self.bias.grad.data_mut()[ch] += dys.iter().sum::<f32>();
-                // Split mutable borrows: kernel value is read-only here.
-                let kernel: Vec<f32> = self.weight.value.row(ch).to_vec();
-                let mut dkernel = vec![0.0f32; kernel.len()];
+                // `value` and `grad` are disjoint fields, so the kernel can
+                // be read while its gradient row is written — no copies.
+                let kernel = w.value.row(ch);
+                let dkernel = w.grad.row_mut(ch);
                 let dplane = &mut dx.row_mut(s)[ch * in_len..(ch + 1) * in_len];
-                self.backward_plane(plane, &kernel, dys, &mut dkernel, dplane);
-                for (g, d) in self.weight.grad.row_mut(ch).iter_mut().zip(&dkernel) {
-                    *g += d;
-                }
+                backward_plane(&self.geom, plane, kernel, dys, dkernel, dplane);
             }
         }
+        x.recycle();
         dx
     }
 

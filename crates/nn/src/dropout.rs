@@ -18,7 +18,10 @@ pub struct Dropout {
 impl Dropout {
     /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
     pub fn new(p: f64, rng: &mut SeededRng) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0,1), got {p}"
+        );
         Dropout {
             p,
             rng: rng.fork(0xD20),
@@ -82,10 +85,7 @@ mod tests {
         let y = l.forward(&x, Mode::Train);
         let survivors = y.data().iter().filter(|&&v| v != 0.0).count();
         assert!((300..700).contains(&survivors), "{survivors}");
-        assert!(y
-            .data()
-            .iter()
-            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
         // Expected value preserved.
         assert!((y.mean() - 1.0).abs() < 0.1);
     }

@@ -94,9 +94,8 @@ pub fn check_layer(
     // non-smooth; a probe that crosses a kink produces a garbage central
     // difference. Two step sizes must agree for the probe to count —
     // otherwise it is skipped as sitting on a kink.
-    let smooth = |d1: f32, d2: f32| -> bool {
-        (d1 - d2).abs() <= 0.05 * (d1.abs() + d2.abs()) + 5e-3
-    };
+    let smooth =
+        |d1: f32, d2: f32| -> bool { (d1 - d2).abs() <= 0.05 * (d1.abs() + d2.abs()) + 5e-3 };
 
     // Input gradient.
     for i in probe_indices(x.numel(), opts.max_probes) {

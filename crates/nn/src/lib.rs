@@ -29,7 +29,9 @@ pub mod pool;
 pub mod rnn;
 pub mod sequential;
 pub mod slice;
+pub mod workspace;
 
 pub use layer::{Layer, Mode, Param};
 pub use sequential::Sequential;
 pub use slice::SliceRate;
+pub use workspace::{Role, Workspace};

@@ -73,13 +73,9 @@ impl Linear {
             init::kaiming_normal([cfg.out_dim, cfg.in_dim], cfg.in_dim, rng),
             true,
         );
-        let bias = cfg.bias.then(|| {
-            Param::new(
-                format!("{name}.bias"),
-                Tensor::zeros([cfg.out_dim]),
-                false,
-            )
-        });
+        let bias = cfg
+            .bias
+            .then(|| Param::new(format!("{name}.bias"), Tensor::zeros([cfg.out_dim]), false));
         let active_in = cfg.in_dim;
         let active_out = cfg.out_dim;
         Linear {
@@ -134,7 +130,7 @@ impl Layer for Linear {
             self.active_in
         );
         let batch = x.numel() / self.active_in;
-        let mut y = Tensor::zeros([batch, self.active_out]);
+        let mut y = Tensor::pooled_zeros([batch, self.active_out]);
         // y = scale * x · W[0..a_out, 0..a_in]^T
         gemm(
             Trans::No,
@@ -160,13 +156,12 @@ impl Layer for Linear {
             );
         }
         if mode == Mode::Train {
-            self.cache = Some(x.clone());
+            self.cache = Some(x.pooled_clone());
         }
         // Preserve leading dims, replacing the trailing one.
         if dims.len() > 2 {
-            let mut out_dims = dims.to_vec();
-            *out_dims.last_mut().expect("nonempty dims") = self.active_out;
-            y.reshape(out_dims).expect("same numel")
+            y.reshape(x.shape().with_last_dim(self.active_out))
+                .expect("same numel")
         } else {
             y
         }
@@ -198,7 +193,7 @@ impl Layer for Linear {
             ms_tensor::ops::sum_rows_into(dy.data(), self.active_out, b.grad.data_mut());
         }
         // dx = scale * dy · W[0..a_out, 0..a_in]
-        let mut dx = Tensor::zeros(x.shape().clone());
+        let mut dx = Tensor::pooled_zeros(x.shape().clone());
         gemm(
             Trans::No,
             Trans::No,
@@ -214,6 +209,7 @@ impl Layer for Linear {
             dx.data_mut(),
             self.active_in,
         );
+        x.recycle();
         dx
     }
 
@@ -357,8 +353,8 @@ mod tests {
     fn gradients_full_width() {
         let mut rng = SeededRng::new(5);
         let mut l = layer(6, 5, false);
-        let x = Tensor::from_vec([3, 6], (0..18).map(|_| rng.uniform(-1.0, 1.0)).collect())
-            .unwrap();
+        let x =
+            Tensor::from_vec([3, 6], (0..18).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap();
         assert_grads(&mut l, &x, &mut rng);
     }
 
@@ -367,8 +363,8 @@ mod tests {
         let mut rng = SeededRng::new(6);
         let mut l = layer(8, 8, true);
         l.set_slice_rate(SliceRate::new(0.5));
-        let x = Tensor::from_vec([3, 4], (0..12).map(|_| rng.uniform(-1.0, 1.0)).collect())
-            .unwrap();
+        let x =
+            Tensor::from_vec([3, 4], (0..12).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap();
         assert_grads(&mut l, &x, &mut rng);
     }
 

@@ -86,11 +86,8 @@ mod tests {
     #[test]
     fn gradient_matches_finite_differences() {
         let mut rng = SeededRng::new(1);
-        let logits = Tensor::from_vec(
-            [3, 4],
-            (0..12).map(|_| rng.uniform(-2.0, 2.0)).collect(),
-        )
-        .unwrap();
+        let logits =
+            Tensor::from_vec([3, 4], (0..12).map(|_| rng.uniform(-2.0, 2.0)).collect()).unwrap();
         let targets = [2usize, 0, 3];
         let (_, grad) = CrossEntropy.forward(&logits, &targets);
         let eps = 1e-3f32;
@@ -113,11 +110,8 @@ mod tests {
     #[test]
     fn loss_only_matches_forward() {
         let mut rng = SeededRng::new(2);
-        let logits = Tensor::from_vec(
-            [5, 7],
-            (0..35).map(|_| rng.uniform(-3.0, 3.0)).collect(),
-        )
-        .unwrap();
+        let logits =
+            Tensor::from_vec([5, 7], (0..35).map(|_| rng.uniform(-3.0, 3.0)).collect()).unwrap();
         let targets = [0usize, 6, 3, 2, 1];
         let (loss, _) = CrossEntropy.forward(&logits, &targets);
         assert!((loss - CrossEntropy.loss_only(&logits, &targets)).abs() < 1e-6);
@@ -126,11 +120,8 @@ mod tests {
     #[test]
     fn grad_rows_sum_to_zero() {
         let mut rng = SeededRng::new(3);
-        let logits = Tensor::from_vec(
-            [2, 5],
-            (0..10).map(|_| rng.uniform(-1.0, 1.0)).collect(),
-        )
-        .unwrap();
+        let logits =
+            Tensor::from_vec([2, 5], (0..10).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap();
         let (_, grad) = CrossEntropy.forward(&logits, &[1, 4]);
         for row in 0..2 {
             let s: f32 = grad.data()[row * 5..(row + 1) * 5].iter().sum();

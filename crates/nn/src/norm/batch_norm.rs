@@ -39,7 +39,11 @@ impl BatchNorm {
             channels,
             eps: 1e-5,
             momentum: 0.1,
-            gamma: Param::new(format!("{name}.gamma"), Tensor::full([channels], 1.0), false),
+            gamma: Param::new(
+                format!("{name}.gamma"),
+                Tensor::full([channels], 1.0),
+                false,
+            ),
             beta: Param::new(format!("{name}.beta"), Tensor::zeros([channels]), false),
             running_mean: vec![0.0; channels],
             running_var: vec![1.0; channels],
@@ -145,8 +149,7 @@ impl Layer for BatchNorm {
                 for k in 0..hw {
                     let d = dy.data()[base + k];
                     let xh = cache.xhat.data()[base + k];
-                    dx.data_mut()[base + k] =
-                        gamma * inv_std * (d - mean_dy - xh * mean_dy_xhat);
+                    dx.data_mut()[base + k] = gamma * inv_std * (d - mean_dy - xh * mean_dy_xhat);
                 }
             }
         }
@@ -203,15 +206,20 @@ mod tests {
         let mut rng = SeededRng::new(2);
         let mut bn = BatchNorm::new("bn", 1);
         for _ in 0..200 {
-            let x = Tensor::from_vec(
-                [8, 1],
-                (0..8).map(|_| rng.normal(5.0, 2.0)).collect(),
-            )
-            .unwrap();
+            let x =
+                Tensor::from_vec([8, 1], (0..8).map(|_| rng.normal(5.0, 2.0)).collect()).unwrap();
             let _ = bn.forward(&x, Mode::Train);
         }
-        assert!((bn.running_mean[0] - 5.0).abs() < 0.5, "{}", bn.running_mean[0]);
-        assert!((bn.running_var[0] - 4.0).abs() < 1.5, "{}", bn.running_var[0]);
+        assert!(
+            (bn.running_mean[0] - 5.0).abs() < 0.5,
+            "{}",
+            bn.running_mean[0]
+        );
+        assert!(
+            (bn.running_var[0] - 4.0).abs() < 1.5,
+            "{}",
+            bn.running_var[0]
+        );
         // Inference uses running stats: a batch at the distribution mean maps
         // near zero.
         let x = Tensor::from_vec([1, 1], vec![5.0]).unwrap();

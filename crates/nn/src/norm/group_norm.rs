@@ -13,6 +13,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::slice::{active_groups, group_boundary, SliceRate};
+use crate::workspace::{Role, Workspace};
 use ms_tensor::{ops, Tensor};
 
 /// Sliced group normalisation over `[B, C_active, H, W]` or `[B, C_active]`.
@@ -24,6 +25,7 @@ pub struct GroupNorm {
     gamma: Param,
     beta: Param,
     active_groups: usize,
+    ws: Workspace,
     cache: Option<Cache>,
 }
 
@@ -48,9 +50,14 @@ impl GroupNorm {
             channels,
             groups,
             eps: 1e-5,
-            gamma: Param::new(format!("{name}.gamma"), Tensor::full([channels], 1.0), false),
+            gamma: Param::new(
+                format!("{name}.gamma"),
+                Tensor::full([channels], 1.0),
+                false,
+            ),
             beta: Param::new(format!("{name}.beta"), Tensor::zeros([channels]), false),
             active_groups: groups,
+            ws: Workspace::new(),
             cache: None,
             name,
         }
@@ -93,41 +100,62 @@ impl Layer for GroupNorm {
         );
         let hw: usize = dims[2..].iter().product::<usize>().max(1);
 
-        let mut y = x.clone();
-        let mut xhat = x.clone();
-        let mut inv_stds = vec![0.0f32; batch * self.active_groups];
-        for s in 0..batch {
-            let sample_off = s * c_act * hw;
-            for g in 0..self.active_groups {
-                let (lo, hi) = self.group_range(g);
-                let span = sample_off + lo * hw..sample_off + hi * hw;
-                let (mean, var) = ops::mean_var(&y.data()[span.clone()]);
-                let inv_std = 1.0 / (var + self.eps).sqrt();
-                inv_stds[s * self.active_groups + g] = inv_std;
-                // x̂ then y = γ·x̂ + β per channel.
-                let xh = &mut xhat.data_mut()[span.clone()];
-                for v in xh.iter_mut() {
-                    *v = (*v - mean) * inv_std;
-                }
-                let xh = &xhat.data()[span.clone()];
-                let yv = &mut y.data_mut()[span];
-                for (ch_idx, ch) in (lo..hi).enumerate() {
-                    let gamma = self.gamma.value.data()[ch];
-                    let beta = self.beta.value.data()[ch];
-                    let base = ch_idx * hw;
-                    for k in 0..hw {
-                        yv[base + k] = gamma * xh[base + k] + beta;
+        let mut y = x.pooled_clone();
+        if mode == Mode::Train {
+            let mut xhat = x.pooled_clone();
+            let mut inv_stds = self.ws.take(Role::Stats, batch * self.active_groups);
+            for s in 0..batch {
+                let sample_off = s * c_act * hw;
+                for g in 0..self.active_groups {
+                    let (lo, hi) = self.group_range(g);
+                    let span = sample_off + lo * hw..sample_off + hi * hw;
+                    let (mean, var) = ops::mean_var(&y.data()[span.clone()]);
+                    let inv_std = 1.0 / (var + self.eps).sqrt();
+                    inv_stds[s * self.active_groups + g] = inv_std;
+                    // x̂ then y = γ·x̂ + β per channel.
+                    let xh = &mut xhat.data_mut()[span.clone()];
+                    for v in xh.iter_mut() {
+                        *v = (*v - mean) * inv_std;
+                    }
+                    let xh = &xhat.data()[span.clone()];
+                    let yv = &mut y.data_mut()[span];
+                    for (ch_idx, ch) in (lo..hi).enumerate() {
+                        let gamma = self.gamma.value.data()[ch];
+                        let beta = self.beta.value.data()[ch];
+                        let base = ch_idx * hw;
+                        for k in 0..hw {
+                            yv[base + k] = gamma * xh[base + k] + beta;
+                        }
                     }
                 }
             }
-        }
-        if mode == Mode::Train {
             self.cache = Some(Cache {
                 xhat,
                 inv_std: inv_stds,
                 hw,
                 batch,
             });
+        } else {
+            // Inference needs no x̂ cache: normalise and apply the affine in
+            // a single in-place pass over the output.
+            for s in 0..batch {
+                let sample_off = s * c_act * hw;
+                for g in 0..self.active_groups {
+                    let (lo, hi) = self.group_range(g);
+                    let span = sample_off + lo * hw..sample_off + hi * hw;
+                    let (mean, var) = ops::mean_var(&y.data()[span.clone()]);
+                    let inv_std = 1.0 / (var + self.eps).sqrt();
+                    let yv = &mut y.data_mut()[span];
+                    for (ch_idx, ch) in (lo..hi).enumerate() {
+                        let gamma = self.gamma.value.data()[ch];
+                        let beta = self.beta.value.data()[ch];
+                        let base = ch_idx * hw;
+                        for k in 0..hw {
+                            yv[base + k] = gamma * (yv[base + k] - mean) * inv_std + beta;
+                        }
+                    }
+                }
+            }
         }
         y
     }
@@ -136,7 +164,7 @@ impl Layer for GroupNorm {
         let cache = self.cache.take().expect("backward before Train forward");
         let c_act = self.active_channels();
         let hw = cache.hw;
-        let mut dx = Tensor::zeros(dy.shape().clone());
+        let mut dx = Tensor::pooled_zeros(dy.shape().clone());
         for s in 0..cache.batch {
             let sample_off = s * c_act * hw;
             for g in 0..self.active_groups {
@@ -182,6 +210,8 @@ impl Layer for GroupNorm {
                 }
             }
         }
+        cache.xhat.recycle();
+        self.ws.put(Role::Stats, cache.inv_std);
         dx
     }
 
@@ -229,9 +259,7 @@ mod tests {
         for s in 0..2 {
             for g in 0..4 {
                 let slab: Vec<f32> = (2 * g..2 * g + 2)
-                    .flat_map(|c| {
-                        (0..9).map(move |k| (c, k))
-                    })
+                    .flat_map(|c| (0..9).map(move |k| (c, k)))
                     .map(|(c, k)| y.at(&[s, c, k / 3, k % 3]))
                     .collect();
                 let (m, v) = ms_tensor::ops::mean_var(&slab);
@@ -277,8 +305,8 @@ mod tests {
     fn dense_rank2_inputs_supported() {
         let mut rng = SeededRng::new(4);
         let mut gn = GroupNorm::new("gn", 8, 2);
-        let x = Tensor::from_vec([3, 8], (0..24).map(|_| rng.uniform(-1.0, 1.0)).collect())
-            .unwrap();
+        let x =
+            Tensor::from_vec([3, 8], (0..24).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap();
         let y = gn.forward(&x, Mode::Infer);
         assert_eq!(y.dims(), &[3, 8]);
         assert_grads(&mut gn, &x, &mut rng);

@@ -22,12 +22,7 @@ pub struct SwitchableBatchNorm {
 impl SwitchableBatchNorm {
     /// Creates one BN per rate in `rates` for a layer whose full output width
     /// is `channels` with `groups` slicing groups.
-    pub fn new(
-        name: impl Into<String>,
-        channels: usize,
-        groups: usize,
-        rates: &[f32],
-    ) -> Self {
+    pub fn new(name: impl Into<String>, channels: usize, groups: usize, rates: &[f32]) -> Self {
         assert!(!rates.is_empty(), "need at least one rate");
         let name = name.into();
         let mut sorted: Vec<f32> = rates.to_vec();

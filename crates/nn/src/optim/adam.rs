@@ -155,7 +155,11 @@ mod tests {
             net.p.grad.data_mut()[0] = w; // ∇(w²/2)
             opt.step(&mut net);
         }
-        assert!(net.p.value.data()[0].abs() < 0.02, "{}", net.p.value.data()[0]);
+        assert!(
+            net.p.value.data()[0].abs() < 0.02,
+            "{}",
+            net.p.value.data()[0]
+        );
     }
 
     #[test]

@@ -34,11 +34,7 @@ impl StepSchedule {
 
     /// The paper's CIFAR recipe: ÷10 at 50 % and 75 % of `total_epochs`.
     pub fn cifar(base_lr: f32, total_epochs: usize) -> Self {
-        StepSchedule::new(
-            base_lr,
-            vec![total_epochs / 2, total_epochs * 3 / 4],
-            0.1,
-        )
+        StepSchedule::new(base_lr, vec![total_epochs / 2, total_epochs * 3 / 4], 0.1)
     }
 }
 

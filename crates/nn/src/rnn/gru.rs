@@ -48,14 +48,25 @@ struct StepCache {
     u_n: Tensor,    // [B, a_h] — U_n·h_prev + b_u (pre reset-gating)
 }
 
+impl StepCache {
+    fn recycle(self) {
+        self.x.recycle();
+        self.h_prev.recycle();
+        self.r.recycle();
+        self.z.recycle();
+        self.n.recycle();
+        self.u_n.recycle();
+    }
+}
+
 /// Sliceable GRU over `[B, T, D_active] → [B, T, H_active]`.
 pub struct Gru {
     cfg: GruConfig,
     name: String,
-    w_x: Param,  // [3H, D]
-    w_h: Param,  // [3H, H]
-    b_x: Param,  // [3H]
-    b_h: Param,  // [3H]
+    w_x: Param, // [3H, D]
+    w_h: Param, // [3H, H]
+    b_x: Param, // [3H]
+    b_h: Param, // [3H]
     active_in: usize,
     active_h: usize,
     cache: Vec<StepCache>,
@@ -164,39 +175,90 @@ impl Layer for Gru {
         let a_h = self.active_h;
         let (sx, sh) = (self.scale_x(), self.scale_h());
 
-        self.cache.clear();
-        let mut h = Tensor::zeros([batch, a_h]);
-        let mut out = Tensor::zeros([batch, steps, a_h]);
+        for step in self.cache.drain(..) {
+            step.recycle();
+        }
+        let mut h = Tensor::pooled_zeros([batch, a_h]);
+        let mut out = Tensor::pooled_zeros([batch, steps, a_h]);
         for t in 0..steps {
-            let mut xt = Tensor::zeros([batch, d]);
+            let mut xt = Tensor::pooled_zeros([batch, d]);
             for s in 0..batch {
                 xt.row_mut(s)
                     .copy_from_slice(&x.data()[(s * steps + t) * d..(s * steps + t + 1) * d]);
             }
             // r and z gates.
-            let mut r = Tensor::zeros([batch, a_h]);
-            self.gate_matmul(&self.w_x.value, &self.b_x.value, 0, &xt, d, sx, batch, &mut r);
-            self.gate_matmul(&self.w_h.value, &self.b_h.value, 0, &h, a_h, sh, batch, &mut r);
+            let mut r = Tensor::pooled_zeros([batch, a_h]);
+            self.gate_matmul(
+                &self.w_x.value,
+                &self.b_x.value,
+                0,
+                &xt,
+                d,
+                sx,
+                batch,
+                &mut r,
+            );
+            self.gate_matmul(
+                &self.w_h.value,
+                &self.b_h.value,
+                0,
+                &h,
+                a_h,
+                sh,
+                batch,
+                &mut r,
+            );
             r.map_inplace(sigmoid);
-            let mut z = Tensor::zeros([batch, a_h]);
-            self.gate_matmul(&self.w_x.value, &self.b_x.value, 1, &xt, d, sx, batch, &mut z);
-            self.gate_matmul(&self.w_h.value, &self.b_h.value, 1, &h, a_h, sh, batch, &mut z);
+            let mut z = Tensor::pooled_zeros([batch, a_h]);
+            self.gate_matmul(
+                &self.w_x.value,
+                &self.b_x.value,
+                1,
+                &xt,
+                d,
+                sx,
+                batch,
+                &mut z,
+            );
+            self.gate_matmul(
+                &self.w_h.value,
+                &self.b_h.value,
+                1,
+                &h,
+                a_h,
+                sh,
+                batch,
+                &mut z,
+            );
             z.map_inplace(sigmoid);
             // Candidate: W_n x + b_n  +  r ⊙ (U_n h + b_u).
-            let mut u_n = Tensor::zeros([batch, a_h]);
-            self.gate_matmul(&self.w_h.value, &self.b_h.value, 2, &h, a_h, sh, batch, &mut u_n);
-            let mut n = Tensor::zeros([batch, a_h]);
-            self.gate_matmul(&self.w_x.value, &self.b_x.value, 2, &xt, d, sx, batch, &mut n);
-            for ((nv, &rv), &uv) in n
-                .data_mut()
-                .iter_mut()
-                .zip(r.data())
-                .zip(u_n.data())
-            {
+            let mut u_n = Tensor::pooled_zeros([batch, a_h]);
+            self.gate_matmul(
+                &self.w_h.value,
+                &self.b_h.value,
+                2,
+                &h,
+                a_h,
+                sh,
+                batch,
+                &mut u_n,
+            );
+            let mut n = Tensor::pooled_zeros([batch, a_h]);
+            self.gate_matmul(
+                &self.w_x.value,
+                &self.b_x.value,
+                2,
+                &xt,
+                d,
+                sx,
+                batch,
+                &mut n,
+            );
+            for ((nv, &rv), &uv) in n.data_mut().iter_mut().zip(r.data()).zip(u_n.data()) {
                 *nv = (*nv + rv * uv).tanh();
             }
             // h_t = (1 − z) ⊙ n + z ⊙ h_prev.
-            let h_prev = h.clone();
+            let h_prev = h.pooled_clone();
             for (((hv, &zv), &nv), &hp) in h
                 .data_mut()
                 .iter_mut()
@@ -219,8 +281,18 @@ impl Layer for Gru {
                     n,
                     u_n,
                 });
+            } else {
+                // Inference retains nothing; the pool serves next step's
+                // acquisitions from these buffers.
+                xt.recycle();
+                h_prev.recycle();
+                r.recycle();
+                z.recycle();
+                n.recycle();
+                u_n.recycle();
             }
         }
+        h.recycle();
         out
     }
 
@@ -233,12 +305,13 @@ impl Layer for Gru {
         let batch = self.cache[0].x.dims()[0];
         let (sx, sh) = (self.scale_x(), self.scale_h());
 
-        let mut dx = Tensor::zeros([batch, steps, a_d]);
-        let mut dh_next = Tensor::zeros([batch, a_h]);
+        let mut dx = Tensor::pooled_zeros([batch, steps, a_d]);
+        let mut dh_next = Tensor::pooled_zeros([batch, a_h]);
         for t in (0..steps).rev() {
             let step = self.cache.pop().expect("cache per step");
-            // dh_t = dy_t + recurrent contribution.
-            let mut dh = dh_next.clone();
+            // dh_t = dy_t + recurrent contribution (dh_next is spent after
+            // this, so take it over instead of cloning).
+            let mut dh = dh_next;
             for s in 0..batch {
                 let src = &dy.data()[(s * steps + t) * a_h..(s * steps + t + 1) * a_h];
                 for (v, &g) in dh.row_mut(s).iter_mut().zip(src) {
@@ -246,11 +319,11 @@ impl Layer for Gru {
                 }
             }
             // Elementwise gate gradients.
-            let mut dzr = Tensor::zeros([batch, a_h]); // pre-act dz
-            let mut drr = Tensor::zeros([batch, a_h]); // pre-act dr
-            let mut dnr = Tensor::zeros([batch, a_h]); // pre-act dn
-            let mut du_n = Tensor::zeros([batch, a_h]); // grad at (U_n h + b_u)
-            let mut dh_prev = Tensor::zeros([batch, a_h]);
+            let mut dzr = Tensor::pooled_zeros([batch, a_h]); // pre-act dz
+            let mut drr = Tensor::pooled_zeros([batch, a_h]); // pre-act dr
+            let mut dnr = Tensor::pooled_zeros([batch, a_h]); // pre-act dn
+            let mut du_n = Tensor::pooled_zeros([batch, a_h]); // grad at (U_n h + b_u)
+            let mut dh_prev = Tensor::pooled_zeros([batch, a_h]);
             for i in 0..batch * a_h {
                 let dhv = dh.data()[i];
                 let (z, n, hp, r, un) = (
@@ -354,8 +427,15 @@ impl Layer for Gru {
                     a_h,
                 );
             }
+            dh.recycle();
+            dzr.recycle();
+            drr.recycle();
+            dnr.recycle();
+            du_n.recycle();
+            step.recycle();
             dh_next = dh_prev;
         }
+        dh_next.recycle();
         dx
     }
 
@@ -441,8 +521,7 @@ mod tests {
         let mut rng = SeededRng::new(42);
         let mut g = gru(3, 4, false);
         let x = random_input(&mut rng, [2, 3, 3]);
-        check_layer(&mut g, &x, &mut rng, &CheckOpts::default())
-            .unwrap_or_else(|e| panic!("{e}"));
+        check_layer(&mut g, &x, &mut rng, &CheckOpts::default()).unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -451,8 +530,7 @@ mod tests {
         let mut g = gru(8, 8, true);
         g.set_slice_rate(SliceRate::new(0.5));
         let x = random_input(&mut rng, [2, 3, 4]);
-        check_layer(&mut g, &x, &mut rng, &CheckOpts::default())
-            .unwrap_or_else(|e| panic!("{e}"));
+        check_layer(&mut g, &x, &mut rng, &CheckOpts::default()).unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]

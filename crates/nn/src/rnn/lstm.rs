@@ -19,6 +19,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::slice::{active_units, SliceRate};
+use crate::workspace::{Role, Workspace};
 use ms_tensor::matmul::{gemm, Trans};
 use ms_tensor::ops::{sigmoid, sigmoid_grad_from_output, tanh_grad_from_output};
 use ms_tensor::{init, SeededRng, Tensor};
@@ -42,23 +43,34 @@ pub struct LstmConfig {
 
 /// Per-timestep cache for BPTT.
 struct StepCache {
-    x: Tensor,       // [B, a_d]
-    h_prev: Tensor,  // [B, a_h]
-    c_prev: Tensor,  // [B, a_h]
-    gates: Tensor,   // [B, 4*a_h] post-activation (i, f, g, o)
-    tanh_c: Tensor,  // [B, a_h]
+    x: Tensor,      // [B, a_d]
+    h_prev: Tensor, // [B, a_h]
+    c_prev: Tensor, // [B, a_h]
+    gates: Tensor,  // [B, 4*a_h] post-activation (i, f, g, o)
+    tanh_c: Tensor, // [B, a_h]
 }
 
 /// Sliceable LSTM over `[B, T, D_active] → [B, T, H_active]`.
 pub struct Lstm {
     cfg: LstmConfig,
     name: String,
-    w_x: Param, // [4H, D]
-    w_h: Param, // [4H, H]
+    w_x: Param,  // [4H, D]
+    w_h: Param,  // [4H, H]
     bias: Param, // [4H]
     active_in: usize,
     active_h: usize,
+    ws: Workspace,
     cache: Vec<StepCache>,
+}
+
+impl StepCache {
+    fn recycle(self) {
+        self.x.recycle();
+        self.h_prev.recycle();
+        self.c_prev.recycle();
+        self.gates.recycle();
+        self.tanh_c.recycle();
+    }
 }
 
 impl Lstm {
@@ -97,6 +109,7 @@ impl Lstm {
             w_x,
             w_h,
             bias,
+            ws: Workspace::new(),
             cache: Vec::new(),
         }
     }
@@ -181,76 +194,96 @@ impl Layer for Lstm {
         assert_eq!(d, self.active_in, "{}: input width", self.name);
         let a_h = self.active_h;
 
-        self.cache.clear();
-        let mut h = Tensor::zeros([batch, a_h]);
-        let mut c = Tensor::zeros([batch, a_h]);
-        let mut out = Tensor::zeros([batch, steps, a_h]);
+        for step in self.cache.drain(..) {
+            step.recycle();
+        }
+        let mut h = Tensor::pooled_zeros([batch, a_h]);
+        let mut c = Tensor::pooled_zeros([batch, a_h]);
+        let mut out = Tensor::pooled_zeros([batch, steps, a_h]);
+        let mut z = self.ws.take(Role::Preact, batch * GATES * a_h);
+        // Inference reuses one x_t gather buffer; training needs one per
+        // step (they live in the BPTT cache until backward recycles them).
+        let mut xt_spare = (mode == Mode::Infer).then(|| Tensor::pooled_zeros([batch, d]));
 
         for t in 0..steps {
             // Gather x_t: [B, a_d] (strided over the time axis).
-            let mut xt = Tensor::zeros([batch, d]);
+            let mut xt = xt_spare
+                .take()
+                .unwrap_or_else(|| Tensor::pooled_zeros([batch, d]));
             for s in 0..batch {
                 let src = &x.data()[(s * steps + t) * d..(s * steps + t + 1) * d];
                 xt.row_mut(s).copy_from_slice(src);
             }
-            let mut z = vec![0.0f32; batch * GATES * a_h];
+            z.iter_mut().for_each(|v| *v = 0.0);
             self.gate_preacts(&xt, &h, batch, &mut z);
 
-            // Activations + state update.
-            let mut gates = Tensor::zeros([batch, GATES * a_h]);
-            let c_prev = c.clone();
-            let mut tanh_c = Tensor::zeros([batch, a_h]);
-            for s in 0..batch {
-                let zrow = &z[s * GATES * a_h..(s + 1) * GATES * a_h];
-                let grow = gates.row_mut(s);
-                for k in 0..a_h {
-                    grow[k] = sigmoid(zrow[k]); // i
-                    grow[a_h + k] = sigmoid(zrow[a_h + k]); // f
-                    grow[2 * a_h + k] = zrow[2 * a_h + k].tanh(); // g
-                    grow[3 * a_h + k] = sigmoid(zrow[3 * a_h + k]); // o
-                }
-                let crow = c.row_mut(s);
-                let grow = gates.row(s);
-                for k in 0..a_h {
-                    crow[k] = grow[a_h + k] * c_prev.row(s)[k] + grow[k] * grow[2 * a_h + k];
-                }
-                let tc = tanh_c.row_mut(s);
-                let crow = c.row(s);
-                for k in 0..a_h {
-                    tc[k] = crow[k].tanh();
-                }
-                let hrow = h.row_mut(s);
-                for k in 0..a_h {
-                    hrow[k] = grow[3 * a_h + k] * tc[k];
-                }
-                let dst = &mut out.data_mut()[(s * steps + t) * a_h..(s * steps + t + 1) * a_h];
-                dst.copy_from_slice(&h.row(s)[..a_h]);
-            }
-
             if mode == Mode::Train {
+                // Activations + state update, keeping everything backward
+                // needs: h/c before the step, post-activation gates, tanh(c).
+                let h_prev = h.pooled_clone();
+                let c_prev = c.pooled_clone();
+                let mut gates = Tensor::pooled_zeros([batch, GATES * a_h]);
+                let mut tanh_c = Tensor::pooled_zeros([batch, a_h]);
+                for s in 0..batch {
+                    let zrow = &z[s * GATES * a_h..(s + 1) * GATES * a_h];
+                    let grow = gates.row_mut(s);
+                    for k in 0..a_h {
+                        grow[k] = sigmoid(zrow[k]); // i
+                        grow[a_h + k] = sigmoid(zrow[a_h + k]); // f
+                        grow[2 * a_h + k] = zrow[2 * a_h + k].tanh(); // g
+                        grow[3 * a_h + k] = sigmoid(zrow[3 * a_h + k]); // o
+                    }
+                    let crow = c.row_mut(s);
+                    let grow = gates.row(s);
+                    for k in 0..a_h {
+                        crow[k] = grow[a_h + k] * c_prev.row(s)[k] + grow[k] * grow[2 * a_h + k];
+                    }
+                    let tc = tanh_c.row_mut(s);
+                    let crow = c.row(s);
+                    for k in 0..a_h {
+                        tc[k] = crow[k].tanh();
+                    }
+                    let hrow = h.row_mut(s);
+                    for k in 0..a_h {
+                        hrow[k] = grow[3 * a_h + k] * tc[k];
+                    }
+                    let dst = &mut out.data_mut()[(s * steps + t) * a_h..(s * steps + t + 1) * a_h];
+                    dst.copy_from_slice(&h.row(s)[..a_h]);
+                }
                 self.cache.push(StepCache {
                     x: xt,
-                    h_prev: if t == 0 {
-                        Tensor::zeros([batch, a_h])
-                    } else {
-                        // h before this step = previous output row; clone the
-                        // running state *before* overwrite is what we need,
-                        // which is h_prev = previous h. We reconstruct it
-                        // from `out` at t-1.
-                        let mut hp = Tensor::zeros([batch, a_h]);
-                        for s in 0..batch {
-                            let src = &out.data()
-                                [(s * steps + t - 1) * a_h..(s * steps + t) * a_h];
-                            hp.row_mut(s).copy_from_slice(src);
-                        }
-                        hp
-                    },
+                    h_prev,
                     c_prev,
                     gates,
                     tanh_c,
                 });
+            } else {
+                // Inference keeps nothing: gates stay in registers and the
+                // state updates in place (same operation order as Train).
+                for s in 0..batch {
+                    let zrow = &z[s * GATES * a_h..(s + 1) * GATES * a_h];
+                    let crow = c.row_mut(s);
+                    let hrow = h.row_mut(s);
+                    for k in 0..a_h {
+                        let i = sigmoid(zrow[k]);
+                        let f = sigmoid(zrow[a_h + k]);
+                        let g = zrow[2 * a_h + k].tanh();
+                        let o = sigmoid(zrow[3 * a_h + k]);
+                        crow[k] = f * crow[k] + i * g;
+                        hrow[k] = o * crow[k].tanh();
+                    }
+                    let dst = &mut out.data_mut()[(s * steps + t) * a_h..(s * steps + t + 1) * a_h];
+                    dst.copy_from_slice(&h.row(s)[..a_h]);
+                }
+                xt_spare = Some(xt);
             }
         }
+        self.ws.put(Role::Preact, z);
+        if let Some(xt) = xt_spare {
+            xt.recycle();
+        }
+        h.recycle();
+        c.recycle();
         out
     }
 
@@ -263,15 +296,16 @@ impl Layer for Lstm {
         let batch = self.cache[0].x.dims()[0];
         debug_assert_eq!(dy.dims(), &[batch, steps, a_h]);
 
-        let mut dx = Tensor::zeros([batch, steps, a_d]);
-        let mut dh_next = Tensor::zeros([batch, a_h]);
-        let mut dc_next = Tensor::zeros([batch, a_h]);
+        let mut dx = Tensor::pooled_zeros([batch, steps, a_d]);
+        let mut dh_next = Tensor::pooled_zeros([batch, a_h]);
+        let mut dc_next = Tensor::pooled_zeros([batch, a_h]);
         let (sx, sh) = (self.scale_x(), self.scale_h());
 
         for t in (0..steps).rev() {
             let step = self.cache.pop().expect("cache per step");
-            // dh_t = dy_t + recurrent dh_next
-            let mut dh = dh_next.clone();
+            // dh_t = dy_t + recurrent dh_next (dh_next is spent after this,
+            // so take it over instead of cloning).
+            let mut dh = dh_next;
             for s in 0..batch {
                 let src = &dy.data()[(s * steps + t) * a_h..(s * steps + t + 1) * a_h];
                 for (v, &g) in dh.row_mut(s).iter_mut().zip(src) {
@@ -279,8 +313,8 @@ impl Layer for Lstm {
                 }
             }
             // Per-element gate gradients → dz [B, 4*a_h].
-            let mut dz = Tensor::zeros([batch, GATES * a_h]);
-            let mut dc_prev = Tensor::zeros([batch, a_h]);
+            let mut dz = Tensor::pooled_zeros([batch, GATES * a_h]);
+            let mut dc_prev = Tensor::pooled_zeros([batch, a_h]);
             for s in 0..batch {
                 let g = step.gates.row(s);
                 let tc = step.tanh_c.row(s);
@@ -303,10 +337,11 @@ impl Layer for Lstm {
                     dzr[3 * a_h + k] = do_ * sigmoid_grad_from_output(o);
                 }
             }
+            dc_next.recycle();
             dc_next = dc_prev;
 
             // Parameter gradients and input/recurrent gradients per gate.
-            let mut dh_prev = Tensor::zeros([batch, a_h]);
+            let mut dh_prev = Tensor::pooled_zeros([batch, a_h]);
             for gate in 0..GATES {
                 // Views of dz for this gate: column slab [B, a_h] at offset.
                 // dW_x[gate] += s_x * dz_g^T · x
@@ -345,8 +380,7 @@ impl Layer for Lstm {
                 for s in 0..batch {
                     let base = s * GATES * a_h + gate * a_h;
                     let dzs = &dz.data()[base..base + a_h];
-                    let bg = &mut self.bias.grad.data_mut()
-                        [gate * h_full..gate * h_full + a_h];
+                    let bg = &mut self.bias.grad.data_mut()[gate * h_full..gate * h_full + a_h];
                     for (b, &v) in bg.iter_mut().zip(dzs) {
                         *b += v;
                     }
@@ -388,8 +422,13 @@ impl Layer for Lstm {
                     a_h,
                 );
             }
+            dh.recycle();
+            dz.recycle();
+            step.recycle();
             dh_next = dh_prev;
         }
+        dh_next.recycle();
+        dc_next.recycle();
         dx
     }
 
@@ -479,8 +518,7 @@ mod tests {
         let mut rng = SeededRng::new(32);
         let mut l = lstm(3, 4, false);
         let x = random_input(&mut rng, [2, 3, 3]);
-        check_layer(&mut l, &x, &mut rng, &CheckOpts::default())
-            .unwrap_or_else(|e| panic!("{e}"));
+        check_layer(&mut l, &x, &mut rng, &CheckOpts::default()).unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]
@@ -489,8 +527,7 @@ mod tests {
         let mut l = lstm(8, 8, true);
         l.set_slice_rate(SliceRate::new(0.5));
         let x = random_input(&mut rng, [2, 3, 4]);
-        check_layer(&mut l, &x, &mut rng, &CheckOpts::default())
-            .unwrap_or_else(|e| panic!("{e}"));
+        check_layer(&mut l, &x, &mut rng, &CheckOpts::default()).unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]

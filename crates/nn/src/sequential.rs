@@ -54,17 +54,32 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur, mode);
+        // The first layer reads the caller's tensor directly; intermediates
+        // are recycled into the buffer pool as soon as the next layer has
+        // consumed them, so a steady-state pass allocates nothing.
+        let mut iter = self.layers.iter_mut();
+        let Some(first) = iter.next() else {
+            return x.pooled_clone();
+        };
+        let mut cur = first.forward(x, mode);
+        for layer in iter {
+            let next = layer.forward(&cur, mode);
+            cur.recycle();
+            cur = next;
         }
         cur
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let mut cur = dy.clone();
-        for layer in self.layers.iter_mut().rev() {
-            cur = layer.backward(&cur);
+        let mut iter = self.layers.iter_mut().rev();
+        let Some(last) = iter.next() else {
+            return dy.pooled_clone();
+        };
+        let mut cur = last.backward(dy);
+        for layer in iter {
+            let next = layer.backward(&cur);
+            cur.recycle();
+            cur = next;
         }
         cur
     }
@@ -149,8 +164,8 @@ mod tests {
     fn end_to_end_gradients_full_and_sliced() {
         let mut rng = SeededRng::new(2);
         let mut net = mlp(&mut rng);
-        let x = Tensor::from_vec([3, 6], (0..18).map(|_| rng.uniform(-1.0, 1.0)).collect())
-            .unwrap();
+        let x =
+            Tensor::from_vec([3, 6], (0..18).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap();
         assert_grads(&mut net, &x, &mut rng);
         net.set_slice_rate(SliceRate::new(0.5));
         assert_grads(&mut net, &x, &mut rng);

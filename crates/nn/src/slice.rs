@@ -25,7 +25,10 @@ impl SliceRate {
     /// # Panics
     /// If `r` is NaN or not strictly positive.
     pub fn new(r: f32) -> Self {
-        assert!(r.is_finite() && r > 0.0, "slice rate must be in (0,1], got {r}");
+        assert!(
+            r.is_finite() && r > 0.0,
+            "slice rate must be in (0,1], got {r}"
+        );
         SliceRate(r.min(1.0))
     }
 

@@ -5,10 +5,34 @@
 //! its `N × M` weight matrix *in place* by passing `ld = M`, so no weight
 //! copy is ever made when the slice rate changes (paper §3.1, Figure 1).
 //!
-//! Kernels are single-threaded (the target environment has one core) and
-//! chosen per transpose case so the innermost loop is always contiguous in
-//! memory. All functions panic (debug-assert) on inconsistent dimensions;
-//! they are internal hot paths, not the validation boundary.
+//! # Kernel structure
+//!
+//! Large multiplies go through a BLIS-style packed path: panels of `op(A)`
+//! (`MC×KC`) and `op(B)` (`KC×NC`) are packed into contiguous, zero-padded
+//! buffers laid out so the `MR×NR` register-tile micro-kernel reads both
+//! operands sequentially. All four transpose cases differ only in the pack
+//! routines — the micro-kernel is shared, which also gives the previously
+//! column-strided `(Yes, Yes)` case a contiguous inner loop. Problems below
+//! [`SMALL_GEMM_CUTOFF`] use [`gemm_unblocked`], whose per-case loops beat
+//! packing overhead at tiny sizes.
+//!
+//! Pack buffers are thread-local and grow-only, so steady-state calls do no
+//! heap allocation.
+//!
+//! # Determinism
+//!
+//! Accumulation order is a pure function of `(m, n, k)` and the block
+//! constants, so results are bitwise reproducible run to run (they are not
+//! bitwise-identical to the pre-packing kernel, which accumulated in a
+//! different order). `fmadd` compiles to hardware FMA when the target has
+//! it (`.cargo/config.toml` sets `target-cpu=native`) and to `a * b + c`
+//! otherwise — each build is internally consistent.
+//!
+//! Kernels are single-threaded (the target environment has one core). All
+//! functions panic (debug-assert) on inconsistent dimensions; they are
+//! internal hot paths, not the validation boundary.
+
+use std::cell::RefCell;
 
 /// Whether an operand is logically transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,12 +43,54 @@ pub enum Trans {
     Yes,
 }
 
+/// Micro-kernel tile rows: 12 of the 16 AVX2 `ymm` registers hold the
+/// `MR × NR` f32 accumulator (6 rows × two 8-lane vectors), leaving room
+/// for the `B` row vectors and the broadcast `A` element.
+const MR: usize = 6;
+/// Micro-kernel tile columns (two 8-lane f32 vectors).
+const NR: usize = 16;
+/// Rows of `op(A)` packed per panel (multiple of `MR`; panel ≈ 72 KiB at
+/// `KC=256`, sized for L2).
+const MC: usize = 72;
+/// Shared dimension per panel: the micro-kernel streams `KC·(MR+NR)` packed
+/// floats per tile, sized so a `B` strip stays cache-resident.
+const KC: usize = 256;
+/// Columns of `op(B)` packed per panel (multiple of `NR`).
+const NC: usize = 1024;
+/// Problems with `m·n·k` at or below this use the unblocked kernel: packing
+/// costs `O(mk + kn)` and only pays off once each packed element is reused
+/// across several tiles.
+const SMALL_GEMM_CUTOFF: usize = 8192;
+
+thread_local! {
+    /// Grow-only pack buffers (`op(A)` panel, `op(B)` panel), reused across
+    /// calls so steady-state GEMM performs zero heap allocations.
+    static PACK_BUFS: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Fused multiply-add `a * b + c` on hardware FMA; plain `a * b + c` when
+/// the target lacks it (where `f32::mul_add` would be a slow libm call).
+#[inline(always)]
+fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
 /// General matrix multiply: `C = alpha * op(A) * op(B) + beta * C`.
 ///
 /// `op(A)` is `m×k`, `op(B)` is `k×n`, `C` is `m×n`; all matrices are
 /// row-major with leading dimensions (row strides) `lda`, `ldb`, `ldc`.
 /// When `trans_a == Trans::No`, `A` is stored `m×k` with `lda >= k`;
 /// when transposed it is stored `k×m` with `lda >= m` (likewise for `B`).
+///
+/// `C` is pre-scaled by `beta` (BLAS-like: `beta = 0` multiplies, so NaN in
+/// `C` stays NaN), then `alpha * op(A)·op(B)` is accumulated.
 ///
 /// # Panics
 /// Debug-asserts that every buffer is large enough for its
@@ -42,6 +108,71 @@ pub fn gemm(
     b: &[f32],
     ldb: usize,
     beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    debug_check(trans_a, trans_b, m, n, k, a, lda, b, ldb, c, ldc);
+
+    if m == 0 || n == 0 {
+        return;
+    }
+    // Pre-scale C by beta once, then accumulate.
+    if beta != 1.0 {
+        for row in c.chunks_mut(ldc).take(m) {
+            for v in &mut row[..n] {
+                *v *= beta;
+            }
+        }
+    }
+    if k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    if m * n * k <= SMALL_GEMM_CUTOFF {
+        gemm_accumulate_unblocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+        return;
+    }
+
+    PACK_BUFS.with(|bufs| {
+        let (ref mut apack, ref mut bpack) = *bufs.borrow_mut();
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            let nc_strips = nc.div_ceil(NR);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                pack_b(trans_b, b, ldb, pc, kc, jc, nc, bpack);
+                for ic in (0..m).step_by(MC) {
+                    let mc = MC.min(m - ic);
+                    let mc_strips = mc.div_ceil(MR);
+                    pack_a(trans_a, a, lda, ic, mc, pc, kc, apack);
+                    for jr in 0..nc_strips {
+                        let nr = NR.min(nc - jr * NR);
+                        let bp = &bpack[jr * kc * NR..(jr + 1) * kc * NR];
+                        for ir in 0..mc_strips {
+                            let mr = MR.min(mc - ir * MR);
+                            let ap = &apack[ir * kc * MR..(ir + 1) * kc * MR];
+                            let c_off = (ic + ir * MR) * ldc + jc + jr * NR;
+                            micro_kernel(kc, alpha, ap, bp, c, c_off, ldc, mr, nr);
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn debug_check(
+    trans_a: Trans,
+    trans_b: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
     c: &mut [f32],
     ldc: usize,
 ) {
@@ -67,11 +198,163 @@ pub fn gemm(
         ),
     }
     debug_assert!(m == 0 || c.len() >= (m - 1) * ldc + n);
+}
 
+/// Packs the `mc×kc` panel of `op(A)` starting at `(ic, pc)` into strips of
+/// `MR` rows, each strip laid out `kc`-major so the micro-kernel reads
+/// `MR` consecutive floats per `p` step. Rows past `mc` are zero padding.
+fn pack_a(
+    trans_a: Trans,
+    a: &[f32],
+    lda: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    buf: &mut Vec<f32>,
+) {
+    let strips = mc.div_ceil(MR);
+    buf.clear();
+    buf.resize(strips * kc * MR, 0.0);
+    let mut off = 0;
+    for s in 0..strips {
+        let i_base = ic + s * MR;
+        let rows = MR.min(mc - s * MR);
+        match trans_a {
+            Trans::No => {
+                for ii in 0..rows {
+                    let src = &a[(i_base + ii) * lda + pc..][..kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        buf[off + p * MR + ii] = v;
+                    }
+                }
+            }
+            Trans::Yes => {
+                for p in 0..kc {
+                    let src = &a[(pc + p) * lda + i_base..][..rows];
+                    let dst = &mut buf[off + p * MR..off + p * MR + rows];
+                    dst.copy_from_slice(src);
+                }
+            }
+        }
+        off += kc * MR;
+    }
+}
+
+/// Packs the `kc×nc` panel of `op(B)` starting at `(pc, jc)` into strips of
+/// `NR` columns, each strip `kc`-major so the micro-kernel loads one
+/// `NR`-wide row vector per `p` step. Columns past `nc` are zero padding.
+fn pack_b(
+    trans_b: Trans,
+    b: &[f32],
+    ldb: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    buf: &mut Vec<f32>,
+) {
+    let strips = nc.div_ceil(NR);
+    buf.clear();
+    buf.resize(strips * kc * NR, 0.0);
+    let mut off = 0;
+    for t in 0..strips {
+        let j_base = jc + t * NR;
+        let cols = NR.min(nc - t * NR);
+        match trans_b {
+            Trans::No => {
+                for p in 0..kc {
+                    let src = &b[(pc + p) * ldb + j_base..][..cols];
+                    let dst = &mut buf[off + p * NR..off + p * NR + cols];
+                    dst.copy_from_slice(src);
+                }
+            }
+            Trans::Yes => {
+                for jj in 0..cols {
+                    let src = &b[(j_base + jj) * ldb + pc..][..kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        buf[off + p * NR + jj] = v;
+                    }
+                }
+            }
+        }
+        off += kc * NR;
+    }
+}
+
+/// The register-tile kernel: accumulates an `MR×NR` block of `op(A)·op(B)`
+/// from packed strips, then adds `alpha ×` the valid `mr×nr` region into
+/// `C`. The accumulator loop has constant bounds so the autovectoriser
+/// turns each row into two 8-lane FMA chains.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_kernel(
+    kc: usize,
+    alpha: f32,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    c_off: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (a_col, b_row) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        let a_col: &[f32; MR] = a_col.try_into().unwrap();
+        let b_row: &[f32; NR] = b_row.try_into().unwrap();
+        for i in 0..MR {
+            let aip = a_col[i];
+            for j in 0..NR {
+                acc[i][j] = fmadd(aip, b_row[j], acc[i][j]);
+            }
+        }
+    }
+    if mr == MR && nr == NR {
+        // Full tile: constant-bound write-back.
+        for (i, acc_row) in acc.iter().enumerate() {
+            let row = &mut c[c_off + i * ldc..c_off + i * ldc + NR];
+            for j in 0..NR {
+                row[j] = fmadd(alpha, acc_row[j], row[j]);
+            }
+        }
+    } else {
+        // Edge tile: the accumulator's padded lanes are zero; write only
+        // the region that exists in C.
+        for (i, acc_row) in acc.iter().enumerate().take(mr) {
+            let row = &mut c[c_off + i * ldc..c_off + i * ldc + nr];
+            for (j, cv) in row.iter_mut().enumerate() {
+                *cv = fmadd(alpha, acc_row[j], *cv);
+            }
+        }
+    }
+}
+
+/// The pre-packing kernel, retained verbatim as (a) the small-problem path,
+/// where per-case contiguous loops beat packing overhead, and (b) the
+/// "before" baseline for `ms-bench`'s `bench_snapshot` perf trajectory.
+///
+/// Semantics are identical to [`gemm`] (including the `beta` pre-scale).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_unblocked(
+    trans_a: Trans,
+    trans_b: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    debug_check(trans_a, trans_b, m, n, k, a, lda, b, ldb, c, ldc);
     if m == 0 || n == 0 {
         return;
     }
-    // Pre-scale C by beta once, then accumulate.
     if beta != 1.0 {
         for row in c.chunks_mut(ldc).take(m) {
             for v in &mut row[..n] {
@@ -82,7 +365,26 @@ pub fn gemm(
     if k == 0 || alpha == 0.0 {
         return;
     }
+    gemm_accumulate_unblocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+}
 
+/// `C += alpha * op(A)·op(B)` with one contiguous-inner-loop strategy per
+/// transpose case (the pre-packing dispatch).
+#[allow(clippy::too_many_arguments)]
+fn gemm_accumulate_unblocked(
+    trans_a: Trans,
+    trans_b: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
     match (trans_a, trans_b) {
         // C[i,:] += alpha * A[i,p] * B[p,:]  — contiguous inner loop over B rows.
         (Trans::No, Trans::No) => {
@@ -96,7 +398,7 @@ pub fn gemm(
                     let s = alpha * aip;
                     let b_row = &b[p * ldb..p * ldb + n];
                     for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += s * bv;
+                        *cv = fmadd(s, bv, *cv);
                     }
                 }
             }
@@ -108,7 +410,7 @@ pub fn gemm(
                 let c_row = &mut c[i * ldc..i * ldc + n];
                 for (j, cv) in c_row.iter_mut().enumerate() {
                     let b_row = &b[j * ldb..j * ldb + k];
-                    *cv += alpha * dot(a_row, b_row);
+                    *cv = fmadd(alpha, dot(a_row, b_row), *cv);
                 }
             }
         }
@@ -124,7 +426,7 @@ pub fn gemm(
                     let s = alpha * api;
                     let c_row = &mut c[i * ldc..i * ldc + n];
                     for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += s * bv;
+                        *cv = fmadd(s, bv, *cv);
                     }
                 }
             }
@@ -136,39 +438,44 @@ pub fn gemm(
                     let b_row = &b[j * ldb..j * ldb + k];
                     let mut acc = 0.0f32;
                     for (p, &bv) in b_row.iter().enumerate() {
-                        acc += a[p * lda + i] * bv;
+                        acc = fmadd(a[p * lda + i], bv, acc);
                     }
-                    c[i * ldc + j] += alpha * acc;
+                    c[i * ldc + j] = fmadd(alpha, acc, c[i * ldc + j]);
                 }
             }
         }
     }
 }
 
-/// Dot product with 4-way partial sums (helps the autovectoriser and reduces
-/// sequential rounding without changing results run-to-run).
+/// Dot product with 8 independent partial sums (one AVX2 FMA chain per
+/// lane group; the fixed reduction tree keeps results run-to-run
+/// deterministic).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    let (a4, a_rest) = a.split_at(chunks * 4);
-    let (b4, b_rest) = b.split_at(chunks * 4);
-    for (ac, bc) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
-        acc[0] += ac[0] * bc[0];
-        acc[1] += ac[1] * bc[1];
-        acc[2] += ac[2] * bc[2];
-        acc[3] += ac[3] * bc[3];
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    let (a8, a_rest) = a.split_at(chunks * 8);
+    let (b8, b_rest) = b.split_at(chunks * 8);
+    for (ac, bc) in a8.chunks_exact(8).zip(b8.chunks_exact(8)) {
+        for l in 0..8 {
+            acc[l] = fmadd(ac[l], bc[l], acc[l]);
+        }
     }
-    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
     for (x, y) in a_rest.iter().zip(b_rest) {
-        s += x * y;
+        s = fmadd(*x, *y, s);
     }
     s
 }
 
 /// Matrix–vector product: `y = alpha * op(A) * x + beta * y` where `op(A)` is
 /// `m×n` row-major with leading dimension `lda`.
+///
+/// Dedicated kernels per transpose (rather than `gemm` with `n = 1`, whose
+/// contiguous inner loop would have length 1): `Trans::No` is a row-dot per
+/// output, `Trans::Yes` streams stored rows with an axpy per input. This is
+/// the batch-1 serving hot path.
 #[allow(clippy::too_many_arguments)]
 pub fn gemv(
     trans: Trans,
@@ -181,24 +488,59 @@ pub fn gemv(
     beta: f32,
     y: &mut [f32],
 ) {
-    gemm(
-        trans,
-        Trans::No,
-        m,
-        1,
-        n,
-        alpha,
-        a,
-        lda,
-        x,
-        1,
-        beta,
-        y,
-        1,
-    );
+    match trans {
+        Trans::No => debug_assert!(
+            lda >= n.max(1) && (m == 0 || a.len() >= (m - 1) * lda + n),
+            "A buffer too small for {m}x{n} lda {lda}"
+        ),
+        Trans::Yes => debug_assert!(
+            lda >= m.max(1) && (n == 0 || a.len() >= (n - 1) * lda + m),
+            "A^T buffer too small for {n}x{m} lda {lda}"
+        ),
+    }
+    debug_assert!(x.len() >= n);
+    debug_assert!(y.len() >= m);
+
+    if m == 0 {
+        return;
+    }
+    // Same beta semantics as gemm: pre-scale, then accumulate.
+    if beta != 1.0 {
+        for v in &mut y[..m] {
+            *v *= beta;
+        }
+    }
+    if n == 0 || alpha == 0.0 {
+        return;
+    }
+    match trans {
+        // y[i] += alpha * dot(A[i, :], x) — one contiguous row-dot per output.
+        Trans::No => {
+            let x = &x[..n];
+            for (i, yv) in y.iter_mut().enumerate().take(m) {
+                let a_row = &a[i * lda..i * lda + n];
+                *yv = fmadd(alpha, dot(a_row, x), *yv);
+            }
+        }
+        // y += alpha * x[p] * A[p, :] — axpy over contiguous stored rows.
+        Trans::Yes => {
+            let y = &mut y[..m];
+            for (p, &xp) in x.iter().enumerate().take(n) {
+                if xp == 0.0 {
+                    continue;
+                }
+                let s = alpha * xp;
+                let a_row = &a[p * lda..p * lda + m];
+                for (yv, &av) in y.iter_mut().zip(a_row) {
+                    *yv = fmadd(s, av, *yv);
+                }
+            }
+        }
+    }
 }
 
-/// Reference (naive, unblocked) GEMM used by tests to validate the kernels.
+/// Reference (naive, unblocked, f64-accumulating) GEMM used by tests to
+/// validate the kernels.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_reference(
     trans_a: Trans,
@@ -243,7 +585,16 @@ mod tests {
         (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()
     }
 
-    fn check_case(trans_a: Trans, trans_b: Trans, m: usize, n: usize, k: usize, pad: usize) {
+    fn check_case_ab(
+        trans_a: Trans,
+        trans_b: Trans,
+        m: usize,
+        n: usize,
+        k: usize,
+        pad: usize,
+        alpha: f32,
+        beta: f32,
+    ) {
         let mut rng = SeededRng::new(42);
         let (ar, ac) = match trans_a {
             Trans::No => (m, k),
@@ -262,17 +613,37 @@ mod tests {
         let mut c_fast = c0.clone();
         let mut c_ref = c0.clone();
         gemm(
-            trans_a, trans_b, m, n, k, 0.7, &a, lda, &b, ldb, 0.3, &mut c_fast, ldc,
+            trans_a,
+            trans_b,
+            m,
+            n,
+            k,
+            alpha,
+            &a,
+            lda,
+            &b,
+            ldb,
+            beta,
+            &mut c_fast,
+            ldc,
         );
         gemm_reference(
-            trans_a, trans_b, m, n, k, 0.7, &a, lda, &b, ldb, 0.3, &mut c_ref, ldc,
+            trans_a, trans_b, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c_ref, ldc,
         );
+        // Scale tolerance with k: the kernel accumulates in f32 while the
+        // reference uses f64.
+        let tol = 1e-4 * (1.0 + (k as f32).sqrt() * 0.1);
         for (i, (x, y)) in c_fast.iter().zip(c_ref.iter()).enumerate() {
             assert!(
-                (x - y).abs() < 1e-4,
-                "mismatch at {i}: {x} vs {y} ({trans_a:?},{trans_b:?} m={m} n={n} k={k} pad={pad})"
+                (x - y).abs() < tol,
+                "mismatch at {i}: {x} vs {y} \
+                 ({trans_a:?},{trans_b:?} m={m} n={n} k={k} pad={pad} a={alpha} b={beta})"
             );
         }
+    }
+
+    fn check_case(trans_a: Trans, trans_b: Trans, m: usize, n: usize, k: usize, pad: usize) {
+        check_case_ab(trans_a, trans_b, m, n, k, pad, 0.7, 0.3);
     }
 
     #[test]
@@ -287,6 +658,83 @@ mod tests {
         }
     }
 
+    /// Shapes chosen to land on every packed-path boundary: partial MR/NR
+    /// edge tiles, multiple KC blocks, multiple MC panels, and (with `pad`)
+    /// leading dimensions larger than the logical width.
+    #[test]
+    fn packed_path_blocking_boundaries_match_reference() {
+        let cases = [
+            (MR + 1, NR + 1, KC + 5),     // edge tiles + two KC blocks
+            (MC + 3, NR, 40),             // two MC panels
+            (2 * MR, 3 * NR + 7, KC - 1), // full strips + ragged N edge
+            (33, 47, 65),                 // nothing aligned at all
+        ];
+        for &(m, n, k) in &cases {
+            for &pad in &[0usize, 5] {
+                check_case(Trans::No, Trans::No, m, n, k, pad);
+                check_case(Trans::No, Trans::Yes, m, n, k, pad);
+                check_case(Trans::Yes, Trans::No, m, n, k, pad);
+                check_case(Trans::Yes, Trans::Yes, m, n, k, pad);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_grid_matches_reference() {
+        for &alpha in &[0.0f32, 0.5, 1.0] {
+            for &beta in &[0.0f32, 0.5, 1.0] {
+                // One small (unblocked) and one packed-path shape each.
+                check_case_ab(Trans::No, Trans::Yes, 5, 6, 7, 2, alpha, beta);
+                check_case_ab(Trans::Yes, Trans::No, 25, 33, 41, 3, alpha, beta);
+            }
+        }
+    }
+
+    #[test]
+    fn unblocked_kernel_matches_reference() {
+        for &(m, n, k) in &[(3, 5, 7), (13, 2, 9), (31, 17, 23)] {
+            let mut rng = SeededRng::new(7);
+            let a = random_buf(&mut rng, m * k);
+            let b = random_buf(&mut rng, k * n);
+            let c0 = random_buf(&mut rng, m * n);
+            let mut c_fast = c0.clone();
+            let mut c_ref = c0;
+            gemm_unblocked(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                0.7,
+                &a,
+                k,
+                &b,
+                n,
+                0.3,
+                &mut c_fast,
+                n,
+            );
+            gemm_reference(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                0.7,
+                &a,
+                k,
+                &b,
+                n,
+                0.3,
+                &mut c_ref,
+                n,
+            );
+            for (x, y) in c_fast.iter().zip(&c_ref) {
+                assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
     #[test]
     fn sliced_block_multiplication() {
         // Multiply only the top-left 2x3 block of a 4x5 matrix by passing ld=5,
@@ -297,6 +745,93 @@ mod tests {
         // y = W[0..2, 0..3] * x
         gemv(Trans::No, 2, 3, 1.0, &w, 5, &x, 0.0, &mut y);
         assert_eq!(y, vec![0. + 1. + 2., 5. + 6. + 7.]);
+    }
+
+    #[test]
+    fn sliced_packed_block_multiplication() {
+        // Same in-place sub-block contract on the packed path: top-left
+        // 60x60 block of a 100x100 matrix via ld=100.
+        let full = 100usize;
+        let m = 60usize;
+        let mut rng = SeededRng::new(17);
+        let a = random_buf(&mut rng, full * full);
+        let b = random_buf(&mut rng, full * full);
+        let mut c_fast = vec![0.0f32; m * m];
+        let mut c_ref = vec![0.0f32; m * m];
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            m,
+            m,
+            m,
+            1.0,
+            &a,
+            full,
+            &b,
+            full,
+            0.0,
+            &mut c_fast,
+            m,
+        );
+        gemm_reference(
+            Trans::No,
+            Trans::Yes,
+            m,
+            m,
+            m,
+            1.0,
+            &a,
+            full,
+            &b,
+            full,
+            0.0,
+            &mut c_ref,
+            m,
+        );
+        for (x, y) in c_fast.iter().zip(&c_ref) {
+            assert!((x - y).abs() < 2e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_is_deterministic_run_to_run() {
+        let mut rng = SeededRng::new(23);
+        let (m, n, k) = (70, 50, 300); // multiple KC blocks + edge tiles
+        let a = random_buf(&mut rng, m * k);
+        let b = random_buf(&mut rng, k * n);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            k,
+            &b,
+            n,
+            0.0,
+            &mut c1,
+            n,
+        );
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            k,
+            &b,
+            n,
+            0.0,
+            &mut c2,
+            n,
+        );
+        assert_eq!(c1, c2, "bitwise reproducibility");
     }
 
     #[test]
@@ -349,11 +884,67 @@ mod tests {
     #[test]
     fn dot_matches_naive() {
         let mut rng = SeededRng::new(7);
-        for len in [0usize, 1, 3, 4, 5, 17, 64] {
+        for len in [0usize, 1, 3, 4, 5, 8, 9, 17, 64, 100] {
             let a = random_buf(&mut rng, len);
             let b = random_buf(&mut rng, len);
             let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
             assert!((dot(&a, &b) - naive).abs() < 1e-4, "len {len}");
+        }
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let mut rng = SeededRng::new(29);
+        let a = random_buf(&mut rng, 1000);
+        let b = random_buf(&mut rng, 1000);
+        assert_eq!(dot(&a, &b), dot(&a, &b));
+    }
+
+    #[test]
+    fn gemv_matches_gemm_both_transposes() {
+        let mut rng = SeededRng::new(31);
+        for &(m, n, pad) in &[
+            (1usize, 1usize, 0usize),
+            (7, 5, 0),
+            (16, 33, 3),
+            (64, 48, 1),
+        ] {
+            for &trans in &[Trans::No, Trans::Yes] {
+                let (rows, cols) = match trans {
+                    Trans::No => (m, n),
+                    Trans::Yes => (n, m),
+                };
+                let lda = cols + pad;
+                let a = random_buf(&mut rng, rows * lda);
+                let x = random_buf(&mut rng, n);
+                let y0 = random_buf(&mut rng, m);
+                for &(alpha, beta) in &[(1.0f32, 0.0f32), (0.5, 0.5), (0.0, 1.0), (1.0, 1.0)] {
+                    let mut y_fast = y0.clone();
+                    let mut y_ref = y0.clone();
+                    gemv(trans, m, n, alpha, &a, lda, &x, beta, &mut y_fast);
+                    gemm_reference(
+                        trans,
+                        Trans::No,
+                        m,
+                        1,
+                        n,
+                        alpha,
+                        &a,
+                        lda,
+                        &x,
+                        1,
+                        beta,
+                        &mut y_ref,
+                        1,
+                    );
+                    for (i, (p, q)) in y_fast.iter().zip(&y_ref).enumerate() {
+                        assert!(
+                            (p - q).abs() < 1e-4,
+                            "gemv {trans:?} m={m} n={n} i={i}: {p} vs {q}"
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -377,5 +968,8 @@ mod tests {
             &mut c,
             1,
         );
+        let x: Vec<f32> = vec![];
+        let mut y: Vec<f32> = vec![];
+        gemv(Trans::No, 0, 0, 1.0, &a, 1, &x, 0.0, &mut y);
     }
 }

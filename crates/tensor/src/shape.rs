@@ -4,42 +4,69 @@ use crate::{Result, TensorError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Maximum tensor rank. The largest layout in this codebase is
+/// `[batch, channels, height, width]` (rank 4); 6 leaves headroom.
+pub const MAX_RANK: usize = 6;
+
 /// The shape of a dense row-major tensor.
 ///
-/// Ranks in this codebase are small (≤ 4: `[batch, channels, height, width]`
-/// is the largest layout used), so dimensions are kept in a plain `Vec` and
-/// strides are derived on demand.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Shape(Vec<usize>);
+/// Dimensions are stored inline (no heap allocation): shapes are created on
+/// every layer forward, and the zero-allocation steady-state contract of the
+/// layer stack (see `ms-nn`) requires that constructing, cloning and
+/// reshaping them never touches the allocator. Unused slots are kept at
+/// zero so derived equality/hashing stay consistent.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
 
 impl Shape {
     /// Creates a shape from dimensions. Zero-sized dimensions are allowed
     /// (they denote empty tensors) but are rare in practice.
-    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
-        Shape(dims.into())
+    ///
+    /// # Panics
+    /// If the rank exceeds [`MAX_RANK`].
+    pub fn new(dims: impl Into<Shape>) -> Self {
+        dims.into()
     }
 
     /// Scalar shape (rank 0, one element).
     pub fn scalar() -> Self {
-        Shape(Vec::new())
+        Shape {
+            dims: [0; MAX_RANK],
+            rank: 0,
+        }
+    }
+
+    fn from_slice(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "rank {} exceeds MAX_RANK {MAX_RANK}",
+            dims.len()
+        );
+        let mut s = Shape::scalar();
+        s.dims[..dims.len()].copy_from_slice(dims);
+        s.rank = dims.len() as u8;
+        s
     }
 
     /// The dimensions as a slice.
     #[inline]
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        &self.dims[..self.rank as usize]
     }
 
     /// Number of axes.
     #[inline]
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.rank as usize
     }
 
     /// Total number of elements.
     #[inline]
     pub fn numel(&self) -> usize {
-        self.0.iter().product()
+        self.dims().iter().product()
     }
 
     /// Size of one axis.
@@ -48,14 +75,14 @@ impl Shape {
     /// If `axis >= rank`.
     #[inline]
     pub fn dim(&self, axis: usize) -> usize {
-        self.0[axis]
+        self.dims()[axis]
     }
 
     /// Row-major strides (in elements) for this shape.
     pub fn strides(&self) -> Vec<usize> {
         let mut strides = vec![1usize; self.rank()];
         for i in (0..self.rank().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.0[i + 1];
+            strides[i] = strides[i + 1] * self.dims[i + 1];
         }
         strides
     }
@@ -69,7 +96,7 @@ impl Shape {
         debug_assert_eq!(index.len(), self.rank(), "index rank mismatch");
         let mut off = 0;
         let mut stride = 1;
-        for (i, (&ix, &d)) in index.iter().zip(self.0.iter()).enumerate().rev() {
+        for (i, (&ix, &d)) in index.iter().zip(self.dims()).enumerate().rev() {
             debug_assert!(ix < d, "index {ix} out of range {d} at axis {i}");
             let _ = i;
             off += ix * stride;
@@ -98,16 +125,34 @@ impl Shape {
                 rank: self.rank(),
             });
         }
-        let mut dims = self.0.clone();
-        dims[axis] = size;
-        Ok(Shape(dims))
+        let mut s = self.clone();
+        s.dims[axis] = size;
+        Ok(s)
+    }
+
+    /// Returns a new shape with the last axis replaced by `size` (the common
+    /// "same leading dims, new feature width" case in layer forwards).
+    ///
+    /// # Panics
+    /// If the shape is rank 0.
+    pub fn with_last_dim(&self, size: usize) -> Self {
+        assert!(self.rank() > 0, "with_last_dim on scalar shape");
+        let mut s = self.clone();
+        s.dims[self.rank() - 1] = size;
+        s
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape({:?})", self.dims())
     }
 }
 
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.0.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -117,21 +162,47 @@ impl fmt::Display for Shape {
     }
 }
 
+// Hand-written serde: the wire format is the same flat sequence of
+// dimensions the previous `Shape(Vec<usize>)` representation produced.
+impl Serialize for Shape {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(
+            self.dims()
+                .iter()
+                .map(|&d| serde::Value::UInt(d as u64))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Shape {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let dims = Vec::<usize>::from_value(v)?;
+        if dims.len() > MAX_RANK {
+            return Err(serde::Error(format!(
+                "shape rank {} exceeds MAX_RANK {MAX_RANK}",
+                dims.len()
+            )));
+        }
+        Ok(Shape::from_slice(&dims))
+    }
+}
+
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape(dims)
+        Shape::from_slice(&dims)
     }
 }
 
 impl From<&[usize]> for Shape {
     fn from(dims: &[usize]) -> Self {
-        Shape(dims.to_vec())
+        Shape::from_slice(dims)
     }
 }
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape(dims.to_vec())
+        Shape::from_slice(&dims)
     }
 }
 
@@ -176,11 +247,35 @@ mod tests {
         let s = Shape::from([2, 3]);
         assert_eq!(s.with_dim(1, 7).unwrap(), Shape::from([2, 7]));
         assert!(s.with_dim(2, 7).is_err());
+        assert_eq!(s.with_last_dim(9), Shape::from([2, 9]));
     }
 
     #[test]
     fn display_formats() {
         assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
         assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn equality_ignores_unused_slots() {
+        let a = Shape::from([2, 3]);
+        let b = Shape::from(vec![2usize, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, Shape::from([2, 3, 1]));
+    }
+
+    #[test]
+    fn serde_roundtrip_is_flat_seq() {
+        let s = Shape::from([4, 2, 8]);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, "[4,2,8]");
+        let back: Shape = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_RANK")]
+    fn rank_overflow_panics() {
+        let _ = Shape::from([1, 1, 1, 1, 1, 1, 1]);
     }
 }

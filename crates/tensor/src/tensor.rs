@@ -24,6 +24,35 @@ impl Tensor {
         Tensor { shape, data }
     }
 
+    /// Zero-filled tensor whose storage comes from the thread-local buffer
+    /// pool (see [`crate::pool`]). Pair with [`Tensor::recycle`] so the
+    /// buffer is returned once the tensor is spent; in steady state this
+    /// makes repeated forward/backward passes allocation-free.
+    pub fn pooled_zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = crate::pool::acquire(shape.numel());
+        Tensor { shape, data }
+    }
+
+    /// Pool-backed copy of `self`. Same contract as [`Tensor::pooled_zeros`].
+    pub fn pooled_clone(&self) -> Self {
+        let mut data = crate::pool::acquire(self.data.len());
+        data.copy_from_slice(&self.data);
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Consumes the tensor, returning its buffer to the thread-local pool.
+    ///
+    /// Safe to call on any tensor (pool-backed or not); the storage simply
+    /// becomes available for the next [`Tensor::pooled_zeros`] /
+    /// [`Tensor::pooled_clone`] of a compatible size.
+    pub fn recycle(self) {
+        crate::pool::release(self.data);
+    }
+
     /// Tensor filled with a constant.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
@@ -310,6 +339,23 @@ mod tests {
         let bad = Tensor::zeros([2, 4]);
         assert!(dst.clone().copy_row_from(0, &bad, 0).is_err());
         assert!(dst.copy_row_from(5, &src, 0).is_err());
+    }
+
+    #[test]
+    fn pooled_tensors_roundtrip_through_pool() {
+        crate::pool::clear();
+        let t = Tensor::pooled_zeros([4, 4]);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        t.recycle();
+        let src = Tensor::from_slice(&[1., 2., 3.]);
+        let c = src.pooled_clone();
+        assert_eq!(c.data(), src.data());
+        c.recycle();
+        // The 16-element buffer must have been reused for nothing yet, but a
+        // same-sized acquire now hits.
+        let again = Tensor::pooled_zeros([16]);
+        assert!(crate::pool::stats().hits >= 1);
+        again.recycle();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the tensor kernels.
 
 use ms_tensor::conv::{col2im, im2col, ConvGeom};
-use ms_tensor::matmul::{dot, gemm, Trans};
+use ms_tensor::matmul::{dot, gemm, gemm_reference, Trans};
 use ms_tensor::ops;
 use ms_tensor::{SeededRng, Shape, Tensor};
 use proptest::prelude::*;
@@ -49,6 +49,53 @@ proptest! {
         for i in 0..m {
             for j in 0..n {
                 prop_assert!((c[i * n + j] - d[j * m + i]).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// The packed register-blocked GEMM agrees with the f64-accumulating
+    /// reference over all four transpose cases, sizes straddling the
+    /// MR/NR/KC block edges, padded leading dimensions (`ld > cols`) and
+    /// degenerate alpha/beta scalings — and never touches the row padding.
+    #[test]
+    fn gemm_matches_reference(
+        m in proptest::sample::select(vec![1usize, 5, 6, 7, 12, 13, 17]),
+        n in proptest::sample::select(vec![1usize, 15, 16, 17, 31, 33]),
+        k in proptest::sample::select(vec![1usize, 2, 8, 255, 256, 257]),
+        ta in any::<bool>(), tb in any::<bool>(),
+        pad_a in 0usize..3, pad_b in 0usize..3, pad_c in 0usize..3,
+        alpha in proptest::sample::select(vec![0.0f32, 0.5, 1.0]),
+        beta in proptest::sample::select(vec![0.0f32, 0.5, 1.0]),
+        seed in any::<u64>(),
+    ) {
+        let trans_a = if ta { Trans::Yes } else { Trans::No };
+        let trans_b = if tb { Trans::Yes } else { Trans::No };
+        // Stored dimensions of A and B under the transpose flags.
+        let (ar, ac) = if ta { (k, m) } else { (m, k) };
+        let (br, bc) = if tb { (n, k) } else { (k, n) };
+        let (lda, ldb, ldc) = (ac + pad_a, bc + pad_b, n + pad_c);
+        let mut rng = SeededRng::new(seed);
+        let a: Vec<f32> = (0..ar * lda).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..br * ldb).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let c0: Vec<f32> = (0..m * ldc).map(|_| rng.uniform(-1.0, 1.0)).collect();
+
+        let mut c = c0.clone();
+        gemm(trans_a, trans_b, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c, ldc);
+        let mut want = c0.clone();
+        gemm_reference(trans_a, trans_b, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut want, ldc);
+
+        for i in 0..m {
+            for j in 0..n {
+                let (x, y) = (c[i * ldc + j], want[i * ldc + j]);
+                let tol = 1e-4 * y.abs().max(1.0);
+                prop_assert!(
+                    (x - y).abs() <= tol,
+                    "C[{i},{j}] = {x} vs reference {y} (m={m} n={n} k={k} \
+                     ta={ta} tb={tb} alpha={alpha} beta={beta})"
+                );
+            }
+            for j in n..ldc {
+                prop_assert_eq!(c[i * ldc + j], c0[i * ldc + j], "padding clobbered");
             }
         }
     }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Performance tripwire for the packed-GEMM / zero-allocation work (PR 1).
+#
+# 1. Release build must succeed.
+# 2. Kernel benches must run (criterion smoke mode, no timing).
+# 3. The zero-allocation instrumented test must pass in release.
+# 4. Hot forward/backward bodies must not reintroduce ad-hoc allocation:
+#    `Tensor::zeros(` and `vec![` are banned in the layer hot paths — use
+#    `Tensor::pooled_zeros`, `pooled_clone`, `Workspace::take` instead.
+#
+# Usage: scripts/perfcheck.sh   (from the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== release build =="
+cargo build --release --workspace
+
+echo "== kernel bench smoke =="
+cargo bench -p ms-bench --bench kernels -- --test
+
+echo "== zero-allocation instrumented test =="
+cargo test --release -p ms-nn --test zero_alloc
+
+echo "== allocation tripwire (hot layer bodies) =="
+HOT_FILES=(
+    crates/nn/src/linear.rs
+    crates/nn/src/conv2d.rs
+    crates/nn/src/depthwise.rs
+    crates/nn/src/activation.rs
+    crates/nn/src/sequential.rs
+    crates/nn/src/norm/group_norm.rs
+    crates/nn/src/rnn/lstm.rs
+    crates/nn/src/rnn/gru.rs
+)
+fail=0
+for f in "${HOT_FILES[@]}"; do
+    # Scan only `fn forward(`/`fn backward(` bodies (brace-counted); layer
+    # constructors may allocate once, the per-call paths may not.
+    if ! awk -v file="$f" '
+        /fn (forward|backward)\(/ { infn = 1; depth = 0; seen = 0 }
+        infn {
+            if ($0 ~ /Tensor::zeros\(|vec!\[/) {
+                printf "    %s:%d: %s\n", file, FNR, $0
+                bad = 1
+            }
+            o = gsub(/{/, "{"); c = gsub(/}/, "}")
+            depth += o - c
+            if (o > 0) seen = 1
+            if (seen && depth <= 0) infn = 0
+        }
+        END { exit bad ? 1 : 0 }
+    ' "$f"; then
+        echo "ALLOCATION REINTRODUCED in $f (see lines above)"
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "perfcheck FAILED: hot paths must use pooled_zeros/pooled_clone/Workspace::take"
+    exit 1
+fi
+echo "perfcheck OK"
