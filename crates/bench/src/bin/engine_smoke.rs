@@ -1,0 +1,135 @@
+//! Engine-throughput smoke: elastic vs fixed-rate serving under a flash
+//! crowd, on the real multi-threaded engine with a profile calibrated on
+//! this machine. Run in release:
+//!
+//! ```text
+//! cargo run --release -p ms-bench --bin engine_smoke
+//! ```
+//!
+//! Prints one row per policy (served / shed / on-time / p99 queue latency)
+//! and exits non-zero if the elastic policy fails to beat every fixed rate
+//! on deadline hits — the same acceptance criterion as
+//! `tests/serving_sla.rs`, packaged for `scripts/perfcheck.sh`.
+
+use ms_core::slice_rate::{SliceRate, SliceRateList};
+use ms_models::mlp::{Mlp, MlpConfig};
+use ms_nn::layer::Layer;
+use ms_nn::shared::SharedWeights;
+use ms_serving::controller::{RatePolicy, SlaController};
+use ms_serving::engine::{Engine, EngineConfig, ReplayReport};
+use ms_serving::profile::LatencyProfile;
+use ms_serving::workload::WorkloadTrace;
+use ms_tensor::{SeededRng, Tensor};
+
+const INPUT_DIM: usize = 16;
+const WORKERS: usize = 2;
+
+fn mlp_config() -> MlpConfig {
+    MlpConfig {
+        input_dim: INPUT_DIM,
+        hidden_dims: vec![48, 48],
+        num_classes: 8,
+        groups: 4,
+        dropout: 0.0,
+        input_rescale: true,
+    }
+}
+
+fn replay(
+    profile: &LatencyProfile,
+    policy: RatePolicy,
+    trace: &WorkloadTrace,
+    latency: f64,
+) -> ReplayReport {
+    let mut proto = Mlp::new(&mlp_config(), &mut SeededRng::new(17));
+    let weights = SharedWeights::capture(&mut proto);
+    let replicas = (0..WORKERS)
+        .map(|i| {
+            let mut m = Mlp::new(&mlp_config(), &mut SeededRng::new(100 + i as u64));
+            weights.hydrate(&mut m);
+            Box::new(m) as Box<dyn Layer + Send>
+        })
+        .collect();
+    let engine = Engine::start(
+        EngineConfig {
+            latency,
+            headroom: 0.5,
+            max_queue: usize::MAX / 2,
+        },
+        SlaController::new(profile.clone(), policy),
+        replicas,
+    );
+    let report = engine.replay(trace, |id| {
+        Tensor::full([INPUT_DIM], ((id % 31) as f32) * 0.06 - 0.9)
+    });
+    engine.shutdown();
+    report
+}
+
+fn main() {
+    let rates = SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]);
+    let mut net = Mlp::new(&mlp_config(), &mut SeededRng::new(11));
+    let profile = LatencyProfile::calibrate(&mut net, rates, &[INPUT_DIM], 512, 5);
+    println!("calibrated profile (per-sample seconds):");
+    for r in profile.list().iter() {
+        println!("  rate {r}: {:.3e}", profile.per_sample(r));
+    }
+
+    let budget = profile.predict(200, SliceRate::FULL);
+    let latency = budget * 4.0; // window = T/2 = 2·budget with headroom 0.5
+    let calm = (profile.max_batch(SliceRate::FULL, budget) * 7 / 10).max(1);
+    let overload = profile.max_batch(SliceRate::new(0.25), budget) * 3;
+    let arrivals: Vec<usize> = (0..60)
+        .map(|t| {
+            if (15..20).contains(&t) || (40..45).contains(&t) {
+                overload
+            } else {
+                calm
+            }
+        })
+        .collect();
+    let rates_f = arrivals.iter().map(|&n| n as f64).collect();
+    let trace = WorkloadTrace {
+        arrivals,
+        rates: rates_f,
+    };
+    println!(
+        "\ntrace: 60 ticks of {calm}/tick with two 5-tick crowds of {overload}/tick \
+         (SLA {:.2} ms, {WORKERS} workers)\n",
+        latency * 1e3
+    );
+
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>10} {:>12}",
+        "policy", "served", "shed", "on-time", "on-time %", "p99 wait ms"
+    );
+    let row = |name: &str, r: &ReplayReport| {
+        println!(
+            "{:<14} {:>8} {:>8} {:>8} {:>9.1}% {:>12.3}",
+            name,
+            r.served,
+            r.shed,
+            r.on_time,
+            100.0 * r.on_time as f64 / r.arrived.max(1) as f64,
+            r.p99_latency * 1e3
+        );
+    };
+
+    let elastic = replay(&profile, RatePolicy::Elastic, &trace, latency);
+    row("elastic", &elastic);
+    let mut beaten = true;
+    for r in profile.list().iter() {
+        let fixed = replay(&profile, RatePolicy::Fixed(r), &trace, latency);
+        row(&format!("fixed {r}"), &fixed);
+        if fixed.on_time >= elastic.on_time {
+            beaten = false;
+            eprintln!("!! fixed {r} matched or beat elastic on deadline hits");
+        }
+    }
+
+    if !beaten {
+        eprintln!("\nengine smoke FAILED: elastic must win on on-time completions");
+        std::process::exit(1);
+    }
+    println!("\nengine smoke OK: elastic beats every fixed rate on deadline hits");
+}

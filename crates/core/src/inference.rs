@@ -162,6 +162,63 @@ mod tests {
         let _ = eng.predict_at(&mut net, &x, SliceRate::new(0.25));
         assert_eq!(net.flops_per_sample(), (8 * 16 + 16 * 4) as u64);
     }
+
+    #[test]
+    fn batched_forward_matches_stacked_forward_bitwise() {
+        let (_, mut net) = engine_and_net();
+        let mut rng = SeededRng::new(41);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| {
+                Tensor::from_vec([8], (0..8).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap()
+            })
+            .collect();
+        for &r in &[0.25f32, 0.5, 1.0] {
+            let rate = SliceRate::new(r);
+            let rows = batched_sliced_forward(&mut net, &inputs, rate);
+            assert_eq!(rows.len(), 5);
+            // Reference: one stacked forward through the same net.
+            let mut x = Tensor::zeros([5, 8]);
+            for (i, input) in inputs.iter().enumerate() {
+                x.row_mut(i).copy_from_slice(input.data());
+            }
+            net.set_slice_rate(rate);
+            let want = net.forward(&x, Mode::Infer);
+            net.set_slice_rate(SliceRate::FULL);
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(row.dims(), &[4]);
+                assert_eq!(row.data(), want.row(i), "rate {r} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_rows_are_independent_of_companions() {
+        // A request's logits must not depend on which other requests share
+        // its batch — the bitwise guarantee the engine's determinism test
+        // builds on.
+        let (_, mut net) = engine_and_net();
+        let mut rng = SeededRng::new(42);
+        let inputs: Vec<Tensor> = (0..6)
+            .map(|_| {
+                Tensor::from_vec([8], (0..8).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap()
+            })
+            .collect();
+        let rate = SliceRate::new(0.5);
+        let all = batched_sliced_forward(&mut net, &inputs, rate);
+        let solo = batched_sliced_forward(&mut net, &inputs[2..3], rate);
+        assert_eq!(all[2].data(), solo[0].data());
+        let pair = batched_sliced_forward(&mut net, &inputs[4..6], rate);
+        assert_eq!(all[4].data(), pair[0].data());
+        assert_eq!(all[5].data(), pair[1].data());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged batch")]
+    fn batched_forward_rejects_ragged_inputs() {
+        let (_, mut net) = engine_and_net();
+        let inputs = vec![Tensor::zeros([8]), Tensor::zeros([4])];
+        let _ = batched_sliced_forward(&mut net, &inputs, SliceRate::FULL);
+    }
 }
 
 /// Confidence-gated progressive inference — the "IDK cascade" policy the
@@ -219,6 +276,76 @@ impl ElasticEngine {
             confidence: conf,
         }
     }
+}
+
+/// Runs one forward pass over a whole group of same-shaped single-sample
+/// inputs at `rate` — the serving engine's hot path: requests batched by
+/// selected slice rate share one GEMM per layer instead of paying a
+/// per-request pass each.
+///
+/// Each input is a *sample* tensor (e.g. `[d]` features or `[c, h, w]`
+/// images); they are stacked into a `[n, …]` batch, run once, and the logits
+/// are split back out per request. Row `i` of a fixed-order GEMM depends only
+/// on row `i` of the input and the weights, so a request's logits are
+/// bitwise-independent of its batch companions — the property the
+/// cross-thread determinism guarantee rests on.
+///
+/// All intermediates come from the thread-local buffer pool and the batch
+/// shape lives on the stack; in steady state (same `n`, same shapes) the
+/// stack → forward → split cycle allocates nothing beyond the returned `Vec`
+/// once callers [`Tensor::recycle`] the returned logits. Use
+/// [`batched_sliced_forward_into`] with a reused buffer for a fully
+/// allocation-free steady state.
+///
+/// The network is left at full width afterwards.
+///
+/// # Panics
+/// If `inputs` is empty or the samples disagree on shape.
+pub fn batched_sliced_forward(
+    net: &mut dyn Layer,
+    inputs: &[Tensor],
+    rate: SliceRate,
+) -> Vec<Tensor> {
+    let mut out = Vec::with_capacity(inputs.len());
+    batched_sliced_forward_into(net, inputs, rate, &mut out);
+    out
+}
+
+/// [`batched_sliced_forward`] writing its per-request logits into a
+/// caller-owned buffer (cleared first). With a warm buffer pool and a reused
+/// `out` of sufficient capacity, a steady-state call performs **zero** heap
+/// allocations regardless of batch size or tensor width — the property
+/// `crates/core/tests/zero_alloc_batched.rs` pins with a counting allocator.
+pub fn batched_sliced_forward_into(
+    net: &mut dyn Layer,
+    inputs: &[Tensor],
+    rate: SliceRate,
+    out: &mut Vec<Tensor>,
+) {
+    assert!(!inputs.is_empty(), "empty batch");
+    out.clear();
+    let sample = inputs[0].dims();
+    let stride = inputs[0].numel();
+    let mut batch_dims = [0usize; ms_tensor::shape::MAX_RANK];
+    batch_dims[0] = inputs.len();
+    batch_dims[1..=sample.len()].copy_from_slice(sample);
+    let mut x = Tensor::pooled_zeros(&batch_dims[..=sample.len()]);
+    for (i, input) in inputs.iter().enumerate() {
+        assert_eq!(input.dims(), sample, "ragged batch at row {i}");
+        x.data_mut()[i * stride..(i + 1) * stride].copy_from_slice(input.data());
+    }
+    net.set_slice_rate(rate);
+    let y = net.forward(&x, Mode::Infer);
+    net.set_slice_rate(SliceRate::FULL);
+    x.recycle();
+    let out_stride = y.numel() / inputs.len();
+    for i in 0..inputs.len() {
+        let mut row = Tensor::pooled_zeros(&y.dims()[1..]);
+        row.data_mut()
+            .copy_from_slice(&y.data()[i * out_stride..(i + 1) * out_stride]);
+        out.push(row);
+    }
+    y.recycle();
 }
 
 /// Result of a confidence-gated prediction.

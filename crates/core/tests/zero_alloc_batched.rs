@@ -1,0 +1,132 @@
+//! Steady-state allocation instrumentation for the serving hot path.
+//!
+//! The engine's workers run [`batched_sliced_forward_into`] once per sealed
+//! batch. A counting global allocator verifies that after a short warm-up
+//! (buffer pool + layer workspaces populated, output buffer at capacity) a
+//! stack → forward → split cycle performs **zero** heap allocations at every
+//! candidate slice rate — so a worker's per-batch cost is pure compute, with
+//! no allocator traffic to serialise threads against each other.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use ms_core::inference::{batched_sliced_forward, batched_sliced_forward_into};
+use ms_core::slice_rate::SliceRate;
+use ms_nn::linear::{Linear, LinearConfig};
+use ms_nn::sequential::Sequential;
+use ms_tensor::{pool, SeededRng, Tensor};
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // `try_with` keeps the hook safe during TLS teardown.
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations(mut f: impl FnMut()) -> u64 {
+    let before = ALLOC_COUNT.with(Cell::get);
+    f();
+    ALLOC_COUNT.with(Cell::get) - before
+}
+
+fn net() -> Sequential {
+    let mut rng = SeededRng::new(5);
+    Sequential::new("net")
+        .push(Linear::new(
+            "fc1",
+            LinearConfig {
+                in_dim: 32,
+                out_dim: 64,
+                in_groups: None,
+                out_groups: Some(4),
+                bias: true,
+                input_rescale: true,
+            },
+            &mut rng,
+        ))
+        .push(Linear::new(
+            "fc2",
+            LinearConfig {
+                in_dim: 64,
+                out_dim: 8,
+                in_groups: Some(4),
+                out_groups: None,
+                bias: true,
+                input_rescale: true,
+            },
+            &mut rng,
+        ))
+}
+
+/// One test function so the per-thread counter, the thread-local pool and
+/// the layer workspaces all live on a single thread.
+#[test]
+fn steady_state_batched_forward_allocates_nothing() {
+    let mut net = net();
+    let mut rng = SeededRng::new(6);
+    let inputs: Vec<Tensor> = (0..24)
+        .map(|_| {
+            Tensor::from_vec([32], (0..32).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap()
+        })
+        .collect();
+    let rates = [0.25f32, 0.5, 0.75, 1.0].map(SliceRate::new);
+
+    // Reused response buffer, exactly as a warm engine worker would hold one.
+    let mut out = Vec::with_capacity(inputs.len());
+
+    // Warm-up: populate the pool and each layer's workspace at every rate
+    // (narrow subnets use differently-shaped intermediates).
+    for _ in 0..3 {
+        for &r in &rates {
+            batched_sliced_forward_into(&mut net, &inputs, r, &mut out);
+            for t in out.drain(..) {
+                t.recycle();
+            }
+        }
+    }
+
+    pool::reset_stats();
+    let delta = allocations(|| {
+        for _ in 0..10 {
+            for &r in &rates {
+                batched_sliced_forward_into(&mut net, &inputs, r, &mut out);
+                for t in out.drain(..) {
+                    t.recycle();
+                }
+            }
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "steady-state batched forward allocated {delta}x across 40 batches"
+    );
+    // Every pooled acquire in the loop was served from the pool.
+    let stats = pool::stats();
+    assert_eq!(stats.misses, 0, "pool misses in steady state: {stats:?}");
+    assert!(stats.hits > 0, "expected pooled acquires: {stats:?}");
+
+    // The allocating convenience wrapper costs exactly its output Vec.
+    let delta = allocations(|| {
+        for t in batched_sliced_forward(&mut net, &inputs, SliceRate::FULL) {
+            t.recycle();
+        }
+    });
+    assert!(
+        delta <= 1,
+        "wrapper should only allocate its output Vec, saw {delta} allocations"
+    );
+}

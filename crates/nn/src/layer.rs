@@ -100,7 +100,12 @@ pub trait Layer {
 }
 
 /// Convenience alias used throughout the workspace for owned dynamic layers.
-pub type BoxedLayer = Box<dyn Layer>;
+///
+/// The `Send` bound is deliberate: every concrete layer is plain owned data
+/// (tensors, configs, seeded RNGs), so trait objects stay transferable to
+/// worker threads — the property the multi-threaded serving engine relies on
+/// to give each worker its own model replica.
+pub type BoxedLayer = Box<dyn Layer + Send>;
 
 /// A network is anything layer-shaped; models in `ms-models` implement this
 /// same trait so trainers and serving code are architecture-agnostic.

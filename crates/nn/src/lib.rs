@@ -28,10 +28,12 @@ pub mod optim;
 pub mod pool;
 pub mod rnn;
 pub mod sequential;
+pub mod shared;
 pub mod slice;
 pub mod workspace;
 
 pub use layer::{Layer, Mode, Param};
 pub use sequential::Sequential;
+pub use shared::SharedWeights;
 pub use slice::SliceRate;
 pub use workspace::{Role, Workspace};

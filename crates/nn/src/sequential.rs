@@ -21,7 +21,7 @@ impl Sequential {
     }
 
     /// Appends a layer (builder style).
-    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+    pub fn push(mut self, layer: impl Layer + Send + 'static) -> Self {
         self.layers.push(Box::new(layer));
         self
     }

@@ -1,5 +1,11 @@
 //! Slice-rate selection policies and the accuracy table they are scored by.
+//!
+//! Two generations live here: [`Policy`] scores degradation strategies inside
+//! the synthetic [`crate::simulator`], while [`SlaController`] makes the same
+//! decision for the real [`crate::engine`] against a *measured*
+//! [`LatencyProfile`] instead of the assumed quadratic cost law.
 
+use crate::profile::LatencyProfile;
 use ms_core::slice_rate::{SliceRate, SliceRateList};
 use serde::{Deserialize, Serialize};
 
@@ -180,6 +186,116 @@ impl Policy {
     }
 }
 
+/// What width a real serving engine runs each batch at.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RatePolicy {
+    /// The paper's elastic policy against the *measured* profile: widest
+    /// rate whose predicted service time fits the budget; when even the
+    /// base rate cannot serve the whole batch, admit as many as fit at the
+    /// base rate and shed the rest — never violate the deadline.
+    Elastic,
+    /// A conventional inelastic server: run everything at this width and
+    /// accept whatever latency results (the overload/crash regime of §1 —
+    /// batches overrun the budget and the backlog snowballs).
+    Fixed(SliceRate),
+    /// A fixed-width server with admission control: run admitted queries at
+    /// this width, shed what does not fit the budget.
+    FixedShedding(SliceRate),
+}
+
+/// Outcome of one admission decision over a formed batch of `n` queries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaDecision {
+    /// Width the admitted queries run at.
+    pub rate: SliceRate,
+    /// Queries admitted (a prefix of the batch, arrival order).
+    pub admit: usize,
+    /// Queries shed.
+    pub shed: usize,
+}
+
+/// Maps batch size → (rate, admission) through a measured latency profile:
+/// the SLA-driven replacement for the synthetic [`Policy`]. Decisions are a
+/// pure function of `(n, budget)`, which is what makes engine replays
+/// deterministic regardless of worker count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlaController {
+    profile: LatencyProfile,
+    policy: RatePolicy,
+}
+
+impl SlaController {
+    /// Creates a controller.
+    pub fn new(profile: LatencyProfile, policy: RatePolicy) -> Self {
+        if let RatePolicy::Fixed(r) | RatePolicy::FixedShedding(r) = policy {
+            assert!(
+                profile.list().index_of(r).is_some(),
+                "fixed rate {r} not in the calibrated list"
+            );
+        }
+        SlaController { profile, policy }
+    }
+
+    /// Elastic controller (the default serving configuration).
+    pub fn elastic(profile: LatencyProfile) -> Self {
+        SlaController::new(profile, RatePolicy::Elastic)
+    }
+
+    /// The latency profile decisions are planned against.
+    pub fn profile(&self) -> &LatencyProfile {
+        &self.profile
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> RatePolicy {
+        self.policy
+    }
+
+    /// Decides width and admission for a batch of `n` given `budget` seconds
+    /// of processing time.
+    pub fn decide(&self, n: usize, budget: f64) -> SlaDecision {
+        let full = self.profile.list().max();
+        if n == 0 {
+            return SlaDecision {
+                rate: full,
+                admit: 0,
+                shed: 0,
+            };
+        }
+        match self.policy {
+            RatePolicy::Elastic => match self.profile.rate_within(n, budget) {
+                Some(rate) => SlaDecision {
+                    rate,
+                    admit: n,
+                    shed: 0,
+                },
+                None => {
+                    let r_min = self.profile.list().min();
+                    let admit = self.profile.max_batch(r_min, budget).min(n);
+                    SlaDecision {
+                        rate: r_min,
+                        admit,
+                        shed: n - admit,
+                    }
+                }
+            },
+            RatePolicy::Fixed(rate) => SlaDecision {
+                rate,
+                admit: n,
+                shed: 0,
+            },
+            RatePolicy::FixedShedding(rate) => {
+                let admit = self.profile.max_batch(rate, budget).min(n);
+                SlaDecision {
+                    rate,
+                    admit,
+                    shed: n - admit,
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +372,55 @@ mod tests {
         let d = Policy::ModelSlicing.decide(0, 0.001, 0.025, &t);
         assert_eq!(d.time_spent, 0.0);
         assert_eq!(d.served, 0);
+    }
+
+    fn quad_controller(policy: RatePolicy) -> SlaController {
+        SlaController::new(
+            LatencyProfile::quadratic(
+                SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]),
+                1e-3,
+            ),
+            policy,
+        )
+    }
+
+    #[test]
+    fn sla_elastic_matches_the_synthetic_policy_on_the_quadratic_law() {
+        let c = quad_controller(RatePolicy::Elastic);
+        // Same setting as `slicing_serves_everything_within_latency`.
+        let d = c.decide(100, 0.025);
+        assert_eq!(d.rate.get(), 0.5);
+        assert_eq!(d.admit, 100);
+        assert_eq!(d.shed, 0);
+        // Idle → full width.
+        assert!(c.decide(5, 0.025).rate.is_full());
+    }
+
+    #[test]
+    fn sla_elastic_sheds_rather_than_violating_the_deadline() {
+        let c = quad_controller(RatePolicy::Elastic);
+        // 1000 queries: even r_min (0.25² ms each) cannot fit 25 ms.
+        let d = c.decide(1000, 0.025);
+        assert_eq!(d.rate.get(), 0.25);
+        assert_eq!(d.admit, 400);
+        assert_eq!(d.shed, 600);
+        assert!(c.profile().predict(d.admit, d.rate) <= 0.025 + 1e-12);
+    }
+
+    #[test]
+    fn sla_fixed_never_sheds_and_fixed_shedding_never_overruns() {
+        let full = SliceRate::FULL;
+        let d = quad_controller(RatePolicy::Fixed(full)).decide(1000, 0.025);
+        assert_eq!((d.admit, d.shed), (1000, 0));
+        let c = quad_controller(RatePolicy::FixedShedding(full));
+        let d = c.decide(1000, 0.025);
+        assert_eq!((d.admit, d.shed), (25, 975));
+        assert!(c.profile().predict(d.admit, d.rate) <= 0.025 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the calibrated list")]
+    fn sla_rejects_uncalibrated_fixed_rate() {
+        quad_controller(RatePolicy::Fixed(SliceRate::new(0.33)));
     }
 }

@@ -17,13 +17,27 @@
 //! - [`queue_sim`] — a backlog-aware variant (queries queue with deadlines
 //!   instead of being shed) showing the fixed-width server's backlog
 //!   snowballing through spikes while the elastic server drains it.
+//!
+//! Beyond the simulation, the crate now hosts the *real* serving path:
+//!
+//! - [`profile`] — measured per-rate latency profiles calibrated on the live
+//!   network at startup (the measured replacement for the synthetic cost
+//!   column).
+//! - [`engine`] — a multi-threaded worker-pool engine running actual sliced
+//!   forward passes, with SLA-driven batching, admission control and
+//!   backpressure shedding, plus trace replay so the simulator's workloads
+//!   can be scored against measured latencies.
 
 pub mod batcher;
 pub mod controller;
+pub mod engine;
+pub mod profile;
 pub mod queue_sim;
 pub mod simulator;
 pub mod workload;
 
-pub use controller::{AccuracyTable, Policy};
+pub use controller::{AccuracyTable, Policy, RatePolicy, SlaController, SlaDecision};
+pub use engine::{Engine, EngineConfig, EngineCounters, EngineResponse, ReplayReport, ShedReason};
+pub use profile::LatencyProfile;
 pub use simulator::{SimConfig, SimReport, Simulator};
 pub use workload::{WorkloadConfig, WorkloadTrace};

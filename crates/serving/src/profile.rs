@@ -1,0 +1,228 @@
+//! Measured per-rate latency profiles.
+//!
+//! The synthetic simulator scores policies against an assumed quadratic cost
+//! law; the real engine cannot afford to assume. A [`LatencyProfile`] is the
+//! measured replacement: at startup the engine times the *actual* sliced
+//! network at every candidate rate and stores seconds-per-sample figures the
+//! SLA controller then plans against (Eq. 3 with measured coefficients
+//! instead of the analytic `r²`). The quadratic law survives as
+//! [`LatencyProfile::quadratic`], used by tests that need a deterministic
+//! profile and by the property suite that checks the controller against the
+//! Eq. 3 bound.
+
+use ms_core::inference::batched_sliced_forward;
+use ms_core::slice_rate::{SliceRate, SliceRateList};
+use ms_nn::layer::Layer;
+use ms_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Per-rate service-time model: `predict(n, r) = overhead + n · per_sample[r]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyProfile {
+    list: SliceRateList,
+    /// Seconds per sample at each candidate rate (ascending with the list,
+    /// made monotone non-decreasing at construction).
+    per_sample: Vec<f64>,
+    /// Fixed per-batch overhead in seconds (dispatch, stacking, splitting).
+    overhead: f64,
+}
+
+impl LatencyProfile {
+    /// Builds a profile from explicit measurements; `per_sample[i]`
+    /// corresponds to `list.at(i)`. Values are clamped monotone
+    /// non-decreasing in rate (a narrower subnet is never planned as slower
+    /// than a wider one — measurement noise on tiny networks can otherwise
+    /// invert neighbours and break the controller's monotonicity contract).
+    pub fn new(list: SliceRateList, per_sample: Vec<f64>, overhead: f64) -> Self {
+        assert_eq!(list.len(), per_sample.len());
+        assert!(per_sample.iter().all(|&t| t > 0.0), "non-positive time");
+        assert!(overhead >= 0.0);
+        let mut mono = per_sample;
+        for i in 1..mono.len() {
+            mono[i] = mono[i].max(mono[i - 1]);
+        }
+        LatencyProfile {
+            list,
+            per_sample: mono,
+            overhead,
+        }
+    }
+
+    /// The analytic quadratic law `t(r) = t_full · r²` — the deterministic
+    /// stand-in for tests and property checks.
+    pub fn quadratic(list: SliceRateList, t_full: f64) -> Self {
+        let per_sample = list
+            .iter()
+            .map(|r| t_full * r.get() as f64 * r.get() as f64)
+            .collect();
+        LatencyProfile::new(list, per_sample, 0.0)
+    }
+
+    /// Measures the profile on the live network: for every candidate rate,
+    /// runs `reps` batched forward passes of `probe_batch` samples shaped
+    /// `sample_dims` and keeps the fastest (least-interfered) run. The first
+    /// pass per rate is a discarded warm-up that also populates the buffer
+    /// pool and layer workspaces, so the kept timings reflect the
+    /// zero-allocation steady state the engine runs in.
+    pub fn calibrate(
+        net: &mut dyn Layer,
+        list: SliceRateList,
+        sample_dims: &[usize],
+        probe_batch: usize,
+        reps: usize,
+    ) -> Self {
+        assert!(probe_batch > 0 && reps > 0);
+        let inputs: Vec<Tensor> = (0..probe_batch)
+            .map(|_| Tensor::zeros(sample_dims))
+            .collect();
+        let mut per_sample = Vec::with_capacity(list.len());
+        for r in list.iter() {
+            for out in batched_sliced_forward(net, &inputs, r) {
+                out.recycle(); // warm-up pass
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let outs = batched_sliced_forward(net, &inputs, r);
+                best = best.min(t0.elapsed().as_secs_f64());
+                for out in outs {
+                    out.recycle();
+                }
+            }
+            per_sample.push((best / probe_batch as f64).max(1e-9));
+        }
+        LatencyProfile::new(list, per_sample, 0.0)
+    }
+
+    /// The candidate rate list.
+    pub fn list(&self) -> &SliceRateList {
+        &self.list
+    }
+
+    /// Seconds per sample at a candidate rate.
+    pub fn per_sample(&self, r: SliceRate) -> f64 {
+        let idx = self.list.index_of(r).expect("rate in candidate list");
+        self.per_sample[idx]
+    }
+
+    /// Predicted service time for a batch of `n` at rate `r`.
+    pub fn predict(&self, n: usize, r: SliceRate) -> f64 {
+        self.overhead + n as f64 * self.per_sample(r)
+    }
+
+    /// The widest candidate rate whose predicted service time for `n`
+    /// samples fits `budget`, or `None` if even the base rate overruns.
+    pub fn rate_within(&self, n: usize, budget: f64) -> Option<SliceRate> {
+        let mut best = None;
+        for r in self.list.iter() {
+            if self.predict(n, r) <= budget {
+                best = Some(r);
+            }
+        }
+        best
+    }
+
+    /// The largest batch size serviceable at `r` within `budget`.
+    pub fn max_batch(&self, r: SliceRate, budget: f64) -> usize {
+        let room = budget - self.overhead;
+        if room <= 0.0 {
+            return 0;
+        }
+        // Relative epsilon: `0.010 / 0.001` computes as 9.999…, which must
+        // still count as a capacity of 10.
+        (room / self.per_sample(r) * (1.0 + 1e-12)).floor() as usize
+    }
+
+    /// Speed ratio full-rate vs base-rate — the elasticity the profile
+    /// actually measured (≈ the paper's quadratic ratio for deep nets,
+    /// flatter for nets dominated by unsliced input/output layers).
+    pub fn elasticity(&self) -> f64 {
+        self.per_sample.last().expect("nonempty") / self.per_sample[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list() -> SliceRateList {
+        SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0])
+    }
+
+    #[test]
+    fn quadratic_profile_matches_eq3() {
+        let p = LatencyProfile::quadratic(list(), 1e-3);
+        assert!((p.predict(100, SliceRate::new(0.5)) - 0.025).abs() < 1e-12);
+        assert!((p.elasticity() - 16.0).abs() < 1e-9);
+        // 100 queries, 25ms budget → r² ≤ 0.25 → r = 0.5.
+        assert_eq!(p.rate_within(100, 0.025).unwrap().get(), 0.5);
+        // Loose budget → full width; impossible budget → None.
+        assert!(p.rate_within(1, 1.0).unwrap().is_full());
+        assert!(p.rate_within(10_000, 0.0001).is_none());
+    }
+
+    #[test]
+    fn max_batch_inverts_predict() {
+        let p = LatencyProfile::quadratic(list(), 1e-3);
+        let r = SliceRate::new(0.25);
+        let m = p.max_batch(r, 0.02);
+        assert!(p.predict(m, r) <= 0.02 + 1e-12);
+        assert!(p.predict(m + 1, r) > 0.02);
+        assert_eq!(p.max_batch(r, 0.0), 0);
+    }
+
+    #[test]
+    fn construction_enforces_monotone_per_sample() {
+        // A noisy measurement where 0.5 came out "faster" than 0.25.
+        let p = LatencyProfile::new(list(), vec![2e-3, 1e-3, 3e-3, 4e-3], 0.0);
+        assert_eq!(p.per_sample(SliceRate::new(0.5)), 2e-3);
+        assert_eq!(p.per_sample(SliceRate::new(0.75)), 3e-3);
+    }
+
+    #[test]
+    fn overhead_counts_once_per_batch() {
+        let p = LatencyProfile::new(list(), vec![1e-3; 4], 5e-3);
+        assert!((p.predict(10, SliceRate::FULL) - 0.015).abs() < 1e-12);
+        assert_eq!(p.max_batch(SliceRate::FULL, 0.015), 10);
+    }
+
+    #[test]
+    fn calibration_produces_a_usable_profile() {
+        use ms_nn::linear::{Linear, LinearConfig};
+        use ms_nn::sequential::Sequential;
+        use ms_tensor::SeededRng;
+        let mut rng = SeededRng::new(7);
+        let mut net = Sequential::new("net")
+            .push(Linear::new(
+                "fc1",
+                LinearConfig {
+                    in_dim: 32,
+                    out_dim: 64,
+                    in_groups: None,
+                    out_groups: Some(4),
+                    bias: true,
+                    input_rescale: true,
+                },
+                &mut rng,
+            ))
+            .push(Linear::new(
+                "fc2",
+                LinearConfig {
+                    in_dim: 64,
+                    out_dim: 8,
+                    in_groups: Some(4),
+                    out_groups: None,
+                    bias: true,
+                    input_rescale: true,
+                },
+                &mut rng,
+            ));
+        let p = LatencyProfile::calibrate(&mut net, list(), &[32], 16, 3);
+        // Times are positive, monotone, and the base subnet is no slower
+        // than the full one (exact ratios are machine-dependent).
+        assert!(p.per_sample(SliceRate::new(0.25)) > 0.0);
+        assert!(p.elasticity() >= 1.0);
+        assert!(p.predict(8, SliceRate::FULL) > p.predict(4, SliceRate::FULL));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for slice-rate selection: the synthetic [`Policy`] and the
+//! measured-profile [`SlaController`] must both respect the Eq. 3 bound —
+//! the chosen width's cost never exceeds the budget — and degrade
+//! monotonically: more load never buys a *wider* network, and when even the
+//! base rate cannot carry the batch the controller sheds instead of serving
+//! late.
+
+use ms_core::slice_rate::SliceRateList;
+use ms_serving::controller::{AccuracyTable, Policy, RatePolicy, SlaController};
+use ms_serving::profile::LatencyProfile;
+use proptest::prelude::*;
+
+fn rate_list() -> SliceRateList {
+    SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0])
+}
+
+/// Quadratic-law profile for a given model speed and per-batch overhead.
+fn profile_of(t_full: f64, overhead: f64) -> LatencyProfile {
+    let list = rate_list();
+    let per_sample = list
+        .iter()
+        .map(|r| t_full * r.get() as f64 * r.get() as f64)
+        .collect();
+    LatencyProfile::new(list, per_sample, overhead)
+}
+
+/// Slack for the controller's floating-point capacity arithmetic.
+fn eps(budget: f64) -> f64 {
+    budget * 1e-9 + 1e-12
+}
+
+proptest! {
+    /// Elastic admission never plans past the budget: whatever it admits is
+    /// predicted to finish in time (the Eq. 3 bound with measured
+    /// coefficients), and admission accounts for every query.
+    #[test]
+    fn elastic_decisions_respect_the_budget(
+        t_full in 1e-6f64..1e-2,
+        overhead in 0f64..1e-3,
+        n in 0usize..20_000,
+        budget in 1e-6f64..1.0,
+    ) {
+        let c = SlaController::elastic(profile_of(t_full, overhead));
+        let d = c.decide(n, budget);
+        prop_assert_eq!(d.admit + d.shed, n);
+        prop_assert!(c.profile().list().index_of(d.rate).is_some());
+        if d.admit > 0 {
+            let predicted = c.profile().predict(d.admit, d.rate);
+            prop_assert!(
+                predicted <= budget + eps(budget),
+                "admitted {} at rate {} predicted {} > budget {}",
+                d.admit, d.rate, predicted, budget
+            );
+        }
+    }
+
+    /// More load never widens the network: the chosen rate is non-increasing
+    /// in batch size at a fixed budget.
+    #[test]
+    fn elastic_rate_is_monotone_in_load(
+        t_full in 1e-6f64..1e-2,
+        overhead in 0f64..1e-3,
+        n in 1usize..10_000,
+        extra in 1usize..10_000,
+        budget in 1e-6f64..1.0,
+    ) {
+        let c = SlaController::elastic(profile_of(t_full, overhead));
+        let light = c.decide(n, budget);
+        let heavy = c.decide(n + extra, budget);
+        prop_assert!(
+            heavy.rate.get() <= light.rate.get(),
+            "load {} chose {}, heavier load {} chose {}",
+            n, light.rate, n + extra, heavy.rate
+        );
+    }
+
+    /// Shedding is the last resort and is exact: the controller sheds only
+    /// at the base rate, only when the full batch cannot fit, and never
+    /// sheds a query that would have fit.
+    #[test]
+    fn elastic_sheds_only_when_the_base_rate_saturates(
+        t_full in 1e-6f64..1e-2,
+        overhead in 0f64..1e-3,
+        n in 1usize..20_000,
+        budget in 1e-6f64..1.0,
+    ) {
+        let c = SlaController::elastic(profile_of(t_full, overhead));
+        let d = c.decide(n, budget);
+        if d.shed > 0 {
+            let r_min = c.profile().list().min();
+            prop_assert_eq!(d.rate, r_min);
+            // The whole batch really did not fit at the base rate…
+            prop_assert!(c.profile().predict(n, r_min) > budget);
+            // …and one more admitted query would overrun.
+            let one_more = c.profile().predict(d.admit + 1, d.rate);
+            prop_assert!(
+                one_more > budget - eps(budget),
+                "shed {} but admit+1 predicted {} fits budget {}",
+                d.shed, one_more, budget
+            );
+        }
+    }
+
+    /// The fixed-width comparators: `Fixed` admits everything (it models the
+    /// inelastic server that goes late), `FixedShedding` stays within budget
+    /// like elastic but at its pinned width.
+    #[test]
+    fn fixed_policies_hold_their_contracts(
+        t_full in 1e-6f64..1e-2,
+        overhead in 0f64..1e-3,
+        n in 0usize..20_000,
+        budget in 1e-6f64..1.0,
+        rate_idx in 0usize..4,
+    ) {
+        let profile = profile_of(t_full, overhead);
+        let rate = rate_list().at(rate_idx);
+        let fixed = SlaController::new(profile.clone(), RatePolicy::Fixed(rate)).decide(n, budget);
+        prop_assert_eq!((fixed.admit, fixed.shed), (n, 0));
+        prop_assert_eq!(fixed.rate, rate);
+
+        let shedding =
+            SlaController::new(profile.clone(), RatePolicy::FixedShedding(rate)).decide(n, budget);
+        prop_assert_eq!(shedding.admit + shedding.shed, n);
+        prop_assert_eq!(shedding.rate, rate);
+        if shedding.admit > 0 {
+            prop_assert!(profile.predict(shedding.admit, rate) <= budget + eps(budget));
+        }
+    }
+
+    /// The synthetic simulator policy obeys the same Eq. 3 bound: time spent
+    /// never exceeds the budget and accounting is exact. (This is the
+    /// invariant `tests/serving_sla.rs` relies on when comparing policies.)
+    #[test]
+    fn synthetic_slicing_policy_never_overruns(
+        n in 0usize..20_000,
+        t_full in 1e-6f64..1e-2,
+        budget in 1e-6f64..1.0,
+    ) {
+        let table = AccuracyTable::new(rate_list(), vec![0.90, 0.93, 0.94, 0.95]);
+        let d = Policy::ModelSlicing.decide(n, t_full, budget, &table);
+        prop_assert_eq!(d.served + d.shed, n);
+        prop_assert!(d.time_spent <= budget + eps(budget));
+        if n > 0 {
+            let r = d.rate.expect("slicing always picks a rate") as f64;
+            // Widest-fitting rule: either everything fit, or the base rate
+            // was already in use.
+            if d.shed > 0 {
+                prop_assert!((r - 0.25).abs() < 1e-6);
+            }
+        }
+    }
+}

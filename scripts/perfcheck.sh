@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Performance tripwire for the packed-GEMM / zero-allocation work (PR 1).
+# Performance tripwire for the packed-GEMM / zero-allocation work (PR 1)
+# and the elastic serving engine (PR 2).
 #
 # 1. Release build must succeed.
 # 2. Kernel benches must run (criterion smoke mode, no timing).
-# 3. The zero-allocation instrumented test must pass in release.
-# 4. Hot forward/backward bodies must not reintroduce ad-hoc allocation:
+# 3. The zero-allocation instrumented tests must pass in release — layer
+#    forwards (ms-nn) and the engine's batched forward path (ms-core).
+# 4. The engine smoke must show elastic serving beating every fixed rate
+#    on deadline hits under a calibrated flash-crowd trace.
+# 5. Hot forward/backward bodies must not reintroduce ad-hoc allocation:
 #    `Tensor::zeros(` and `vec![` are banned in the layer hot paths — use
 #    `Tensor::pooled_zeros`, `pooled_clone`, `Workspace::take` instead.
 #
@@ -18,8 +22,12 @@ cargo build --release --workspace
 echo "== kernel bench smoke =="
 cargo bench -p ms-bench --bench kernels -- --test
 
-echo "== zero-allocation instrumented test =="
+echo "== zero-allocation instrumented tests =="
 cargo test --release -p ms-nn --test zero_alloc
+cargo test --release -p ms-core --test zero_alloc_batched
+
+echo "== engine throughput smoke (elastic vs fixed rates) =="
+cargo run --release -p ms-bench --bin engine_smoke
 
 echo "== allocation tripwire (hot layer bodies) =="
 HOT_FILES=(

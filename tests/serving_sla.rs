@@ -11,10 +11,27 @@
 //!   honest boundary of the method, since the narrowest subnet is only
 //!   ~7× cheaper than the full model.
 
-use modelslicing::serving::controller::{AccuracyTable, Policy};
+use modelslicing::models::mlp::{Mlp, MlpConfig};
+use modelslicing::nn::layer::Layer;
+use modelslicing::nn::shared::SharedWeights;
+use modelslicing::serving::controller::{AccuracyTable, Policy, RatePolicy, SlaController};
+use modelslicing::serving::engine::{Engine, EngineConfig, ReplayReport};
+use modelslicing::serving::profile::LatencyProfile;
 use modelslicing::serving::simulator::{SimConfig, Simulator};
 use modelslicing::serving::workload::{WorkloadConfig, WorkloadTrace};
-use modelslicing::slicing::slice_rate::SliceRateList;
+use modelslicing::slicing::slice_rate::{SliceRate, SliceRateList};
+use modelslicing::tensor::{SeededRng, Tensor};
+use std::sync::Mutex;
+
+/// The measured-latency tests below time real forward passes, so no other
+/// test in this binary may compete for the CPU while one runs (the harness
+/// runs tests on parallel threads; CI boxes can be single-core). Every test
+/// takes this lock.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn simulator() -> Simulator {
     Simulator::new(
@@ -67,6 +84,7 @@ fn extreme() -> WorkloadTrace {
 
 #[test]
 fn extreme_workload_hits_sixteen_x_peaks() {
+    let _serial = serial();
     let trace = extreme();
     assert!(
         trace.volatility() > 8.0,
@@ -79,6 +97,7 @@ fn extreme_workload_hits_sixteen_x_peaks() {
 
 #[test]
 fn moderate_overload_slicing_dominates_every_policy() {
+    let _serial = serial();
     let sim = simulator();
     let trace = moderate();
     let slicing = sim.run(Policy::ModelSlicing, &trace);
@@ -103,6 +122,7 @@ fn moderate_overload_slicing_dominates_every_policy() {
 
 #[test]
 fn extreme_overload_slicing_beats_fixed_and_drop() {
+    let _serial = serial();
     let sim = simulator();
     let trace = extreme();
     let slicing = sim.run(Policy::ModelSlicing, &trace);
@@ -120,6 +140,7 @@ fn extreme_overload_slicing_beats_fixed_and_drop() {
 
 #[test]
 fn processing_never_exceeds_the_latency_budget() {
+    let _serial = serial();
     // By construction every policy decision respects `time_spent ≤ T/2`;
     // verify over both traces for the elastic policy.
     let sim = simulator();
@@ -127,4 +148,162 @@ fn processing_never_exceeds_the_latency_budget() {
         let report = sim.run(Policy::ModelSlicing, &trace);
         assert!(report.utilization <= 1.0 + 1e-9);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Measured-latency assertions: the same SLA story, told by the real engine
+// instead of the synthetic simulator. The latency profile is calibrated on
+// the live network, so every number below is a wall-clock measurement on
+// this machine.
+// ---------------------------------------------------------------------------
+
+const INPUT_DIM: usize = 16;
+
+fn mlp_config() -> MlpConfig {
+    MlpConfig {
+        input_dim: INPUT_DIM,
+        hidden_dims: vec![48, 48],
+        num_classes: 8,
+        groups: 4,
+        dropout: 0.0,
+        input_rescale: true,
+    }
+}
+
+fn calibrated_profile() -> LatencyProfile {
+    let mut rng = SeededRng::new(11);
+    let mut net = Mlp::new(&mlp_config(), &mut rng);
+    LatencyProfile::calibrate(
+        &mut net,
+        SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]),
+        &[INPUT_DIM],
+        512,
+        5,
+    )
+}
+
+/// Runs one single-worker engine over `trace` under the given policy and
+/// reports the replay (virtual arrival clock, measured service times).
+fn replay_measured(
+    profile: &LatencyProfile,
+    policy: RatePolicy,
+    trace: &WorkloadTrace,
+    latency: f64,
+) -> ReplayReport {
+    let mut rng = SeededRng::new(17);
+    let mut proto = Mlp::new(&mlp_config(), &mut rng);
+    let weights = SharedWeights::capture(&mut proto);
+    let mut replica = Mlp::new(&mlp_config(), &mut SeededRng::new(18));
+    weights.hydrate(&mut replica);
+    let engine = Engine::start(
+        EngineConfig {
+            latency,
+            // Plan to half the window: the other half absorbs measurement
+            // jitter between calibration time and replay time.
+            headroom: 0.5,
+            max_queue: usize::MAX / 2,
+        },
+        SlaController::new(profile.clone(), policy),
+        vec![Box::new(replica) as Box<dyn Layer + Send>],
+    );
+    let report = engine.replay(trace, |id| {
+        Tensor::full([INPUT_DIM], ((id % 31) as f32) * 0.06 - 0.9)
+    });
+    engine.shutdown();
+    report
+}
+
+/// Calm traffic sized from the calibrated profile itself, with two flash
+/// crowds far beyond even the base subnet's capacity.
+fn spike_trace(profile: &LatencyProfile, budget: f64) -> WorkloadTrace {
+    let calm = (profile.max_batch(SliceRate::FULL, budget) * 7 / 10).max(1);
+    let overload = profile.max_batch(SliceRate::new(0.25), budget) * 3;
+    let arrivals: Vec<usize> = (0..60)
+        .map(|t| {
+            if (15..20).contains(&t) || (40..45).contains(&t) {
+                overload
+            } else {
+                calm
+            }
+        })
+        .collect();
+    let rates = arrivals.iter().map(|&n| n as f64).collect();
+    WorkloadTrace { arrivals, rates }
+}
+
+#[test]
+fn measured_elastic_beats_every_fixed_rate_on_deadline_hits() {
+    let _serial = serial();
+    let profile = calibrated_profile();
+    // Window sized so a full-width batch of a few hundred samples fits:
+    // big enough that OS timing jitter is small relative to the budget.
+    let budget = profile.predict(200, SliceRate::FULL);
+    let latency = budget * 4.0; // window = T/2 = 2·budget, headroom 0.5
+    let trace = spike_trace(&profile, budget);
+
+    let elastic = replay_measured(&profile, RatePolicy::Elastic, &trace, latency);
+    // Elastic never plans past the budget, so nearly everything it admits
+    // hits the deadline even with measurement noise.
+    // Rare multi-x outliers (OS scheduling) can push the odd batch past the
+    // window; the bulk must hit the deadline.
+    assert!(
+        elastic.on_time as f64 >= elastic.served as f64 * 0.85,
+        "elastic late too often: {} late of {} served",
+        elastic.late,
+        elastic.served
+    );
+    assert!(elastic.served > 0);
+
+    for r in profile.list().iter() {
+        let fixed = replay_measured(&profile, RatePolicy::Fixed(r), &trace, latency);
+        // The inelastic server answers everything…
+        assert_eq!(fixed.shed, 0);
+        // …but under the flash crowds it answers late: the elastic engine
+        // completes strictly more requests within the SLA.
+        assert!(
+            elastic.on_time > fixed.on_time,
+            "fixed rate {r}: {} on-time vs elastic {} (elastic shed {})",
+            fixed.on_time,
+            elastic.on_time,
+            elastic.shed
+        );
+    }
+}
+
+#[test]
+fn measured_elastic_stays_on_time_with_multiple_workers() {
+    let _serial = serial();
+    let profile = calibrated_profile();
+    let budget = profile.predict(200, SliceRate::FULL);
+    let latency = budget * 4.0;
+    let trace = spike_trace(&profile, budget);
+
+    let mut rng = SeededRng::new(29);
+    let mut proto = Mlp::new(&mlp_config(), &mut rng);
+    let weights = SharedWeights::capture(&mut proto);
+    let replicas = (0..3)
+        .map(|i| {
+            let mut m = Mlp::new(&mlp_config(), &mut SeededRng::new(100 + i));
+            weights.hydrate(&mut m);
+            Box::new(m) as Box<dyn Layer + Send>
+        })
+        .collect();
+    let engine = Engine::start(
+        EngineConfig {
+            latency,
+            headroom: 0.5,
+            max_queue: usize::MAX / 2,
+        },
+        SlaController::elastic(profile),
+        replicas,
+    );
+    let report = engine.replay(&trace, |_| Tensor::zeros([INPUT_DIM]));
+    engine.shutdown();
+    assert_eq!(report.served + report.shed, report.arrived);
+    assert!(
+        report.on_time as f64 >= report.served as f64 * 0.85,
+        "late {} of {}",
+        report.late,
+        report.served
+    );
 }
