@@ -2,14 +2,20 @@
 //!
 //! Times `gemm_unblocked` (the pre-PR kernel, kept as a baseline) against
 //! the packed `gemm` on the 256³ acceptance shape and on sliced layer
-//! shapes, then writes `results/BENCH_kernels_pr1.json`. Run in release:
+//! shapes, then writes `results/BENCH_kernels_pr1.json`. A short sliced
+//! MLP forward loop follows so the buffer-pool hit/miss counters (both the
+//! thread-local exact ones and the registry aggregates) have real traffic
+//! to report. Run in release:
 //!
 //! ```text
 //! cargo run --release -p ms-bench --bin bench_snapshot
 //! ```
 
+use ms_core::inference::batched_sliced_forward;
+use ms_core::slice_rate::SliceRate;
+use ms_models::mlp::{Mlp, MlpConfig};
 use ms_tensor::matmul::{gemm, gemm_unblocked, Trans};
-use ms_tensor::SeededRng;
+use ms_tensor::{pool, SeededRng, Tensor};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -100,6 +106,38 @@ fn measure(label: &'static str, m: usize, n: usize, k: usize) -> Entry {
     }
 }
 
+/// Steady-state pool traffic from a sliced-MLP forward loop: warm the pool
+/// at every rate first, then count hits/misses over the measured passes.
+/// Returns `(hits, misses, hit_rate_pct)` for this thread.
+fn pool_traffic() -> (u64, u64, f64) {
+    let mut rng = SeededRng::new(31);
+    let cfg = MlpConfig {
+        input_dim: 64,
+        hidden_dims: vec![128, 128],
+        num_classes: 10,
+        groups: 4,
+        dropout: 0.0,
+        input_rescale: true,
+    };
+    let mut net = Mlp::new(&cfg, &mut rng);
+    let inputs: Vec<Tensor> = (0..32)
+        .map(|i| Tensor::full([cfg.input_dim], (i as f32) * 0.03 - 0.5))
+        .collect();
+    let rates = [SliceRate::new(0.25), SliceRate::new(0.5), SliceRate::FULL];
+    for r in rates {
+        let _ = batched_sliced_forward(&mut net, &inputs, r);
+    }
+    pool::reset_stats();
+    for _ in 0..50 {
+        for r in rates {
+            let _ = batched_sliced_forward(&mut net, &inputs, r);
+        }
+    }
+    let s = pool::stats();
+    let rate = 100.0 * s.hits as f64 / (s.hits + s.misses).max(1) as f64;
+    (s.hits, s.misses, rate)
+}
+
 fn main() {
     // The 256³ acceptance shape, sliced variants of it (Eq. 3: both widths
     // scale with the rate), and the layer shapes from the kernels bench.
@@ -113,8 +151,22 @@ fn main() {
         measure("lstm_gates_h256_b32", 1024, 32, 256),
     ];
 
+    let (pool_hits, pool_misses, pool_hit_rate) = pool_traffic();
+    let (greg_hits, greg_misses, _) = pool::global_stats();
+    eprintln!(
+        "buffer pool, steady-state sliced MLP forwards: {pool_hits} hits / \
+         {pool_misses} misses ({pool_hit_rate:.1}% hit rate); registry totals \
+         {greg_hits} hits / {greg_misses} misses"
+    );
+
     let mut json = String::from("{\n  \"bench\": \"pr1 packed gemm vs unblocked baseline\",\n");
     json.push_str("  \"kernel\": \"MR=6 NR=16 MC=72 KC=256 NC=1024, packed panels, fma\",\n");
+    writeln!(
+        json,
+        "  \"pool_steady_state\": {{\"hits\": {pool_hits}, \"misses\": {pool_misses}, \
+         \"hit_rate_pct\": {pool_hit_rate:.1}}},"
+    )
+    .unwrap();
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let flops = 2.0 * e.m as f64 * e.n as f64 * e.k as f64;

@@ -1,0 +1,124 @@
+//! Bit-exact inference/training fingerprints for cross-build diffing.
+//!
+//! Prints FNV-1a hashes over the raw IEEE-754 bits of GEMM outputs, sliced
+//! MLP logits at every rate, and Algorithm-1 training losses. The output is
+//! byte-identical between a default build and one with
+//! `--features telemetry-spans` — that is the whole point: the span tracer
+//! must not perturb a single bit of any numeric path. `scripts/perfcheck.sh`
+//! builds both configurations, runs this probe in each, and diffs stdout.
+//!
+//! Nothing configuration-dependent may be printed here (in particular not
+//! `ms_telemetry::spans_compiled()`), or the diff gate would trip on the
+//! label rather than the numerics.
+
+use ms_core::inference::batched_sliced_forward;
+use ms_core::scheduler::{Scheduler, SchedulerKind};
+use ms_core::slice_rate::{SliceRate, SliceRateList};
+use ms_core::trainer::{Batch, Trainer, TrainerConfig};
+use ms_models::mlp::{Mlp, MlpConfig};
+use ms_nn::optim::SgdConfig;
+use ms_tensor::matmul::{gemm, Trans};
+use ms_tensor::{SeededRng, Tensor};
+
+/// FNV-1a over the bit patterns of a float slice: any single-bit change in
+/// any element changes the digest.
+fn fingerprint(xs: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn mlp_config() -> MlpConfig {
+    MlpConfig {
+        input_dim: 24,
+        hidden_dims: vec![64, 64],
+        num_classes: 6,
+        groups: 4,
+        dropout: 0.0,
+        input_rescale: true,
+    }
+}
+
+fn main() {
+    // 1. Raw packed GEMM on shapes that cross the small-gemm cutoff, so
+    // both the packed path (with its pack/kernel spans) and the direct
+    // path are fingerprinted.
+    for (m, n, k) in [(7, 9, 11), (64, 48, 56), (160, 144, 152)] {
+        let mut rng = SeededRng::new(41);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut c = vec![0.0f32; m * n];
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            k,
+            &b,
+            n,
+            0.0,
+            &mut c,
+            n,
+        );
+        println!("gemm {m}x{n}x{k}: {:016x}", fingerprint(&c));
+    }
+
+    // 2. Sliced batched forwards at every rate the paper's Eq. 3 slices.
+    let mut rng = SeededRng::new(42);
+    let cfg = mlp_config();
+    let mut net = Mlp::new(&cfg, &mut rng);
+    let inputs: Vec<Tensor> = (0..16)
+        .map(|i| Tensor::full([cfg.input_dim], (i as f32) * 0.11 - 0.8))
+        .collect();
+    for r in [0.25f32, 0.5, 0.75, 1.0] {
+        let rows = batched_sliced_forward(&mut net, &inputs, SliceRate::new(r));
+        let flat: Vec<f32> = rows.iter().flat_map(|t| t.data().to_vec()).collect();
+        println!("forward rate {r}: {:016x}", fingerprint(&flat));
+    }
+
+    // 3. Algorithm-1 training: per-epoch mean loss, printed as raw bits.
+    let rates = SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]);
+    let mut rng = SeededRng::new(43);
+    let mut net = Mlp::new(&mlp_config(), &mut rng);
+    let scheduler = Scheduler::new(SchedulerKind::Static, rates, &mut rng);
+    let mut trainer = Trainer::new(
+        scheduler,
+        TrainerConfig {
+            sgd: SgdConfig {
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+                clip_norm: None,
+            },
+            average_subnet_grads: true,
+        },
+    );
+    let batches: Vec<Batch> = (0..4)
+        .map(|_| {
+            let bs = 8;
+            let xs: Vec<f32> = (0..bs * mlp_config().input_dim)
+                .map(|_| rng.uniform(-1.0, 1.0))
+                .collect();
+            let ys: Vec<usize> = (0..bs).map(|_| rng.below(6)).collect();
+            Batch {
+                x: Tensor::from_vec([bs, mlp_config().input_dim], xs).unwrap(),
+                y: ys,
+            }
+        })
+        .collect();
+    for epoch in 0..3 {
+        let stats = trainer.train_epoch(&mut net, &batches);
+        println!(
+            "train epoch {epoch}: loss bits {:016x}",
+            (stats.mean_loss).to_bits()
+        );
+    }
+}

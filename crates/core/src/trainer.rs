@@ -12,7 +12,62 @@ use crate::slice_rate::SliceRate;
 use ms_nn::layer::{Layer, Mode, Network};
 use ms_nn::loss::CrossEntropy;
 use ms_nn::optim::{Sgd, SgdConfig};
+use ms_telemetry::{Counter, Gauge, Histogram};
 use ms_tensor::{ops, Tensor};
+use std::time::Instant;
+
+/// Registry handles for the Algorithm-1 loop. Registered once per trainer
+/// (idempotent — every trainer in the process shares the same global
+/// series); per-rate subnet timing histograms are added lazily the first
+/// time a rate is scheduled, then cached so the steady-state iteration
+/// records through pre-resolved handles without allocating.
+struct TrainerMetrics {
+    steps: Counter,
+    loss: Gauge,
+    grad_norm: Gauge,
+    loss_hist: Histogram,
+    grad_norm_hist: Histogram,
+    subnet_seconds: Vec<(SliceRate, Histogram)>,
+}
+
+impl TrainerMetrics {
+    fn new() -> TrainerMetrics {
+        let reg = ms_telemetry::global();
+        TrainerMetrics {
+            steps: reg.counter("trainer_steps_total", "Algorithm-1 optimiser steps"),
+            loss: reg.gauge(
+                "trainer_loss",
+                "cross-entropy of the most recent subnet pass",
+            ),
+            grad_norm: reg.gauge(
+                "trainer_grad_norm",
+                "pre-clip global gradient norm of the most recent step",
+            ),
+            loss_hist: reg.histogram(
+                "trainer_subnet_loss",
+                "cross-entropy per scheduled subnet pass",
+            ),
+            grad_norm_hist: reg.histogram(
+                "trainer_grad_norm_hist",
+                "pre-clip global gradient norm per step",
+            ),
+            subnet_seconds: Vec::new(),
+        }
+    }
+
+    fn subnet_seconds(&mut self, r: SliceRate) -> &Histogram {
+        if let Some(i) = self.subnet_seconds.iter().position(|(rr, _)| *rr == r) {
+            return &self.subnet_seconds[i].1;
+        }
+        let h = ms_telemetry::global().histogram_with(
+            "trainer_subnet_seconds",
+            &[("rate", &format!("{r}"))],
+            "forward+backward wall seconds per scheduled subnet pass",
+        );
+        self.subnet_seconds.push((r, h));
+        &self.subnet_seconds.last().expect("just pushed").1
+    }
+}
 
 /// One training batch: inputs plus integer class/token targets.
 ///
@@ -71,6 +126,7 @@ pub struct Trainer {
     optimizer: Sgd,
     average: bool,
     criterion: CrossEntropy,
+    metrics: TrainerMetrics,
 }
 
 impl Trainer {
@@ -81,6 +137,7 @@ impl Trainer {
             optimizer: Sgd::new(cfg.sgd),
             average: cfg.average_subnet_grads,
             criterion: CrossEntropy,
+            metrics: TrainerMetrics::new(),
         }
     }
 
@@ -96,10 +153,12 @@ impl Trainer {
 
     /// One Algorithm-1 iteration on `batch`.
     pub fn step(&mut self, net: &mut dyn Layer, batch: &Batch) -> StepStats {
+        let _span = ms_telemetry::span!("trainer.step");
         let rates = self.scheduler.next_rates();
         net.zero_grads();
         let mut subnet_losses = Vec::with_capacity(rates.len());
         for &r in &rates {
+            let t0 = Instant::now();
             net.set_slice_rate(r);
             let logits = net.forward(&batch.x, Mode::Train);
             let (loss, dlogits) = self.criterion.forward(&logits, &batch.y);
@@ -107,6 +166,9 @@ impl Trainer {
             let dx = net.backward(&dlogits);
             dx.recycle();
             dlogits.recycle();
+            self.metrics.subnet_seconds(r).record(t0.elapsed().as_secs_f64());
+            self.metrics.loss.set(loss);
+            self.metrics.loss_hist.record(loss);
             subnet_losses.push((r, loss));
         }
         if self.average && rates.len() > 1 {
@@ -114,6 +176,9 @@ impl Trainer {
             net.visit_params(&mut |p| p.grad.scale(inv));
         }
         let grad_norm = self.optimizer.step(net);
+        self.metrics.steps.inc();
+        self.metrics.grad_norm.set(grad_norm);
+        self.metrics.grad_norm_hist.record(grad_norm);
         // Leave the network at full width between steps.
         net.set_slice_rate(SliceRate::FULL);
         StepStats {

@@ -25,8 +25,8 @@ use ms_baselines::skipnet::{SkipNet, SkipNetConfig};
 use ms_baselines::slimming;
 use ms_data::synth_images::ImageDataset;
 use ms_experiments::{
-    accuracy_sweep, eval_accuracy, pct, print_table, test_batches, train_image_manual,
-    train_image_model, train_multi_classifier, write_results, ImageSetting,
+    accuracy_sweep, eval_accuracy, pct, print_table, telemetry_flusher, test_batches,
+    train_image_manual, train_image_model, train_multi_classifier, write_results, ImageSetting,
 };
 use ms_models::multi_classifier::{MultiClassifierConfig, MultiClassifierNet};
 use ms_models::resnet::{ResNet, ResNetConfig};
@@ -91,6 +91,7 @@ fn fixed_resnet_cfg(base: &ResNetConfig, r: SliceRate) -> ResNetConfig {
 
 fn main() {
     let start = std::time::Instant::now();
+    let _telemetry = telemetry_flusher("fig2");
     let mut setting = ImageSetting::standard();
     // The ResNet family is stronger than the VGG track at this scale; raise
     // the dataset difficulty so the accuracy-vs-FLOPs curves separate

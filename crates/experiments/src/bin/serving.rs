@@ -11,8 +11,8 @@ use ms_core::scheduler::SchedulerKind;
 use ms_core::slice_rate::SliceRate;
 use ms_data::synth_images::ImageDataset;
 use ms_experiments::{
-    accuracy_sweep, fmt, pct, print_table, test_batches, train_image_model, write_results,
-    ImageSetting,
+    accuracy_sweep, fmt, pct, print_table, telemetry_flusher, test_batches, train_image_model,
+    write_results, ImageSetting,
 };
 use ms_models::mlp::{Mlp, MlpConfig};
 use ms_models::vgg::Vgg;
@@ -28,6 +28,7 @@ use ms_tensor::{SeededRng, Tensor};
 
 fn main() {
     let start = std::time::Instant::now();
+    let _telemetry = telemetry_flusher("serving");
     let setting = ImageSetting::standard();
     let ds = ImageDataset::generate(setting.dataset.clone());
     let test = test_batches(&ds, 128);

@@ -389,6 +389,22 @@ pub fn text_eval_batches(tokens: &[usize], batch: usize, seq_len: usize) -> Vec<
         .collect()
 }
 
+/// Starts the periodic telemetry flusher for an experiment binary: the
+/// global registry (trainer iteration metrics, engine counters, pool
+/// hit/miss, spans when compiled) is dumped to
+/// `results/logs/<name>.{prom,json}` every second and once more when the
+/// returned [`ms_telemetry::Flusher`] is dropped — so even a run killed
+/// mid-training leaves a fresh snapshot behind. Returns `None` on
+/// read-only checkouts, where printing is the only output anyway.
+pub fn telemetry_flusher(name: &str) -> Option<ms_telemetry::Flusher> {
+    ms_telemetry::Flusher::start(
+        "results/logs",
+        name,
+        std::time::Duration::from_secs(1),
+    )
+    .ok()
+}
+
 /// Writes a JSON results file under `results/` (created on demand), so runs
 /// are machine-readable as well as printed.
 pub fn write_results<T: Serialize>(name: &str, value: &T) {

@@ -40,12 +40,98 @@ use crate::workload::WorkloadTrace;
 use ms_core::inference::batched_sliced_forward;
 use ms_core::slice_rate::SliceRate;
 use ms_nn::layer::Layer;
+use ms_telemetry::{Counter, Gauge, Histogram};
 use ms_tensor::Tensor;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Monotone per-process engine id, used as the `engine` label so several
+/// engines (tests spin up many) keep distinct registry series.
+static ENGINE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Registry handles for one engine instance. All series carry an
+/// `engine="<n>"` label; per-rate series add `rate="<r>"`, indexed like
+/// the controller profile's rate list so the record path is a direct
+/// vector index — no lookup, no allocation, no lock.
+struct EngineMetrics {
+    submitted: Counter,
+    served: Counter,
+    shed: Counter,
+    batches: Counter,
+    /// Requests buffered (open batch + sealed-but-unstarted). Updated at
+    /// batch granularity — on seal and on worker pop, not per submit — so
+    /// the per-request hot path pays no gauge store; a scraper sees the
+    /// depth as of the last batch boundary.
+    queue_depth: Gauge,
+    /// Admitted size of the last sealed batch as a fraction of the largest
+    /// batch the chosen rate could serve within the planning budget.
+    batch_fill: Gauge,
+    /// Batches per candidate rate (the old `rate_counts` atomics).
+    rate_batches: Vec<Counter>,
+    /// Measured batch service seconds per candidate rate.
+    rate_service: Vec<Histogram>,
+    /// Measured batch service seconds across all rates — the histogram
+    /// behind [`EngineCounters::p50_service`]/[`p99_service`].
+    service: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(controller: &SlaController) -> EngineMetrics {
+        let reg = ms_telemetry::global();
+        let id = ENGINE_SEQ.fetch_add(1, Ordering::Relaxed).to_string();
+        let e: &[(&str, &str)] = &[("engine", id.as_str())];
+        let mut rate_batches = Vec::new();
+        let mut rate_service = Vec::new();
+        for r in controller.profile().list().iter() {
+            let rs = format!("{r}");
+            let labels: &[(&str, &str)] = &[("engine", id.as_str()), ("rate", rs.as_str())];
+            rate_batches.push(reg.counter_with(
+                "engine_rate_batches_total",
+                labels,
+                "batches served at each slice rate",
+            ));
+            rate_service.push(reg.histogram_with(
+                "engine_service_seconds",
+                labels,
+                "measured wall-clock batch service time per slice rate",
+            ));
+        }
+        EngineMetrics {
+            submitted: reg.counter_with(
+                "engine_submitted_total",
+                e,
+                "requests offered to submit (accepted + shed)",
+            ),
+            served: reg.counter_with("engine_served_total", e, "requests served (logits produced)"),
+            shed: reg.counter_with(
+                "engine_shed_total",
+                e,
+                "requests shed (backpressure + admission control)",
+            ),
+            batches: reg.counter_with("engine_batches_total", e, "batches executed"),
+            queue_depth: reg.gauge_with(
+                "engine_queue_depth",
+                e,
+                "requests buffered: open batch + sealed not yet running",
+            ),
+            batch_fill: reg.gauge_with(
+                "engine_batch_fill",
+                e,
+                "last sealed batch size over the chosen rate's budget capacity",
+            ),
+            rate_batches,
+            rate_service,
+            service: reg.histogram_with(
+                "engine_service_seconds",
+                &[("engine", id.as_str()), ("rate", "all")],
+                "measured wall-clock batch service time, all rates",
+            ),
+        }
+    }
+}
 
 /// Engine parameters.
 #[derive(Debug, Clone, Copy)]
@@ -97,6 +183,13 @@ pub struct EngineResponse {
 }
 
 /// Aggregate engine counters, exposed for the experiments binaries.
+///
+/// Since PR 3 this is a façade over the engine's series on the global
+/// `ms-telemetry` registry (labeled `engine="<n>"`): the same numbers the
+/// Prometheus/JSON dumps carry, snapshotted into the struct the
+/// experiments binaries already consume. Percentiles come from the shared
+/// log-bucketed histogram, so they are resolved to one bucket width
+/// (≤ ~6 % relative) rather than exact order statistics.
 #[derive(Debug, Clone, Default)]
 pub struct EngineCounters {
     /// Requests offered to `submit` (accepted + shed).
@@ -109,9 +202,10 @@ pub struct EngineCounters {
     pub batches: u64,
     /// `(rate, batches run at that rate)`, ascending.
     pub rate_histogram: Vec<(f32, u64)>,
-    /// Median measured batch service time (seconds; 0 when no batches ran).
+    /// Median measured batch service time (seconds; 0 when no batches
+    /// ran), bucket-resolution.
     pub p50_service: f64,
-    /// 99th-percentile measured batch service time.
+    /// 99th-percentile measured batch service time, bucket-resolution.
     pub p99_service: f64,
 }
 
@@ -131,12 +225,18 @@ struct EngineState {
     in_flight: usize,
     next_seq: usize,
     responses: Vec<EngineResponse>,
-    service_times: Vec<f64>,
     /// While set, workers leave `ready` untouched — the replay harness
     /// stages every batch first so its service-time measurements never
     /// share the CPU with the submission loop (single-core machines).
     hold: bool,
     stop: bool,
+    /// Submit-path tallies kept as plain integers under the state lock and
+    /// flushed to the registry counters at seal (and on `counters()`).
+    /// `submit` runs once per request; a lock-prefixed `fetch_add` there is
+    /// the single biggest telemetry cost on the serving hot path, while a
+    /// plain `+= 1` under the already-held mutex is free.
+    pending_submitted: u64,
+    pending_shed: u64,
 }
 
 struct Shared {
@@ -149,12 +249,7 @@ struct Shared {
     /// Planning budget: `window × headroom` (the margin the controller sees).
     budget: f64,
     max_queue: usize,
-    submitted: AtomicU64,
-    served: AtomicU64,
-    shed: AtomicU64,
-    batches: AtomicU64,
-    /// Batch count per candidate rate, indexed like the profile's rate list.
-    rate_counts: Vec<AtomicU64>,
+    metrics: EngineMetrics,
 }
 
 /// The worker-pool engine. See the module docs for the threading model.
@@ -175,7 +270,7 @@ impl Engine {
     ) -> Engine {
         assert!(!replicas.is_empty(), "need at least one worker replica");
         assert!(cfg.latency > 0.0 && cfg.headroom > 0.0 && cfg.headroom <= 1.0);
-        let rates = controller.profile().list().len();
+        let metrics = EngineMetrics::new(&controller);
         let shared = Arc::new(Shared {
             state: Mutex::new(EngineState {
                 open_ids: Vec::new(),
@@ -185,9 +280,10 @@ impl Engine {
                 in_flight: 0,
                 next_seq: 0,
                 responses: Vec::new(),
-                service_times: Vec::new(),
                 hold: false,
                 stop: false,
+                pending_submitted: 0,
+                pending_shed: 0,
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
@@ -195,11 +291,7 @@ impl Engine {
             window: cfg.latency / 2.0,
             budget: cfg.latency / 2.0 * cfg.headroom,
             max_queue: cfg.max_queue,
-            submitted: AtomicU64::new(0),
-            served: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            rate_counts: (0..rates).map(|_| AtomicU64::new(0)).collect(),
+            metrics,
         });
         let workers = replicas
             .into_iter()
@@ -232,14 +324,14 @@ impl Engine {
     /// Offers one request to the open batch. Sheds (and counts the shed)
     /// under backpressure instead of buffering beyond `max_queue`.
     pub fn submit(&self, input: Tensor) -> Result<u64, ShedReason> {
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let mut st = self.shared.state.lock().expect("engine lock");
+        st.pending_submitted += 1;
         if st.stop {
-            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            st.pending_shed += 1;
             return Err(ShedReason::Stopping);
         }
         if st.open_ids.len() + st.ready_len >= self.shared.max_queue {
-            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            st.pending_shed += 1;
             return Err(ShedReason::Backpressure);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -254,6 +346,7 @@ impl Engine {
     /// batch was empty or fully shed.
     pub fn seal(&self) -> Option<usize> {
         let mut st = self.shared.state.lock().expect("engine lock");
+        self.flush_submit_tallies(&mut st);
         let n = st.open_ids.len();
         if n == 0 {
             return None;
@@ -265,11 +358,21 @@ impl Engine {
         if shed > 0 {
             ids.truncate(admit);
             inputs.truncate(admit);
-            self.shared.shed.fetch_add(shed as u64, Ordering::Relaxed);
+            self.shared.metrics.shed.add(shed as u64);
         }
         if admit == 0 {
+            self.shared.metrics.queue_depth.set(st.ready_len as f64);
             return None;
         }
+        let capacity = self
+            .shared
+            .controller
+            .profile()
+            .max_batch(rate, self.shared.budget);
+        self.shared
+            .metrics
+            .batch_fill
+            .set(admit as f64 / capacity.max(1) as f64);
         let seq = st.next_seq;
         st.next_seq += 1;
         st.ready_len += admit;
@@ -279,8 +382,21 @@ impl Engine {
             inputs,
             rate,
         });
+        self.shared.metrics.queue_depth.set(st.ready_len as f64);
         self.shared.work.notify_one();
         Some(seq)
+    }
+
+    /// Publishes the submit-path tallies to the registry counters.
+    fn flush_submit_tallies(&self, st: &mut EngineState) {
+        if st.pending_submitted > 0 {
+            let n = std::mem::take(&mut st.pending_submitted);
+            self.shared.metrics.submitted.add(n);
+        }
+        if st.pending_shed > 0 {
+            let n = std::mem::take(&mut st.pending_shed);
+            self.shared.metrics.shed.add(n);
+        }
     }
 
     /// Blocks until the queue is empty and no batch is in flight. The open
@@ -298,36 +414,46 @@ impl Engine {
         std::mem::take(&mut st.responses)
     }
 
-    /// Counter snapshot (percentiles computed over all batches so far).
+    /// Counter snapshot from the telemetry registry (percentiles come from
+    /// the shared log-bucketed service-time histogram, resolved to one
+    /// bucket width).
     pub fn counters(&self) -> EngineCounters {
-        let services = {
-            let st = self.shared.state.lock().expect("engine lock");
-            let mut s = st.service_times.clone();
-            s.sort_by(|a, b| a.partial_cmp(b).expect("finite service times"));
-            s
-        };
-        let pct = |q: f64| -> f64 {
-            if services.is_empty() {
-                0.0
-            } else {
-                services[((services.len() - 1) as f64 * q).round() as usize]
-            }
-        };
+        {
+            let mut st = self.shared.state.lock().expect("engine lock");
+            self.flush_submit_tallies(&mut st);
+        }
+        let m = &self.shared.metrics;
         let list = self.shared.controller.profile().list();
         EngineCounters {
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
-            served: self.shared.served.load(Ordering::Relaxed),
-            shed: self.shared.shed.load(Ordering::Relaxed),
-            batches: self.shared.batches.load(Ordering::Relaxed),
+            submitted: m.submitted.get(),
+            served: m.served.get(),
+            shed: m.shed.get(),
+            batches: m.batches.get(),
             rate_histogram: list
                 .iter()
-                .zip(&self.shared.rate_counts)
-                .map(|(r, c)| (r.get(), c.load(Ordering::Relaxed)))
+                .zip(&m.rate_batches)
+                .map(|(r, c)| (r.get(), c.get()))
                 .filter(|(_, c)| *c > 0)
                 .collect(),
-            p50_service: pct(0.50),
-            p99_service: pct(0.99),
+            p50_service: m.service.percentile(0.50),
+            p99_service: m.service.percentile(0.99),
         }
+    }
+
+    /// Current queue-depth gauge (open batch + sealed-but-unstarted).
+    pub fn queue_depth(&self) -> f64 {
+        self.shared.metrics.queue_depth.get()
+    }
+
+    /// Per-rate `(rate, p50 seconds, p99 seconds)` from the measured
+    /// service-time histograms, for rates that ran at least one batch.
+    pub fn rate_service_percentiles(&self) -> Vec<(f32, f64, f64)> {
+        let list = self.shared.controller.profile().list();
+        list.iter()
+            .zip(&self.shared.metrics.rate_service)
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(r, h)| (r.get(), h.percentile(0.50), h.percentile(0.99)))
+            .collect()
     }
 
     /// Pauses (`true`) or releases (`false`) the ready queue. Used by
@@ -376,6 +502,10 @@ fn worker_loop(shared: Arc<Shared>, mut model: Box<dyn Layer + Send>) {
                     if let Some(b) = st.ready.pop_front() {
                         st.ready_len -= b.ids.len();
                         st.in_flight += 1;
+                        shared
+                            .metrics
+                            .queue_depth
+                            .set((st.open_ids.len() + st.ready_len) as f64);
                         break b;
                     }
                 }
@@ -386,17 +516,20 @@ fn worker_loop(shared: Arc<Shared>, mut model: Box<dyn Layer + Send>) {
             }
         };
         let t0 = Instant::now();
-        let rows = batched_sliced_forward(model.as_mut(), &batch.inputs, batch.rate);
+        let rows = {
+            let _span = ms_telemetry::span!("engine.batch_forward");
+            batched_sliced_forward(model.as_mut(), &batch.inputs, batch.rate)
+        };
         let service = t0.elapsed().as_secs_f64();
         for input in batch.inputs {
             input.recycle();
         }
-        shared
-            .served
-            .fetch_add(batch.ids.len() as u64, Ordering::Relaxed);
-        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.served.add(batch.ids.len() as u64);
+        shared.metrics.batches.inc();
+        shared.metrics.service.record(service);
         if let Some(idx) = shared.controller.profile().list().index_of(batch.rate) {
-            shared.rate_counts[idx].fetch_add(1, Ordering::Relaxed);
+            shared.metrics.rate_batches[idx].inc();
+            shared.metrics.rate_service[idx].record(service);
         }
         let mut st = shared.state.lock().expect("engine lock");
         for (id, logits) in batch.ids.into_iter().zip(rows) {
@@ -408,7 +541,6 @@ fn worker_loop(shared: Arc<Shared>, mut model: Box<dyn Layer + Send>) {
                 service_time: service,
             });
         }
-        st.service_times.push(service);
         st.in_flight -= 1;
         drop(st);
         shared.idle.notify_all();

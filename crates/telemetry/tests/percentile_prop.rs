@@ -1,0 +1,61 @@
+//! Property test: histogram percentiles vs the exact sorted-vector answer.
+//!
+//! For any batch of positive in-range samples and any quantile, the
+//! log-bucketed histogram's nearest-rank percentile must come back within
+//! one bucket width of the exact value — this is the accuracy contract the
+//! serving engine's `p50_service`/`p99_service` façade (and satellite 2 of
+//! the telemetry PR) relies on. The exact rank-`round((n-1)·q)` sample lies
+//! inside the bucket whose upper bound the histogram reports, so the error
+//! is bounded by that bucket's width.
+
+use ms_telemetry::histogram::{bucket_bounds, bucket_index, Histogram};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile of `samples` (must be non-empty).
+fn exact_percentile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[rank]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn percentile_within_one_bucket_width(
+        samples in proptest::collection::vec(1e-8f64..1e5, 1..200),
+        q in 0.0f64..1.0000001,
+    ) {
+        let h = Histogram::detached("prop");
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+
+        let exact = exact_percentile(&samples, q);
+        let approx = h.percentile(q);
+
+        // The reported value is the upper bound of the bucket holding the
+        // exact rank sample: at least the exact value, and above it by no
+        // more than that bucket's width.
+        let (lo, hi) = bucket_bounds(bucket_index(exact));
+        let width = hi - lo;
+        prop_assert!(
+            approx >= exact && approx - exact <= width,
+            "approx {} exact {} bucket [{}, {}) n {} q {}",
+            approx, exact, lo, hi, samples.len(), q
+        );
+    }
+
+    #[test]
+    fn p50_and_p99_are_ordered(
+        samples in proptest::collection::vec(1e-8f64..1e5, 1..100),
+    ) {
+        let h = Histogram::detached("prop_order");
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert!(h.percentile(0.99) >= h.percentile(0.50));
+    }
+}

@@ -133,6 +133,9 @@ pub fn gemm(
         return;
     }
 
+    // Span sites compile to nothing without `telemetry-spans`; with it,
+    // they attribute packed-GEMM time to packing vs micro-kernel work.
+    let _span_gemm = ms_telemetry::span!("gemm.packed");
     PACK_BUFS.with(|bufs| {
         let (ref mut apack, ref mut bpack) = *bufs.borrow_mut();
         for jc in (0..n).step_by(NC) {
@@ -140,11 +143,18 @@ pub fn gemm(
             let nc_strips = nc.div_ceil(NR);
             for pc in (0..k).step_by(KC) {
                 let kc = KC.min(k - pc);
-                pack_b(trans_b, b, ldb, pc, kc, jc, nc, bpack);
+                {
+                    let _s = ms_telemetry::span!("gemm.pack_b");
+                    pack_b(trans_b, b, ldb, pc, kc, jc, nc, bpack);
+                }
                 for ic in (0..m).step_by(MC) {
                     let mc = MC.min(m - ic);
                     let mc_strips = mc.div_ceil(MR);
-                    pack_a(trans_a, a, lda, ic, mc, pc, kc, apack);
+                    {
+                        let _s = ms_telemetry::span!("gemm.pack_a");
+                        pack_a(trans_a, a, lda, ic, mc, pc, kc, apack);
+                    }
+                    let _s = ms_telemetry::span!("gemm.kernel");
                     for jr in 0..nc_strips {
                         let nr = NR.min(nc - jr * NR);
                         let bp = &bpack[jr * kc * NR..(jr + 1) * kc * NR];

@@ -25,9 +25,50 @@
 //! replacement for `vec![0.0; len]`.
 
 use std::cell::RefCell;
+use std::sync::OnceLock;
 
 /// Maximum number of buffers retained per thread.
 pub const MAX_POOLED: usize = 64;
+
+/// Process-wide pool counters on the telemetry registry. The per-thread
+/// [`PoolStats`] stay authoritative for tests (they are exact per thread);
+/// these aggregate across every thread so `engine_smoke`, `bench_snapshot`
+/// and the Prometheus dumps can see total pool traffic from outside the
+/// crate.
+struct PoolMetrics {
+    hits: ms_telemetry::Counter,
+    misses: ms_telemetry::Counter,
+    evictions: ms_telemetry::Counter,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = ms_telemetry::global();
+        PoolMetrics {
+            hits: reg.counter(
+                "tensor_pool_hits_total",
+                "buffer-pool acquisitions served from pooled storage",
+            ),
+            misses: reg.counter(
+                "tensor_pool_misses_total",
+                "buffer-pool acquisitions that allocated fresh storage",
+            ),
+            evictions: reg.counter(
+                "tensor_pool_evictions_total",
+                "buffer-pool releases dropped because the pool was full",
+            ),
+        }
+    })
+}
+
+/// Cross-thread totals `(hits, misses, evictions)` from the telemetry
+/// registry — the externally visible counterpart of the thread-local
+/// [`stats`].
+pub fn global_stats() -> (u64, u64, u64) {
+    let m = pool_metrics();
+    (m.hits.get(), m.misses.get(), m.evictions.get())
+}
 
 /// Pool traffic counters for one thread.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,16 +81,65 @@ pub struct PoolStats {
     pub evictions: u64,
 }
 
+/// How many pool events a thread accumulates locally before publishing the
+/// deltas to the global telemetry counters. The pool sits on the per-request
+/// hot path of the serving engine; a global `fetch_add` per acquire would
+/// put every worker thread on the same contended cache lines, so traffic is
+/// batched and the registry series lag the thread-local truth by at most
+/// `FLUSH_EVERY - 1` events per live thread (exact on thread exit).
+const FLUSH_EVERY: u64 = 64;
+
 struct Pool {
     free: Vec<Vec<f32>>,
     stats: PoolStats,
+    /// Deltas not yet published to the global registry counters.
+    pending: PoolStats,
+}
+
+impl Pool {
+    fn new() -> Pool {
+        // Touch the registry cells now, while this thread is first setting
+        // its pool up: registration allocates (name strings, the cell), and
+        // deferring it to the first threshold flush would put that one-off
+        // allocation inside a steady-state region the zero-alloc tests
+        // measure.
+        let _ = pool_metrics();
+        Pool {
+            free: Vec::new(),
+            stats: PoolStats::default(),
+            pending: PoolStats::default(),
+        }
+    }
+
+    fn flush_pending(&mut self) {
+        let m = pool_metrics();
+        if self.pending.hits > 0 {
+            m.hits.add(self.pending.hits);
+        }
+        if self.pending.misses > 0 {
+            m.misses.add(self.pending.misses);
+        }
+        if self.pending.evictions > 0 {
+            m.evictions.add(self.pending.evictions);
+        }
+        self.pending = PoolStats::default();
+    }
+
+    fn note_event(&mut self) {
+        if self.pending.hits + self.pending.misses + self.pending.evictions >= FLUSH_EVERY {
+            self.flush_pending();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.flush_pending();
+    }
 }
 
 thread_local! {
-    static POOL: RefCell<Pool> = RefCell::new(Pool {
-        free: Vec::new(),
-        stats: PoolStats::default(),
-    });
+    static POOL: RefCell<Pool> = RefCell::new(Pool::new());
 }
 
 /// Fetches a zero-filled buffer of exactly `len` elements, reusing pooled
@@ -73,6 +163,8 @@ pub fn acquire(len: usize) -> Vec<f32> {
         match best {
             Some((i, _)) => {
                 p.stats.hits += 1;
+                p.pending.hits += 1;
+                p.note_event();
                 let mut buf = p.free.swap_remove(i);
                 buf.clear();
                 buf.resize(len, 0.0);
@@ -80,6 +172,8 @@ pub fn acquire(len: usize) -> Vec<f32> {
             }
             None => {
                 p.stats.misses += 1;
+                p.pending.misses += 1;
+                p.note_event();
                 vec![0.0; len]
             }
         }
@@ -105,6 +199,8 @@ pub fn release(buf: Vec<f32>) {
                 .min_by_key(|&(_, c)| c)
                 .expect("pool is full, so non-empty");
             p.stats.evictions += 1;
+            p.pending.evictions += 1;
+            p.note_event();
             if buf.capacity() > min_cap {
                 p.free.swap_remove(min_i);
             } else {
@@ -115,9 +211,15 @@ pub fn release(buf: Vec<f32>) {
     });
 }
 
-/// Snapshot of this thread's pool counters.
+/// Snapshot of this thread's pool counters. Also publishes this thread's
+/// pending deltas to the global registry counters, so a thread that reads
+/// its own stats sees the registry caught up with itself.
 pub fn stats() -> PoolStats {
-    POOL.with(|p| p.borrow().stats)
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.flush_pending();
+        p.stats
+    })
 }
 
 /// Resets this thread's counters (the free list is kept).

@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
-# Performance tripwire for the packed-GEMM / zero-allocation work (PR 1)
-# and the elastic serving engine (PR 2).
+# Performance tripwire for the packed-GEMM / zero-allocation work (PR 1),
+# the elastic serving engine (PR 2) and the telemetry stack (PR 3).
 #
 # 1. Release build must succeed.
 # 2. Kernel benches must run (criterion smoke mode, no timing).
 # 3. The zero-allocation instrumented tests must pass in release — layer
-#    forwards (ms-nn) and the engine's batched forward path (ms-core).
-# 4. The engine smoke must show elastic serving beating every fixed rate
-#    on deadline hits under a calibrated flash-crowd trace.
-# 5. Hot forward/backward bodies must not reintroduce ad-hoc allocation:
+#    forwards (ms-nn), the engine's batched forward path (ms-core), and
+#    the telemetry record path (ms-telemetry, both feature configs).
+# 4. `determinism_probe` must print byte-identical fingerprints from a
+#    default build and a `--features telemetry-spans` build: the span
+#    tracer must not perturb one bit of any numeric path.
+# 5. The engine smoke must show elastic serving beating every fixed rate
+#    on deadline hits under a calibrated flash-crowd trace, AND always-on
+#    registry recording must cost <= 2% throughput (in-process A/B via the
+#    telemetry kill switch; MS_TELEMETRY_GATE_PCT overrides the gate). The
+#    smoke also dumps Prometheus/JSON snapshots to results/logs/ and the
+#    gate numbers to results/BENCH_telemetry_pr3.json. A second run with
+#    spans compiled in writes its snapshot alongside for comparison.
+# 6. Hot forward/backward bodies must not reintroduce ad-hoc allocation:
 #    `Tensor::zeros(` and `vec![` are banned in the layer hot paths — use
 #    `Tensor::pooled_zeros`, `pooled_clone`, `Workspace::take` instead.
 #
@@ -25,9 +34,25 @@ cargo bench -p ms-bench --bench kernels -- --test
 echo "== zero-allocation instrumented tests =="
 cargo test --release -p ms-nn --test zero_alloc
 cargo test --release -p ms-core --test zero_alloc_batched
+cargo test --release -p ms-telemetry --test zero_alloc
+cargo test --release -p ms-telemetry --test zero_alloc --features telemetry-spans
 
-echo "== engine throughput smoke (elastic vs fixed rates) =="
+echo "== cross-build determinism (spans on vs off) =="
+cargo run --release -q -p ms-bench --bin determinism_probe > /tmp/ms_probe_default.txt
+cargo run --release -q -p ms-bench --features telemetry-spans \
+    --bin determinism_probe > /tmp/ms_probe_spans.txt
+if ! diff /tmp/ms_probe_default.txt /tmp/ms_probe_spans.txt; then
+    echo "perfcheck FAILED: span-instrumented build changed inference output bits"
+    exit 1
+fi
+echo "probe fingerprints identical across builds"
+
+echo "== engine throughput smoke (elastic vs fixed, telemetry overhead gate) =="
 cargo run --release -p ms-bench --bin engine_smoke
+
+echo "== engine smoke with span tracing compiled in =="
+MS_TELEMETRY_BENCH_OUT=results/BENCH_telemetry_pr3_spans.json \
+    cargo run --release -p ms-bench --features telemetry-spans --bin engine_smoke
 
 echo "== allocation tripwire (hot layer bodies) =="
 HOT_FILES=(

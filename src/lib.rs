@@ -29,6 +29,9 @@
 //!   ([`ms_data`]).
 //! - [`serving`] — the Section-4 applications: dynamic-workload serving and
 //!   cascade ranking ([`ms_serving`]).
+//! - [`telemetry`] — zero-cost observability: the global metrics registry,
+//!   feature-gated span tracing and Prometheus/JSON exposition
+//!   ([`ms_telemetry`]).
 //!
 //! ## Quickstart
 //!
@@ -61,6 +64,7 @@ pub use ms_data as data;
 pub use ms_models as models;
 pub use ms_nn as nn;
 pub use ms_serving as serving;
+pub use ms_telemetry as telemetry;
 pub use ms_tensor as tensor;
 
 /// One-stop imports for examples and downstream users.
