@@ -5,7 +5,8 @@
 //! shapes, then writes `results/BENCH_kernels_pr1.json`. A short sliced
 //! MLP forward loop follows so the buffer-pool hit/miss counters (both the
 //! thread-local exact ones and the registry aggregates) have real traffic
-//! to report. Run in release:
+//! to report. Finally the PR 4 loopback A/B (`ms_bench::netbench`) runs
+//! and its numbers land in `results/BENCH_net_pr4.json`. Run in release:
 //!
 //! ```text
 //! cargo run --release -p ms-bench --bin bench_snapshot
@@ -196,4 +197,30 @@ fn main() {
     std::fs::write(path, &json).expect("write snapshot");
     print!("{json}");
     eprintln!("wrote {path}");
+
+    // ---- PR 4: serving over the wire vs in-process ----------------------
+    let gate_pct: f64 = std::env::var("MS_NET_GATE_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15.0);
+    let ab = ms_bench::netbench::wire_vs_inprocess(512, 3);
+    let mut net_json = String::from("{\n  \"bench\": \"pr4 loopback wire path vs in-process engine\",\n");
+    net_json.push_str(
+        "  \"setup\": \"full-width MLP 64-2048-2048-8, single worker, pipelined client on 127.0.0.1\",\n",
+    );
+    writeln!(net_json, "  \"requests\": {},", ab.requests).unwrap();
+    writeln!(net_json, "  \"reps\": {},", ab.reps).unwrap();
+    writeln!(net_json, "  \"inproc_rps\": {:.1},", ab.inproc_rps).unwrap();
+    writeln!(net_json, "  \"wire_rps\": {:.1},", ab.wire_rps).unwrap();
+    writeln!(net_json, "  \"overhead_pct\": {:.2},", ab.overhead_pct).unwrap();
+    writeln!(net_json, "  \"gate_pct\": {gate_pct},").unwrap();
+    writeln!(net_json, "  \"gate_ok\": {}", ab.overhead_pct <= gate_pct).unwrap();
+    net_json.push_str("}\n");
+    let net_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_net_pr4.json"
+    );
+    std::fs::write(net_path, &net_json).expect("write net snapshot");
+    print!("{net_json}");
+    eprintln!("wrote {net_path}");
 }

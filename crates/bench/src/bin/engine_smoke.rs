@@ -24,6 +24,11 @@
 //! Exit status is non-zero if the elastic policy fails to beat every
 //! fixed rate on deadline hits, or if the telemetry overhead gate fails —
 //! both wired into `scripts/perfcheck.sh`.
+//!
+//! With `--net` the binary instead runs the PR 4 loopback gate: the same
+//! full-width request stream is served in-process and through the TCP
+//! front-end, and the wire path must cost no more than 15 % throughput
+//! (`MS_NET_GATE_PCT` overrides; see `ms_bench::netbench`).
 
 use ms_core::scheduler::{Scheduler, SchedulerKind};
 use ms_core::slice_rate::{SliceRate, SliceRateList};
@@ -146,7 +151,33 @@ fn replay_once(engine: &Engine, trace: &WorkloadTrace) -> (usize, f64) {
     (r.served, t0.elapsed().as_secs_f64().max(1e-9))
 }
 
+/// The `--net` mode: wire-vs-in-process throughput with a hard gate.
+fn net_gate() {
+    let gate_pct: f64 = std::env::var("MS_NET_GATE_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15.0);
+    let ab = ms_bench::netbench::wire_vs_inprocess(512, 3);
+    println!(
+        "loopback net gate: {} requests ×{} reps, in-process {:.0} req/s vs wire {:.0} req/s \
+         → overhead {:.2}% (gate {gate_pct}%)",
+        ab.requests, ab.reps, ab.inproc_rps, ab.wire_rps, ab.overhead_pct
+    );
+    if ab.overhead_pct > gate_pct {
+        eprintln!(
+            "net gate FAILED: the wire path costs {:.2}% throughput (gate {gate_pct}%)",
+            ab.overhead_pct
+        );
+        std::process::exit(1);
+    }
+    println!("net gate OK");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--net") {
+        net_gate();
+        return;
+    }
     let rates = SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]);
     train_briefly(rates.clone());
 

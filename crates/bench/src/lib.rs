@@ -5,6 +5,8 @@ use ms_models::vgg::{Vgg, VggConfig};
 use ms_models::nnlm::{Nnlm, NnlmConfig};
 use ms_tensor::SeededRng;
 
+pub mod netbench;
+
 /// The standard bench-scale VGG (matches the experiment setting).
 pub fn bench_vgg() -> Vgg {
     let mut rng = SeededRng::new(1);

@@ -1,0 +1,143 @@
+//! Shared wire-vs-in-process throughput A/B for the PR 4 loopback gate.
+//!
+//! Two identically-weighted single-worker engines serve the same request
+//! stream at full width: one through [`Engine::replay`] in-process, one
+//! behind a loopback [`ms_net::Server`] fed by a [`PipelinedClient`]. The
+//! model is deliberately heavy (per-sample service in the tens of
+//! microseconds) so the comparison prices the wire stack — encode, socket,
+//! decode, rendezvous — against a realistic serving workload rather than
+//! against a model so tiny that framing dominates by construction.
+
+use ms_core::slice_rate::{SliceRate, SliceRateList};
+use ms_models::mlp::{Mlp, MlpConfig};
+use ms_net::protocol::InferOutcome;
+use ms_net::{PipelinedClient, Router, Server, ServerConfig};
+use ms_nn::layer::Layer;
+use ms_nn::shared::SharedWeights;
+use ms_serving::controller::{RatePolicy, SlaController};
+use ms_serving::engine::{Engine, EngineConfig};
+use ms_serving::profile::LatencyProfile;
+use ms_serving::workload::WorkloadTrace;
+use ms_tensor::{SeededRng, Tensor};
+use std::time::{Duration, Instant};
+
+const INPUT_DIM: usize = 64;
+
+pub struct NetAb {
+    pub requests: usize,
+    pub reps: usize,
+    /// Best request throughput over `reps` in-process replays.
+    pub inproc_rps: f64,
+    /// Best request throughput over `reps` loopback runs.
+    pub wire_rps: f64,
+    /// `100 · (inproc − wire) / inproc`; negative when the wire run was
+    /// faster (possible within noise).
+    pub overhead_pct: f64,
+}
+
+fn mlp_config() -> MlpConfig {
+    MlpConfig {
+        // ~9 MFLOP per sample — on the order of 100 µs of service on a
+        // typical core. Still far below a real CNN query, so the gate is
+        // conservative: if the wire stack stays within budget here, it is
+        // invisible on production-sized models.
+        input_dim: INPUT_DIM,
+        hidden_dims: vec![2048, 2048],
+        num_classes: 8,
+        groups: 4,
+        dropout: 0.0,
+        input_rescale: true,
+    }
+}
+
+fn engine(weights: &SharedWeights) -> Engine {
+    let mut m = Mlp::new(&mlp_config(), &mut SeededRng::new(41));
+    weights.hydrate(&mut m);
+    Engine::start(
+        EngineConfig {
+            // Throughput A/B, not an SLA test: a wide window and full
+            // admission so both sides serve every request at full width.
+            latency: 1.0,
+            headroom: 1.0,
+            max_queue: usize::MAX / 2,
+        },
+        SlaController::new(
+            LatencyProfile::quadratic(SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]), 1e-5),
+            RatePolicy::Fixed(SliceRate::FULL),
+        ),
+        vec![Box::new(m) as Box<dyn Layer + Send>],
+    )
+}
+
+fn input_for(id: u64) -> Tensor {
+    Tensor::full([INPUT_DIM], ((id % 31) as f32) * 0.06 - 0.9)
+}
+
+/// Runs `requests` full-width inferences per rep through both paths and
+/// returns best-of-`reps` throughput for each (one extra unmeasured
+/// warm-up rep per path).
+pub fn wire_vs_inprocess(requests: usize, reps: usize) -> NetAb {
+    let mut proto = Mlp::new(&mlp_config(), &mut SeededRng::new(40));
+    let weights = SharedWeights::capture(&mut proto);
+
+    // In-process baseline: one sealed batch per rep through replay().
+    let local = engine(&weights);
+    let trace = WorkloadTrace {
+        arrivals: vec![requests],
+        rates: vec![requests as f64],
+    };
+    let mut inproc_rps = 0.0f64;
+    for rep in 0..reps + 1 {
+        let t0 = Instant::now();
+        let r = local.replay(&trace, input_for);
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(r.served, requests, "in-process baseline shed requests");
+        if rep > 0 {
+            inproc_rps = inproc_rps.max(requests as f64 / wall);
+        }
+    }
+    local.shutdown();
+
+    // Wire path: same engine config behind the TCP front-end.
+    let server = Server::start(
+        "127.0.0.1:0",
+        Router::new(vec![engine(&weights)]),
+        ServerConfig {
+            seal_interval: Some(Duration::from_millis(5)),
+        },
+    )
+    .expect("bind loopback");
+    let mut client = PipelinedClient::connect(server.local_addr()).expect("connect");
+    let mut wire_rps = 0.0f64;
+    for rep in 0..reps + 1 {
+        let base = (rep * requests) as u64;
+        let t0 = Instant::now();
+        for i in 0..requests as u64 {
+            client.send(base + i, 0, &input_for(base + i)).expect("send");
+        }
+        client.flush().expect("flush");
+        for _ in 0..requests {
+            let r = client
+                .recv_timeout(Duration::from_secs(60))
+                .expect("response before timeout");
+            assert!(
+                matches!(r.outcome, InferOutcome::Logits { .. }),
+                "wire path shed a request"
+            );
+        }
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        if rep > 0 {
+            wire_rps = wire_rps.max(requests as f64 / wall);
+        }
+    }
+    drop(client);
+    server.shutdown();
+
+    NetAb {
+        requests,
+        reps,
+        inproc_rps,
+        wire_rps,
+        overhead_pct: 100.0 * (inproc_rps - wire_rps) / inproc_rps,
+    }
+}

@@ -142,6 +142,10 @@ fn main() {
     // synthetic simulator's cost accounting.
     real_engine_replay();
 
+    // Network regime: the same engines behind the TCP front-end, driven by
+    // a pipelined client over loopback.
+    loopback_serving_run();
+
     println!("elapsed: {:.1}s", start.elapsed().as_secs_f64());
     write_results("serving", &reports);
 }
@@ -227,4 +231,107 @@ fn real_engine_replay() {
             println!();
         }
     }
+}
+
+/// The same flash-crowd story through `ms_net`: two elastic replicas
+/// behind the TCP front-end, a pipelined client pacing the trace over
+/// loopback, then a health snapshot and a graceful drain.
+fn loopback_serving_run() {
+    use ms_net::protocol::InferOutcome;
+    use ms_net::{PipelinedClient, Router, Server, ServerConfig};
+    use std::time::Duration;
+
+    const INPUT_DIM: usize = 16;
+    let cfg = MlpConfig {
+        input_dim: INPUT_DIM,
+        hidden_dims: vec![48, 48],
+        num_classes: 8,
+        groups: 4,
+        dropout: 0.0,
+        input_rescale: true,
+    };
+    let rates = ms_core::slice_rate::SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]);
+    let mut net = Mlp::new(&cfg, &mut SeededRng::new(11));
+    let profile = LatencyProfile::calibrate(&mut net, rates, &[INPUT_DIM], 512, 5);
+    let budget = profile.predict(200, SliceRate::FULL);
+    let latency = budget * 4.0;
+    let window = latency / 2.0;
+    let calm = (profile.max_batch(SliceRate::FULL, budget) * 7 / 10).max(1);
+    let overload = profile.max_batch(SliceRate::new(0.25), budget) * 3;
+    let arrivals: Vec<usize> = (0..30)
+        .map(|t| if (8..11).contains(&t) || (20..23).contains(&t) { overload } else { calm })
+        .collect();
+    let sent: usize = arrivals.iter().sum();
+
+    let mut proto = Mlp::new(&cfg, &mut SeededRng::new(17));
+    let weights = SharedWeights::capture(&mut proto);
+    let engines = (0..2)
+        .map(|i| {
+            let mut m = Mlp::new(&cfg, &mut SeededRng::new(200 + i as u64));
+            weights.hydrate(&mut m);
+            Engine::start(
+                EngineConfig {
+                    latency,
+                    headroom: 0.5,
+                    max_queue: usize::MAX / 2,
+                },
+                SlaController::new(profile.clone(), RatePolicy::Elastic),
+                vec![Box::new(m) as Box<dyn Layer + Send>],
+            )
+        })
+        .collect();
+    let server = Server::start("127.0.0.1:0", Router::new(engines), ServerConfig::default())
+        .expect("bind loopback");
+    println!(
+        "\nserving over the network: {} requests through 2 elastic replicas at {} \
+         (SLA {:.2} ms as the wire deadline)",
+        sent,
+        server.local_addr(),
+        latency * 1e3
+    );
+
+    let mut client = PipelinedClient::connect(server.local_addr()).expect("connect");
+    let deadline_micros = (latency * 1e6) as u64;
+    let mut id = 0u64;
+    for &n in &arrivals {
+        for _ in 0..n {
+            client
+                .send(id, deadline_micros, &Tensor::full([INPUT_DIM], ((id % 31) as f32) * 0.06 - 0.9))
+                .expect("send");
+            id += 1;
+        }
+        client.flush().expect("flush");
+        std::thread::sleep(Duration::from_secs_f64(window));
+    }
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for _ in 0..sent {
+        match client.recv_timeout(Duration::from_secs(30)) {
+            Some(r) => match r.outcome {
+                InferOutcome::Logits { .. } => served += 1,
+                InferOutcome::Shed(_) => shed += 1,
+            },
+            None => break,
+        }
+    }
+    let health = client.health(Duration::from_secs(5)).expect("health");
+    for (i, rep) in health.replicas.iter().enumerate() {
+        println!(
+            "  replica {i}: queue {:.0}, p99 service {:.3} ms, served {}, shed {}",
+            rep.queue_depth,
+            rep.p99_service_s * 1e3,
+            rep.served,
+            rep.shed
+        );
+    }
+    let delivered = client
+        .drain_server(Duration::from_secs(30))
+        .expect("drain ack");
+    println!(
+        "  client: {served} served + {shed} shed of {sent} sent; graceful drain \
+         delivered {delivered} (zero dropped: {})",
+        delivered as usize == sent
+    );
+    drop(client);
+    server.shutdown();
 }

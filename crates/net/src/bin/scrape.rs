@@ -1,0 +1,50 @@
+//! One-shot scraper for a running ms-net server — the curl equivalent.
+//!
+//! ```text
+//! scrape 127.0.0.1:7878            # Prometheus text exposition
+//! scrape 127.0.0.1:7878 health     # replica health snapshot
+//! scrape 127.0.0.1:7878 drain      # graceful drain, prints delivered count
+//! ```
+
+use ms_net::Client;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let what = args.next().unwrap_or_else(|| "metrics".to_string());
+    let client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("scrape: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = client;
+    let result = match what.as_str() {
+        "metrics" => client.metrics().map(|text| print!("{text}")),
+        "health" => client.health().map(|h| {
+            println!("draining: {}", h.draining);
+            for (i, r) in h.replicas.iter().enumerate() {
+                println!(
+                    "replica {i}: draining={} queue_depth={:.0} p99_service_s={:.6} served={} shed={}",
+                    r.draining, r.queue_depth, r.p99_service_s, r.served, r.shed
+                );
+            }
+        }),
+        "drain" => client.drain().map(|(flushed, delivered)| {
+            println!("drained: delivered={delivered} flushed_here={}", flushed.len());
+        }),
+        other => {
+            eprintln!("scrape: unknown request {other:?} (want metrics | health | drain)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scrape: {what} {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # ms-net — serving model slicing over the network
+//!
+//! The network front-end for the elastic inference engine: a
+//! length-prefixed, checksummed binary wire protocol, a thread-per-
+//! connection TCP server, blocking and pipelined clients, and a
+//! deadline-aware router that shards requests across engine replicas by
+//! health score. Std-only — sockets and threads from the standard
+//! library, no async runtime, no external dependencies.
+//!
+//! The stack, bottom to top:
+//!
+//! - [`protocol`] — versioned frames ([`Frame`]) with an FNV-1a checksum
+//!   over header and payload; decoding rejects malformed bytes with a
+//!   [`WireError`], never a panic.
+//! - [`router`] — [`Router`] places each request on the healthiest of N
+//!   [`Engine`](ms_serving::engine::Engine) replicas
+//!   (`score = queue_depth + W·p99/window`), failing over on
+//!   backpressure and excluding draining replicas outright.
+//! - [`server`] — [`Server`] translates frames into router placements,
+//!   per-request wire deadlines into [`SlaController`]
+//!   (ms_serving) budget overrides, and engine completions back into
+//!   responses matched by correlation id. `Drain` runs the graceful
+//!   shutdown state machine: refuse new work, flush every in-flight
+//!   request, ack, stop.
+//! - [`client`] — [`Client`] (strict request/response) and
+//!   [`PipelinedClient`] (background reader; keeps the server's batching
+//!   window full).
+//!
+//! ## Loopback in five lines
+//!
+//! ```no_run
+//! # use ms_net::{Server, ServerConfig, Router, Client};
+//! # fn demo(engines: Vec<ms_serving::engine::Engine>, input: ms_tensor::Tensor) {
+//! let server = Server::start("127.0.0.1:0", Router::new(engines), ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let response = client.infer(7, 2_000, &input).unwrap(); // 2 ms deadline
+//! let (_flushed, _delivered) = client.drain().unwrap();    // graceful shutdown
+//! # let _ = response;
+//! # }
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod router;
+pub mod server;
+
+pub use client::{Client, PipelinedClient};
+pub use protocol::{
+    Frame, HealthReply, InferOutcome, InferRequest, InferResponse, NetError, ReplicaHealth,
+    WireError, WireShedReason,
+};
+pub use router::{RouteError, Router, RouterConfig};
+pub use server::{Server, ServerConfig};

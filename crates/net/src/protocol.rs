@@ -1,0 +1,727 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message is one **frame**: a fixed 16-byte header followed by a
+//! type-specific payload. All integers are little-endian; floats travel as
+//! their IEEE-754 bit patterns (`to_le_bytes` of the bits), so a round trip
+//! is bitwise lossless — the property the soak test's logits comparison
+//! depends on.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic     0x4D534E46 ("MSNF")
+//!      4     2  version   currently 1
+//!      6     2  type      frame type tag (see the `ty` constants)
+//!      8     4  length    payload bytes (≤ 64 MiB)
+//!     12     4  checksum  FNV-1a/32 over bytes [4..12) ++ payload
+//!     16     …  payload
+//! ```
+//!
+//! The checksum covers the version/type/length fields as well as the
+//! payload, so *any* single corrupted byte — header or body — is rejected:
+//! a flipped type tag cannot reinterpret a valid payload as a different
+//! frame kind. Decoding is total: malformed input of every sort (truncated,
+//! oversized, bit-flipped, structurally invalid) returns a [`WireError`],
+//! never panics, and never allocates more than the declared-and-validated
+//! payload length.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame magic: `"MSNF"` as a little-endian u32.
+pub const MAGIC: u32 = 0x464E_534D;
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Header bytes before the payload.
+pub const HEADER_LEN: usize = 16;
+/// Hard cap on the payload length a peer may declare.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+/// Hard cap on tensor rank in a frame.
+pub const MAX_DIMS: usize = 8;
+/// Hard cap on tensor elements in a frame (64 Mi floats would already
+/// exceed `MAX_PAYLOAD`; this bounds the shape arithmetic itself).
+pub const MAX_NUMEL: u64 = 1 << 24;
+
+/// Frame type tags (the `type` header field).
+pub mod ty {
+    pub const INFER_REQUEST: u16 = 1;
+    pub const INFER_RESPONSE: u16 = 2;
+    pub const HEALTH_REQUEST: u16 = 3;
+    pub const HEALTH_REPLY: u16 = 4;
+    pub const METRICS_REQUEST: u16 = 5;
+    pub const METRICS_REPLY: u16 = 6;
+    pub const DRAIN: u16 = 7;
+    pub const DRAIN_ACK: u16 = 8;
+}
+
+/// Why a frame failed to decode. Every variant is a rejection, not a crash:
+/// the decoder is total over arbitrary bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes are not the protocol magic.
+    BadMagic,
+    /// The version field names a protocol revision this build cannot parse.
+    UnsupportedVersion(u16),
+    /// The type field names no known frame kind.
+    UnknownType(u16),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The buffer ends before the declared payload does (or mid-header).
+    Truncated,
+    /// Bytes follow the declared payload.
+    TrailingBytes,
+    /// The FNV-1a checksum does not match — corruption in flight.
+    ChecksumMismatch,
+    /// The payload parsed but violates the frame's structural rules.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            WireError::Oversized(n) => write!(f, "declared payload of {n} bytes exceeds cap"),
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::TrailingBytes => write!(f, "bytes after the declared payload"),
+            WireError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A transport-or-protocol failure on a framed stream.
+#[derive(Debug)]
+pub enum NetError {
+    /// The bytes arrived but do not form a valid frame.
+    Wire(WireError),
+    /// The socket failed (includes clean EOF as `UnexpectedEof`).
+    Io(io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Why the server refused to answer a request with logits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireShedReason {
+    /// The chosen engine's admission queue was full (synchronous refusal).
+    Backpressure,
+    /// Admission control shed the request at seal time: even the narrowest
+    /// subnet could not serve the whole batch within its budget.
+    Admission,
+    /// The engine is shutting down.
+    Stopping,
+    /// The server is draining and no longer accepts new work.
+    Draining,
+}
+
+impl WireShedReason {
+    fn code(self) -> u8 {
+        match self {
+            WireShedReason::Backpressure => 1,
+            WireShedReason::Admission => 2,
+            WireShedReason::Stopping => 3,
+            WireShedReason::Draining => 4,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self, WireError> {
+        match c {
+            1 => Ok(WireShedReason::Backpressure),
+            2 => Ok(WireShedReason::Admission),
+            3 => Ok(WireShedReason::Stopping),
+            4 => Ok(WireShedReason::Draining),
+            _ => Err(WireError::Malformed("unknown shed reason")),
+        }
+    }
+}
+
+/// One inference request: a correlation id chosen by the client, an
+/// optional per-request latency SLA, and a shaped f32 tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferRequest {
+    /// Client-chosen id echoed verbatim in the response.
+    pub correlation_id: u64,
+    /// Per-request end-to-end latency bound in microseconds; 0 means "use
+    /// the engine's configured SLA".
+    pub deadline_micros: u64,
+    /// Tensor shape (rank ≥ 1, every dim ≥ 1).
+    pub dims: Vec<u32>,
+    /// Row-major tensor data; `data.len()` equals the product of `dims`.
+    pub data: Vec<f32>,
+}
+
+/// The served-or-shed outcome of a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferOutcome {
+    /// The network's logits for this request.
+    Logits { dims: Vec<u32>, data: Vec<f32> },
+    /// The request was refused.
+    Shed(WireShedReason),
+}
+
+/// One inference response, delivered by correlation id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// The id from the matching [`InferRequest`].
+    pub correlation_id: u64,
+    /// Slice rate the request was served at (0.0 when shed).
+    pub rate_used: f32,
+    /// Logits or the shed reason.
+    pub outcome: InferOutcome,
+}
+
+/// Health of one engine replica behind the router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaHealth {
+    /// Whether the replica is refusing new work.
+    pub draining: bool,
+    /// Requests buffered (open batch + sealed not yet running).
+    pub queue_depth: f64,
+    /// 99th-percentile measured batch service time, seconds.
+    pub p99_service_s: f64,
+    /// Requests served since start.
+    pub served: u64,
+    /// Requests shed since start.
+    pub shed: u64,
+}
+
+/// Reply to a [`Frame::HealthRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReply {
+    /// Whether the whole server is draining.
+    pub draining: bool,
+    /// Per-replica health, in router order.
+    pub replicas: Vec<ReplicaHealth>,
+}
+
+/// Every message the protocol can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    InferRequest(InferRequest),
+    InferResponse(InferResponse),
+    HealthRequest,
+    HealthReply(HealthReply),
+    MetricsRequest,
+    /// Prometheus text exposition of the server's registry.
+    MetricsReply(String),
+    /// Ask the server to stop accepting work, flush in-flight requests and
+    /// shut down.
+    Drain,
+    /// Drain completed; `delivered` responses were flushed over the
+    /// server's lifetime.
+    DrainAck { delivered: u64 },
+}
+
+// ---------------------------------------------------------------------------
+// Checksum
+// ---------------------------------------------------------------------------
+
+fn fnv1a(seed: u32, bytes: &[u8]) -> u32 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+const FNV_OFFSET: u32 = 0x811C_9DC5;
+
+// ---------------------------------------------------------------------------
+// Payload cursor (checked reads, never panics)
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// The payload must be fully consumed — trailing bytes are corruption.
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+fn read_shape_and_data(r: &mut Reader) -> Result<(Vec<u32>, Vec<f32>), WireError> {
+    let ndim = r.u8()? as usize;
+    if ndim == 0 || ndim > MAX_DIMS {
+        return Err(WireError::Malformed("tensor rank out of range"));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    let mut numel: u64 = 1;
+    for _ in 0..ndim {
+        let d = r.u32()?;
+        if d == 0 {
+            return Err(WireError::Malformed("zero tensor dimension"));
+        }
+        numel = numel
+            .checked_mul(d as u64)
+            .filter(|&n| n <= MAX_NUMEL)
+            .ok_or(WireError::Malformed("tensor element count out of range"))?;
+        dims.push(d);
+    }
+    let mut data = Vec::with_capacity(numel as usize);
+    for _ in 0..numel {
+        data.push(r.f32()?);
+    }
+    Ok((dims, data))
+}
+
+fn write_shape_and_data(out: &mut Vec<u8>, dims: &[u32], data: &[f32]) {
+    debug_assert!(!dims.is_empty() && dims.len() <= MAX_DIMS);
+    debug_assert_eq!(
+        dims.iter().map(|&d| d as u64).product::<u64>(),
+        data.len() as u64
+    );
+    out.push(dims.len() as u8);
+    for &d in dims {
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+    for &v in data {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------------
+
+impl Frame {
+    fn type_tag(&self) -> u16 {
+        match self {
+            Frame::InferRequest(_) => ty::INFER_REQUEST,
+            Frame::InferResponse(_) => ty::INFER_RESPONSE,
+            Frame::HealthRequest => ty::HEALTH_REQUEST,
+            Frame::HealthReply(_) => ty::HEALTH_REPLY,
+            Frame::MetricsRequest => ty::METRICS_REQUEST,
+            Frame::MetricsReply(_) => ty::METRICS_REPLY,
+            Frame::Drain => ty::DRAIN,
+            Frame::DrainAck { .. } => ty::DRAIN_ACK,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::InferRequest(q) => {
+                out.extend_from_slice(&q.correlation_id.to_le_bytes());
+                out.extend_from_slice(&q.deadline_micros.to_le_bytes());
+                write_shape_and_data(out, &q.dims, &q.data);
+            }
+            Frame::InferResponse(r) => {
+                out.extend_from_slice(&r.correlation_id.to_le_bytes());
+                out.extend_from_slice(&r.rate_used.to_bits().to_le_bytes());
+                match &r.outcome {
+                    InferOutcome::Logits { dims, data } => {
+                        out.push(0);
+                        write_shape_and_data(out, dims, data);
+                    }
+                    InferOutcome::Shed(reason) => out.push(reason.code()),
+                }
+            }
+            Frame::HealthRequest | Frame::MetricsRequest | Frame::Drain => {}
+            Frame::HealthReply(h) => {
+                out.push(h.draining as u8);
+                out.extend_from_slice(&(h.replicas.len() as u32).to_le_bytes());
+                for e in &h.replicas {
+                    out.push(e.draining as u8);
+                    out.extend_from_slice(&e.queue_depth.to_bits().to_le_bytes());
+                    out.extend_from_slice(&e.p99_service_s.to_bits().to_le_bytes());
+                    out.extend_from_slice(&e.served.to_le_bytes());
+                    out.extend_from_slice(&e.shed.to_le_bytes());
+                }
+            }
+            Frame::MetricsReply(text) => out.extend_from_slice(text.as_bytes()),
+            Frame::DrainAck { delivered } => out.extend_from_slice(&delivered.to_le_bytes()),
+        }
+    }
+
+    /// Appends the complete encoded frame (header + payload) to `out`.
+    /// Panics only on frames this process built wrong (payload over the
+    /// cap), never on remote input.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.type_tag().to_le_bytes());
+        out.extend_from_slice(&[0u8; 8]); // length + checksum placeholders
+        self.encode_payload(out);
+        let payload_len = out.len() - start - HEADER_LEN;
+        assert!(payload_len as u64 <= MAX_PAYLOAD as u64, "frame too large");
+        out[start + 8..start + 12].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        let sum = fnv1a(FNV_OFFSET, &out[start + 4..start + 12]);
+        let sum = fnv1a(sum, &out[start + HEADER_LEN..]);
+        out[start + 12..start + 16].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes one complete frame from `buf`. The buffer must hold exactly
+    /// the frame — a short buffer is [`WireError::Truncated`], a long one
+    /// [`WireError::TrailingBytes`]. Total over arbitrary input: returns an
+    /// error for anything invalid, never panics.
+    pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let magic = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        if magic != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = u16::from_le_bytes([buf[4], buf[5]]);
+        if version != VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let tag = u16::from_le_bytes([buf[6], buf[7]]);
+        let length = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+        if length > MAX_PAYLOAD {
+            return Err(WireError::Oversized(length));
+        }
+        let declared = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]);
+        let total = HEADER_LEN + length as usize;
+        if buf.len() < total {
+            return Err(WireError::Truncated);
+        }
+        if buf.len() > total {
+            return Err(WireError::TrailingBytes);
+        }
+        let sum = fnv1a(FNV_OFFSET, &buf[4..12]);
+        let sum = fnv1a(sum, &buf[HEADER_LEN..]);
+        if sum != declared {
+            return Err(WireError::ChecksumMismatch);
+        }
+        let mut r = Reader::new(&buf[HEADER_LEN..]);
+        let frame = match tag {
+            ty::INFER_REQUEST => {
+                let correlation_id = r.u64()?;
+                let deadline_micros = r.u64()?;
+                let (dims, data) = read_shape_and_data(&mut r)?;
+                Frame::InferRequest(InferRequest {
+                    correlation_id,
+                    deadline_micros,
+                    dims,
+                    data,
+                })
+            }
+            ty::INFER_RESPONSE => {
+                let correlation_id = r.u64()?;
+                let rate_used = r.f32()?;
+                let status = r.u8()?;
+                let outcome = if status == 0 {
+                    let (dims, data) = read_shape_and_data(&mut r)?;
+                    InferOutcome::Logits { dims, data }
+                } else {
+                    InferOutcome::Shed(WireShedReason::from_code(status)?)
+                };
+                Frame::InferResponse(InferResponse {
+                    correlation_id,
+                    rate_used,
+                    outcome,
+                })
+            }
+            ty::HEALTH_REQUEST => Frame::HealthRequest,
+            ty::HEALTH_REPLY => {
+                let draining = r.u8()? != 0;
+                let n = r.u32()? as usize;
+                if n > 4096 {
+                    return Err(WireError::Malformed("replica count out of range"));
+                }
+                let mut replicas = Vec::with_capacity(n);
+                for _ in 0..n {
+                    replicas.push(ReplicaHealth {
+                        draining: r.u8()? != 0,
+                        queue_depth: r.f64()?,
+                        p99_service_s: r.f64()?,
+                        served: r.u64()?,
+                        shed: r.u64()?,
+                    });
+                }
+                Frame::HealthReply(HealthReply { draining, replicas })
+            }
+            ty::METRICS_REQUEST => Frame::MetricsRequest,
+            ty::METRICS_REPLY => {
+                let bytes = r.bytes(buf.len() - HEADER_LEN)?;
+                let text = std::str::from_utf8(bytes)
+                    .map_err(|_| WireError::Malformed("metrics text not utf-8"))?;
+                Frame::MetricsReply(text.to_string())
+            }
+            ty::DRAIN => Frame::Drain,
+            ty::DRAIN_ACK => Frame::DrainAck { delivered: r.u64()? },
+            t => return Err(WireError::UnknownType(t)),
+        };
+        r.done()?;
+        Ok(frame)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream IO
+// ---------------------------------------------------------------------------
+
+/// Writes one frame; returns the bytes put on the wire.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<usize> {
+    let bytes = frame.to_bytes();
+    w.write_all(&bytes)?;
+    Ok(bytes.len())
+}
+
+/// Reads one frame; returns it with the bytes consumed. Header fields are
+/// validated *before* the payload allocation, so a hostile length cannot
+/// make the reader allocate more than [`MAX_PAYLOAD`].
+pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), NetError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic.into());
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version).into());
+    }
+    let length = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if length > MAX_PAYLOAD {
+        return Err(WireError::Oversized(length).into());
+    }
+    let total = HEADER_LEN + length as usize;
+    let mut buf = vec![0u8; total];
+    buf[..HEADER_LEN].copy_from_slice(&header);
+    r.read_exact(&mut buf[HEADER_LEN..])?;
+    let frame = Frame::decode(&buf)?;
+    Ok((frame, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::InferRequest(InferRequest {
+                correlation_id: 42,
+                deadline_micros: 10_000,
+                dims: vec![2, 3],
+                data: vec![1.0, -2.5, 0.0, f32::MIN_POSITIVE, 3.25e7, -0.125],
+            }),
+            Frame::InferResponse(InferResponse {
+                correlation_id: 42,
+                rate_used: 0.5,
+                outcome: InferOutcome::Logits {
+                    dims: vec![4],
+                    data: vec![0.1, 0.2, -0.3, 9.9],
+                },
+            }),
+            Frame::InferResponse(InferResponse {
+                correlation_id: 7,
+                rate_used: 0.0,
+                outcome: InferOutcome::Shed(WireShedReason::Draining),
+            }),
+            Frame::HealthRequest,
+            Frame::HealthReply(HealthReply {
+                draining: false,
+                replicas: vec![ReplicaHealth {
+                    draining: true,
+                    queue_depth: 12.0,
+                    p99_service_s: 0.0031,
+                    served: 1000,
+                    shed: 3,
+                }],
+            }),
+            Frame::MetricsRequest,
+            Frame::MetricsReply("# TYPE x counter\nx 1\n".to_string()),
+            Frame::Drain,
+            Frame::DrainAck { delivered: 99 },
+        ]
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for f in sample_frames() {
+            let bytes = f.to_bytes();
+            assert_eq!(Frame::decode(&bytes).unwrap(), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let mut buf = Vec::new();
+        for f in sample_frames() {
+            write_frame(&mut buf, &f).unwrap();
+        }
+        let mut cursor = io::Cursor::new(buf);
+        for f in sample_frames() {
+            let (got, _) = read_frame(&mut cursor).unwrap();
+            assert_eq!(got, f);
+        }
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(NetError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        // Exhaustive over a small frame: no corrupted bit may slip through.
+        let f = Frame::InferResponse(InferResponse {
+            correlation_id: 3,
+            rate_used: 0.75,
+            outcome: InferOutcome::Logits {
+                dims: vec![2],
+                data: vec![1.5, -0.5],
+            },
+        });
+        let bytes = f.to_bytes();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 1 << bit;
+                assert!(
+                    Frame::decode(&corrupt).is_err(),
+                    "flip byte {i} bit {bit} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_extension_are_rejected() {
+        let bytes = sample_frames()[0].to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Frame::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert_eq!(Frame::decode(&longer), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn oversized_declaration_is_rejected_before_allocation() {
+        let mut bytes = Frame::Drain.to_bytes();
+        bytes[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(Frame::decode(&bytes), Err(WireError::Oversized(MAX_PAYLOAD + 1)));
+        let mut cursor = io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(NetError::Wire(WireError::Oversized(_)))
+        ));
+    }
+
+    #[test]
+    fn structural_rules_are_enforced() {
+        // Zero dimension.
+        let f = Frame::InferRequest(InferRequest {
+            correlation_id: 0,
+            deadline_micros: 0,
+            dims: vec![1],
+            data: vec![0.0],
+        });
+        let mut bytes = f.to_bytes();
+        // dims[0] sits after corr(8) + deadline(8) + ndim(1) in the payload.
+        let off = HEADER_LEN + 17;
+        bytes[off..off + 4].copy_from_slice(&0u32.to_le_bytes());
+        // Re-encoding the checksum by hand so only the structure is invalid.
+        let sum = fnv1a(FNV_OFFSET, &bytes[4..12]);
+        let sum = fnv1a(sum, &bytes[HEADER_LEN..]);
+        bytes[12..16].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(WireError::Malformed("zero tensor dimension"))
+        );
+    }
+
+    #[test]
+    fn floats_survive_bitwise() {
+        let weird = vec![
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            f32::from_bits(0x7F80_0001), // signalling NaN payload
+        ];
+        let f = Frame::InferRequest(InferRequest {
+            correlation_id: 1,
+            deadline_micros: 0,
+            dims: vec![weird.len() as u32],
+            data: weird.clone(),
+        });
+        match Frame::decode(&f.to_bytes()).unwrap() {
+            Frame::InferRequest(q) => {
+                for (a, b) in q.data.iter().zip(&weird) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,664 @@
+//! The TCP front-end: thread-per-connection framing over the router.
+//!
+//! # Threading model
+//!
+//! - **Accept loop** (one thread): non-blocking `accept` polled every few
+//!   milliseconds so it can observe the stop flag; each connection gets a
+//!   reader thread and a writer thread.
+//! - **Reader per connection**: blocking `read_frame` loop. An
+//!   `InferRequest` becomes a router placement plus an entry in the owning
+//!   replica's *pending* table (engine id → connection + correlation id);
+//!   control frames are answered inline. A malformed frame closes the
+//!   connection — after corruption the stream offset can no longer be
+//!   trusted, so resynchronization is the client's job (reconnect).
+//! - **Writer per connection**: drains an in-process channel of outbound
+//!   frames, flushing whenever the channel momentarily empties. Responses
+//!   and the `DrainAck` ride the same ordered channel, which is what makes
+//!   "every in-flight response precedes the ack" hold per connection.
+//! - **Sealer per replica**: seals the replica's open batch every
+//!   [`Engine::window`] (or the configured override) — the timer thread the
+//!   engine docs promise for live serving.
+//! - **Dispatcher per replica**: blocks on [`Engine::wait_events`],
+//!   translates completions into `InferResponse` frames (logits or
+//!   admission-shed) and hands each to the owning connection's writer.
+//!
+//! A completion can race the reader between `route()` returning and the
+//! pending-table insert (the engine may seal, run and report the request
+//! first). The dispatcher parks such events in an *orphan* table keyed by
+//! the same engine id; whichever side arrives second completes delivery,
+//! so exactly one response goes out either way.
+//!
+//! # Drain state machine
+//!
+//! ```text
+//! Accepting ──Drain frame / drain()──▶ Draining ──in_flight == 0──▶ Stopped
+//!   accept ok                     new requests shed(Draining)    sockets closed
+//!   requests routed               in-flight keeps completing     threads joined
+//! ```
+//!
+//! Draining refuses new work (`Shed(Draining)` replies, no new
+//! connections) while the drain gate repeatedly seals all replicas and
+//! dispatchers keep flushing what was already accepted. Only when the
+//! in-flight count hits zero — every placed request answered, served or
+//! shed — is the `DrainAck` sent and the listener torn down. Zero
+//! in-flight requests are dropped.
+
+use crate::protocol::{
+    read_frame, write_frame, Frame, HealthReply, InferOutcome, InferRequest, InferResponse,
+    NetError, ReplicaHealth, WireShedReason,
+};
+use crate::router::{RouteError, Router};
+use ms_serving::engine::{Engine, ShedReason};
+use ms_tensor::Tensor;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// Batching tick; `None` seals each replica at its own engine window
+    /// (`T/2`), the paper's accumulation interval.
+    pub seal_interval: Option<Duration>,
+}
+
+/// Wire-layer metrics (registered once per server on the global registry).
+struct NetMetrics {
+    connections: ms_telemetry::Gauge,
+    accepted: ms_telemetry::Counter,
+    frames_rx: ms_telemetry::Counter,
+    frames_tx: ms_telemetry::Counter,
+    bytes_rx: ms_telemetry::Counter,
+    bytes_tx: ms_telemetry::Counter,
+    decode_errors: ms_telemetry::Counter,
+    requests: ms_telemetry::Counter,
+    responses_ok: ms_telemetry::Counter,
+    responses_shed: ms_telemetry::Counter,
+    /// Route-to-delivery latency of served requests (server-side).
+    request_seconds: ms_telemetry::Histogram,
+}
+
+static SERVER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl NetMetrics {
+    fn new() -> NetMetrics {
+        let reg = ms_telemetry::global();
+        let id = SERVER_SEQ.fetch_add(1, Ordering::Relaxed).to_string();
+        let l: &[(&str, &str)] = &[("server", id.as_str())];
+        NetMetrics {
+            connections: reg.gauge_with("net_connections", l, "currently open connections"),
+            accepted: reg.counter_with("net_connections_total", l, "connections accepted"),
+            frames_rx: reg.counter_with("net_frames_rx_total", l, "frames received"),
+            frames_tx: reg.counter_with("net_frames_tx_total", l, "frames sent"),
+            bytes_rx: reg.counter_with("net_bytes_rx_total", l, "bytes received"),
+            bytes_tx: reg.counter_with("net_bytes_tx_total", l, "bytes sent"),
+            decode_errors: reg.counter_with(
+                "net_decode_errors_total",
+                l,
+                "malformed frames (each closes its connection)",
+            ),
+            requests: reg.counter_with("net_requests_total", l, "inference requests received"),
+            responses_ok: reg.counter_with("net_responses_ok_total", l, "logit responses sent"),
+            responses_shed: reg.counter_with("net_responses_shed_total", l, "shed responses sent"),
+            request_seconds: reg.histogram_with(
+                "net_request_seconds",
+                l,
+                "server-side route-to-delivery latency of served requests",
+            ),
+        }
+    }
+}
+
+enum ConnMsg {
+    Frame(Frame),
+    Close,
+}
+
+struct ConnHandle {
+    tx: Sender<ConnMsg>,
+}
+
+struct Pending {
+    conn: u64,
+    correlation_id: u64,
+    t0: Instant,
+}
+
+/// What the engine reported for one placed request.
+enum Outcome {
+    Served {
+        rate: f32,
+        dims: Vec<u32>,
+        data: Vec<f32>,
+    },
+    /// Dropped by admission control at seal time.
+    Shed,
+}
+
+/// Per-replica rendezvous between the reader (who knows the connection)
+/// and the dispatcher (who has the result). See the module docs.
+#[derive(Default)]
+struct ReplicaTable {
+    pending: HashMap<u64, Pending>,
+    orphans: HashMap<u64, Outcome>,
+}
+
+struct Shared {
+    router: Router,
+    cfg: ServerConfig,
+    draining: AtomicBool,
+    stop: AtomicBool,
+    /// Requests placed on an engine whose response has not yet been handed
+    /// to a writer. The drain gate waits for this to reach zero.
+    in_flight: AtomicU64,
+    delivered: AtomicU64,
+    tables: Vec<Mutex<ReplicaTable>>,
+    conns: Mutex<HashMap<u64, ConnHandle>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    metrics: NetMetrics,
+}
+
+impl Shared {
+    fn send_to(&self, conn: u64, frame: Frame) {
+        let tx = {
+            let conns = self.conns.lock().expect("conns lock");
+            conns.get(&conn).map(|h| h.tx.clone())
+        };
+        if let Some(tx) = tx {
+            // A dead connection just drops its responses; in-flight
+            // accounting is settled by the caller either way.
+            let _ = tx.send(ConnMsg::Frame(frame));
+        }
+    }
+
+    fn shed_frame(&self, correlation_id: u64, reason: WireShedReason) -> Frame {
+        self.metrics.responses_shed.inc();
+        Frame::InferResponse(InferResponse {
+            correlation_id,
+            rate_used: 0.0,
+            outcome: InferOutcome::Shed(reason),
+        })
+    }
+
+    /// Final leg shared by both rendezvous orders: builds the response
+    /// frame, hands it to the connection's writer, settles accounting.
+    fn deliver(&self, p: Pending, out: Outcome) {
+        let frame = match out {
+            Outcome::Served { rate, dims, data } => {
+                self.metrics.responses_ok.inc();
+                self.metrics
+                    .request_seconds
+                    .record(p.t0.elapsed().as_secs_f64());
+                Frame::InferResponse(InferResponse {
+                    correlation_id: p.correlation_id,
+                    rate_used: rate,
+                    outcome: InferOutcome::Logits { dims, data },
+                })
+            }
+            Outcome::Shed => self.shed_frame(p.correlation_id, WireShedReason::Admission),
+        };
+        self.send_to(p.conn, frame);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.delivered.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Dispatcher side of the rendezvous: match the engine event to its
+    /// pending request, or park it for the reader to claim.
+    fn dispatch_event(&self, replica: usize, id: u64, out: Outcome) {
+        let matched = {
+            let mut t = self.tables[replica].lock().expect("table lock");
+            match t.pending.remove(&id) {
+                Some(p) => Some((p, out)),
+                None => {
+                    t.orphans.insert(id, out);
+                    None
+                }
+            }
+        };
+        if let Some((p, out)) = matched {
+            self.deliver(p, out);
+        }
+    }
+
+    fn health_reply(&self) -> Frame {
+        let replicas = (0..self.router.replicas())
+            .map(|i| {
+                let e = self.router.engine(i);
+                let c = e.counters();
+                ReplicaHealth {
+                    draining: self.router.is_draining(i),
+                    queue_depth: e.queue_depth(),
+                    p99_service_s: c.p99_service,
+                    served: c.served,
+                    shed: c.shed,
+                }
+            })
+            .collect();
+        Frame::HealthReply(HealthReply {
+            draining: self.draining.load(Ordering::Acquire),
+            replicas,
+        })
+    }
+
+    /// The drain state machine: refuse new work, flush every in-flight
+    /// request, then tear the server down. Returns the lifetime delivered
+    /// count (the `DrainAck` payload).
+    fn drain_and_stop(&self) -> u64 {
+        self.draining.store(true, Ordering::Release);
+        // Seal on every pass so the flush does not depend on sealer
+        // cadence (a long-window config would otherwise stall here).
+        while self.in_flight.load(Ordering::Acquire) > 0 {
+            self.router.seal_all();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let delivered = self.delivered.load(Ordering::Acquire);
+        self.stop.store(true, Ordering::Release);
+        delivered
+    }
+
+    /// Asks every connection's writer to flush and close its socket, which
+    /// in turn unblocks the paired reader.
+    fn close_all_conns(&self) {
+        let conns = self.conns.lock().expect("conns lock");
+        for h in conns.values() {
+            let _ = h.tx.send(ConnMsg::Close);
+        }
+    }
+}
+
+/// The TCP front-end. See the module docs for the threading model and the
+/// drain state machine.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop plus one sealer and one dispatcher thread per replica.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        router: Router,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let n = router.replicas();
+        let shared = Arc::new(Shared {
+            router,
+            cfg,
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            tables: (0..n).map(|_| Mutex::new(ReplicaTable::default())).collect(),
+            conns: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
+            metrics: NetMetrics::new(),
+        });
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ms-net-accept".into())
+                    .spawn(move || accept_loop(shared, listener))
+                    .expect("spawn accept"),
+            );
+        }
+        for i in 0..n {
+            let shared_s = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ms-net-seal-{i}"))
+                    .spawn(move || sealer_loop(shared_s, i))
+                    .expect("spawn sealer"),
+            );
+            let shared_d = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ms-net-dispatch-{i}"))
+                    .spawn(move || dispatcher_loop(shared_d, i))
+                    .expect("spawn dispatcher"),
+            );
+        }
+        Ok(Server {
+            shared,
+            local_addr,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The router (for tests and per-replica drain orchestration).
+    pub fn router(&self) -> &Router {
+        &self.shared.router
+    }
+
+    /// Whether the server has entered the drain state machine.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Responses delivered so far (served + admission-shed).
+    pub fn delivered(&self) -> u64 {
+        self.shared.delivered.load(Ordering::Acquire)
+    }
+
+    /// Programmatic drain: same state machine the `Drain` frame runs, then
+    /// a full teardown. Returns the delivered count.
+    pub fn drain(mut self) -> u64 {
+        let delivered = self.shared.drain_and_stop();
+        self.join_all();
+        delivered
+    }
+
+    /// Hard stop: no flush guarantee beyond the dispatchers' final sweep.
+    /// Use [`Server::drain`] for the graceful path.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        self.shared.close_all_conns();
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+        let conn_threads: Vec<JoinHandle<()>> = {
+            let mut g = self.shared.conn_threads.lock().expect("threads lock");
+            g.drain(..).collect()
+        };
+        for h in conn_threads {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.shared.stop.store(true, Ordering::Release);
+            self.join_all();
+        }
+    }
+}
+
+static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.draining.load(Ordering::Acquire) {
+                    // Drain refuses new connections outright.
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                spawn_connection(&shared, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let conn = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = mpsc::channel::<ConnMsg>();
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    shared
+        .conns
+        .lock()
+        .expect("conns lock")
+        .insert(conn, ConnHandle { tx });
+    shared.metrics.accepted.inc();
+    shared.metrics.connections.add(1.0);
+    let mut handles = Vec::with_capacity(2);
+    {
+        let shared = Arc::clone(shared);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ms-net-read-{conn}"))
+                .spawn(move || reader_loop(shared, conn, stream))
+                .expect("spawn reader"),
+        );
+    }
+    {
+        let shared = Arc::clone(shared);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ms-net-write-{conn}"))
+                .spawn(move || writer_loop(shared, write_stream, rx))
+                .expect("spawn writer"),
+        );
+    }
+    shared
+        .conn_threads
+        .lock()
+        .expect("threads lock")
+        .extend(handles);
+}
+
+fn reader_loop(shared: Arc<Shared>, conn: u64, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok((frame, bytes)) => {
+                shared.metrics.frames_rx.inc();
+                shared.metrics.bytes_rx.add(bytes as u64);
+                if !handle_frame(&shared, conn, frame) {
+                    break;
+                }
+            }
+            Err(NetError::Wire(_)) => {
+                shared.metrics.decode_errors.inc();
+                break;
+            }
+            Err(NetError::Io(_)) => break, // EOF or socket closed
+        }
+    }
+    // Teardown: unregister, close the writer, release the socket.
+    let handle = shared.conns.lock().expect("conns lock").remove(&conn);
+    if let Some(h) = handle {
+        let _ = h.tx.send(ConnMsg::Close);
+    }
+    shared.metrics.connections.add(-1.0);
+}
+
+/// Handles one inbound frame; returns `false` when the connection should
+/// close (protocol misuse, or a `Drain` that completed).
+fn handle_frame(shared: &Arc<Shared>, conn: u64, frame: Frame) -> bool {
+    match frame {
+        Frame::InferRequest(req) => {
+            shared.metrics.requests.inc();
+            if let Some(f) = place_request(shared, conn, req) {
+                shared.send_to(conn, f);
+            }
+            true
+        }
+        Frame::HealthRequest => {
+            shared.send_to(conn, shared.health_reply());
+            true
+        }
+        Frame::MetricsRequest => {
+            let text = ms_telemetry::global().render_prometheus();
+            shared.send_to(conn, Frame::MetricsReply(text));
+            true
+        }
+        Frame::Drain => {
+            let delivered = shared.drain_and_stop();
+            shared.send_to(conn, Frame::DrainAck { delivered });
+            shared.close_all_conns();
+            false
+        }
+        // Server-to-client frames arriving at the server are protocol
+        // misuse; drop the connection.
+        Frame::InferResponse(_)
+        | Frame::HealthReply(_)
+        | Frame::MetricsReply(_)
+        | Frame::DrainAck { .. } => {
+            shared.metrics.decode_errors.inc();
+            false
+        }
+    }
+}
+
+/// Routes one request; returns the immediate reply frame when the request
+/// was refused synchronously (otherwise the dispatcher answers later).
+fn place_request(shared: &Arc<Shared>, conn: u64, req: InferRequest) -> Option<Frame> {
+    if shared.draining.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
+        return Some(shared.shed_frame(req.correlation_id, WireShedReason::Draining));
+    }
+    let dims: Vec<usize> = req.dims.iter().map(|&d| d as usize).collect();
+    let input = match Tensor::from_vec(dims, req.data) {
+        Ok(t) => t,
+        // Unreachable for frames the decoder accepted; refuse defensively.
+        Err(_) => return Some(shared.shed_frame(req.correlation_id, WireShedReason::Backpressure)),
+    };
+    let deadline = if req.deadline_micros > 0 {
+        Some(req.deadline_micros as f64 * 1e-6)
+    } else {
+        None
+    };
+    // Counted before placement so the drain gate can never observe zero
+    // while a placed request still lacks its rendezvous entry.
+    shared.in_flight.fetch_add(1, Ordering::AcqRel);
+    match shared.router.route(input, deadline) {
+        Ok((replica, id)) => {
+            // Reader side of the rendezvous: claim a parked outcome if the
+            // dispatcher got here first, otherwise file the pending entry.
+            let p = Pending {
+                conn,
+                correlation_id: req.correlation_id,
+                t0: Instant::now(),
+            };
+            let claimed = {
+                let mut t = shared.tables[replica].lock().expect("table lock");
+                match t.orphans.remove(&id) {
+                    Some(out) => Some((p, out)),
+                    None => {
+                        t.pending.insert(id, p);
+                        None
+                    }
+                }
+            };
+            if let Some((p, out)) = claimed {
+                shared.deliver(p, out);
+            }
+            None
+        }
+        Err(e) => {
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            let reason = match e {
+                RouteError::Draining => WireShedReason::Draining,
+                RouteError::Shed(ShedReason::Backpressure) => WireShedReason::Backpressure,
+                RouteError::Shed(ShedReason::Stopping) => WireShedReason::Stopping,
+            };
+            Some(shared.shed_frame(req.correlation_id, reason))
+        }
+    }
+}
+
+fn writer_loop(shared: Arc<Shared>, stream: TcpStream, rx: Receiver<ConnMsg>) {
+    use std::io::Write as _;
+    let mut w = BufWriter::new(stream.try_clone().expect("clone write stream"));
+    'outer: loop {
+        let first = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        let mut msg = Some(first);
+        while let Some(m) = msg.take() {
+            match m {
+                ConnMsg::Frame(f) => match write_frame(&mut w, &f) {
+                    Ok(n) => {
+                        shared.metrics.frames_tx.inc();
+                        shared.metrics.bytes_tx.add(n as u64);
+                    }
+                    Err(_) => break 'outer,
+                },
+                ConnMsg::Close => break 'outer,
+            }
+            msg = rx.try_recv().ok();
+        }
+        // Channel momentarily empty: push everything to the socket.
+        if w.flush().is_err() {
+            break;
+        }
+    }
+    let _ = w.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn sealer_loop(shared: Arc<Shared>, replica: usize) {
+    let engine = Arc::clone(shared.router.engine(replica));
+    let interval = shared
+        .cfg
+        .seal_interval
+        .unwrap_or_else(|| Duration::from_secs_f64(engine.window().max(1e-4)));
+    while !shared.stop.load(Ordering::Acquire) {
+        // Chunked sleep so long windows don't delay stop detection.
+        let mut left = interval;
+        while left > Duration::ZERO && !shared.stop.load(Ordering::Acquire) {
+            let step = left.min(Duration::from_millis(20));
+            std::thread::sleep(step);
+            left = left.saturating_sub(step);
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        engine.seal();
+    }
+}
+
+/// Delivers every event from one `wait_events` call; returns how many.
+fn sweep(shared: &Arc<Shared>, replica: usize, engine: &Engine, timeout: Duration) -> usize {
+    let (responses, shed) = engine.wait_events(timeout);
+    let n = responses.len() + shed.len();
+    for r in responses {
+        let out = Outcome::Served {
+            rate: r.rate,
+            dims: r.logits.dims().iter().map(|&d| d as u32).collect(),
+            data: r.logits.into_vec(),
+        };
+        shared.dispatch_event(replica, r.id, out);
+    }
+    for id in shed {
+        shared.dispatch_event(replica, id, Outcome::Shed);
+    }
+    n
+}
+
+fn dispatcher_loop(shared: Arc<Shared>, replica: usize) {
+    let engine = Arc::clone(shared.router.engine(replica));
+    loop {
+        let stopping = shared.stop.load(Ordering::Acquire);
+        let delivered_now = sweep(&shared, replica, &engine, Duration::from_millis(20));
+        if stopping && delivered_now == 0 {
+            // Stop was already set before this (empty) wait: flush whatever
+            // the engine still holds, sweep once more, and exit.
+            engine.seal();
+            engine.drain();
+            sweep(&shared, replica, &engine, Duration::from_millis(1));
+            return;
+        }
+    }
+}

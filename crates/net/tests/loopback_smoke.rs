@@ -1,0 +1,263 @@
+//! Loopback integration: every frame kind exercised against a real TCP
+//! server fronting small engines with a synthetic (quadratic) latency
+//! profile — fast enough to run unignored on every `cargo test`.
+
+use ms_core::slice_rate::SliceRateList;
+use ms_net::protocol::InferOutcome;
+use ms_net::{Client, PipelinedClient, Router, Server, ServerConfig, WireShedReason};
+use ms_nn::layer::Layer;
+use ms_nn::linear::{Linear, LinearConfig};
+use ms_nn::sequential::Sequential;
+use ms_nn::shared::SharedWeights;
+use ms_serving::controller::{RatePolicy, SlaController};
+use ms_serving::engine::{Engine, EngineConfig};
+use ms_serving::profile::LatencyProfile;
+use ms_tensor::{SeededRng, Tensor};
+use std::time::Duration;
+
+const IN_DIM: usize = 8;
+const OUT_DIM: usize = 4;
+
+fn net(seed: u64) -> Box<dyn Layer + Send> {
+    let mut rng = SeededRng::new(seed);
+    Box::new(
+        Sequential::new("net")
+            .push(Linear::new(
+                "fc1",
+                LinearConfig {
+                    in_dim: IN_DIM,
+                    out_dim: 32,
+                    in_groups: None,
+                    out_groups: Some(4),
+                    bias: true,
+                    input_rescale: true,
+                },
+                &mut rng,
+            ))
+            .push(Linear::new(
+                "fc2",
+                LinearConfig {
+                    in_dim: 32,
+                    out_dim: OUT_DIM,
+                    in_groups: Some(4),
+                    out_groups: None,
+                    bias: true,
+                    input_rescale: true,
+                },
+                &mut rng,
+            )),
+    )
+}
+
+fn engine(weights: &SharedWeights, workers: usize) -> Engine {
+    let profile = LatencyProfile::quadratic(
+        SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]),
+        1e-5,
+    );
+    let replicas = (0..workers)
+        .map(|i| {
+            let mut m = net(100 + i as u64);
+            weights.hydrate(m.as_mut());
+            m
+        })
+        .collect();
+    Engine::start(
+        EngineConfig {
+            latency: 2e-3,
+            headroom: 1.0,
+            max_queue: 10_000,
+        },
+        SlaController::new(profile, RatePolicy::Elastic),
+        replicas,
+    )
+}
+
+fn start_server(replicas: usize) -> (Server, SharedWeights) {
+    let mut proto = net(7);
+    let weights = SharedWeights::capture(proto.as_mut());
+    let engines = (0..replicas).map(|_| engine(&weights, 1)).collect();
+    let server = Server::start(
+        "127.0.0.1:0",
+        Router::new(engines),
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    (server, weights)
+}
+
+fn input_for(id: u64) -> Tensor {
+    Tensor::full([IN_DIM], ((id % 13) as f32) * 0.1 - 0.6)
+}
+
+#[test]
+fn blocking_infer_round_trips_logits() {
+    let (server, _w) = start_server(1);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let r = client.infer(42, 2_000, &input_for(42)).expect("infer");
+    assert_eq!(r.correlation_id, 42);
+    match &r.outcome {
+        InferOutcome::Logits { dims, data } => {
+            assert_eq!(dims.as_slice(), &[OUT_DIM as u32]);
+            assert_eq!(data.len(), OUT_DIM);
+            assert!(data.iter().all(|x| x.is_finite()));
+        }
+        other => panic!("expected logits, got {other:?}"),
+    }
+    assert!(r.rate_used > 0.0 && r.rate_used <= 1.0);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_client_gets_every_response_back() {
+    let (server, _w) = start_server(2);
+    let mut client = PipelinedClient::connect(server.local_addr()).expect("connect");
+    let n = 200u64;
+    for id in 0..n {
+        client.send(id, 0, &input_for(id)).expect("send");
+    }
+    client.flush().expect("flush");
+    let mut seen = vec![false; n as usize];
+    for _ in 0..n {
+        let r = client
+            .recv_timeout(Duration::from_secs(5))
+            .expect("response before timeout");
+        assert!(!seen[r.correlation_id as usize], "duplicate response");
+        seen[r.correlation_id as usize] = true;
+        assert!(matches!(r.outcome, InferOutcome::Logits { .. }));
+    }
+    assert!(seen.iter().all(|&s| s), "lost correlation ids");
+    server.shutdown();
+}
+
+#[test]
+fn identical_input_gets_bitwise_identical_logits_in_process() {
+    // The engine's row outputs are independent of batch companions, so the
+    // same input served at the same rate must match an in-process run bit
+    // for bit — the property the wire must preserve (f32 as bit patterns).
+    let (server, weights) = start_server(1);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let r = client.infer(1, 0, &input_for(1)).expect("infer");
+    let wire_logits = match r.outcome {
+        InferOutcome::Logits { data, .. } => data,
+        other => panic!("expected logits, got {other:?}"),
+    };
+    server.shutdown();
+
+    let local = engine(&weights, 1);
+    local.submit(input_for(1)).expect("submit");
+    local.seal();
+    local.drain();
+    let rs = local.take_responses();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs[0].rate, r.rate_used, "different rate chosen");
+    let local_bits: Vec<u32> = rs[0].logits.data().iter().map(|x| x.to_bits()).collect();
+    let wire_bits: Vec<u32> = wire_logits.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(local_bits, wire_bits);
+    local.shutdown();
+}
+
+#[test]
+fn metrics_frame_serves_prometheus_text() {
+    let (server, _w) = start_server(1);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.infer(9, 0, &input_for(9)).expect("infer");
+    let text = client.metrics().expect("metrics");
+    assert!(
+        text.contains("net_requests_total"),
+        "missing net counters in exposition:\n{text}"
+    );
+    assert!(text.contains("# TYPE"), "not Prometheus text format");
+    server.shutdown();
+}
+
+#[test]
+fn health_frame_reports_each_replica() {
+    let (server, _w) = start_server(3);
+    server.router().set_draining(1, true);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let h = client.health().expect("health");
+    assert!(!h.draining);
+    assert_eq!(h.replicas.len(), 3);
+    assert!(!h.replicas[0].draining);
+    assert!(h.replicas[1].draining);
+    assert!(!h.replicas[2].draining);
+    server.shutdown();
+}
+
+#[test]
+fn draining_replica_fails_over_to_the_live_one() {
+    let (server, _w) = start_server(2);
+    server.router().set_draining(0, true);
+    let mut client = PipelinedClient::connect(server.local_addr()).expect("connect");
+    for id in 0..50u64 {
+        client.send(id, 0, &input_for(id)).expect("send");
+    }
+    client.flush().expect("flush");
+    for _ in 0..50 {
+        let r = client
+            .recv_timeout(Duration::from_secs(5))
+            .expect("response before timeout");
+        assert!(matches!(r.outcome, InferOutcome::Logits { .. }));
+    }
+    // Everything landed on replica 1.
+    let c0 = server.router().engine(0).counters();
+    let c1 = server.router().engine(1).counters();
+    assert_eq!(c0.served, 0);
+    assert_eq!(c1.served, 50);
+    server.shutdown();
+}
+
+#[test]
+fn drain_flushes_every_in_flight_request_then_acks() {
+    let (server, _w) = start_server(2);
+    let delivered_before = server.delivered();
+    assert_eq!(delivered_before, 0);
+    let mut client = PipelinedClient::connect(server.local_addr()).expect("connect");
+    let n = 300u64;
+    for id in 0..n {
+        client.send(id, 0, &input_for(id)).expect("send");
+    }
+    client.flush().expect("flush");
+    // Drain immediately: many of those are still queued or in open batches.
+    let delivered = client
+        .drain_server(Duration::from_secs(10))
+        .expect("drain ack");
+    assert_eq!(delivered, n, "drain dropped in-flight requests");
+    // Every response was written before the ack, so they are all readable
+    // now without waiting.
+    let mut seen = vec![false; n as usize];
+    for _ in 0..n {
+        let r = client
+            .recv_timeout(Duration::from_secs(1))
+            .expect("response flushed before ack");
+        assert!(!seen[r.correlation_id as usize]);
+        seen[r.correlation_id as usize] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "lost correlation ids across drain");
+}
+
+#[test]
+fn requests_after_drain_are_refused_with_draining() {
+    let (server, _w) = start_server(1);
+    let addr = server.local_addr();
+    let mut a = Client::connect(addr).expect("connect");
+    a.infer(1, 0, &input_for(1)).expect("infer");
+    let (flushed, delivered) = a.drain().expect("drain");
+    assert!(flushed.is_empty());
+    assert_eq!(delivered, 1);
+    // The listener is gone (or refuses) after drain; either connecting
+    // fails or the first request comes back shed as Draining.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut b) => match b.infer(2, 0, &input_for(2)) {
+            Ok(r) => {
+                assert_eq!(
+                    r.outcome,
+                    InferOutcome::Shed(WireShedReason::Draining),
+                    "post-drain request must be refused"
+                );
+            }
+            Err(_) => {} // connection reset also acceptable
+        },
+    }
+}

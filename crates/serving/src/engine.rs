@@ -42,11 +42,11 @@ use ms_core::slice_rate::SliceRate;
 use ms_nn::layer::Layer;
 use ms_telemetry::{Counter, Gauge, Histogram};
 use ms_tensor::Tensor;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Monotone per-process engine id, used as the `engine` label so several
 /// engines (tests spin up many) keep distinct registry series.
@@ -219,12 +219,26 @@ struct WorkBatch {
 struct EngineState {
     open_ids: Vec<u64>,
     open_inputs: Vec<Tensor>,
+    /// Tightest per-request planning budget among the open requests
+    /// (`+inf` when none carries a deadline). A request submitted with a
+    /// deadline tighter than the engine's configured SLA pulls the whole
+    /// batch's planning budget down to its own — the controller then picks
+    /// a narrower rate (or sheds) so the most urgent request still fits.
+    open_budget_min: f64,
     ready: VecDeque<WorkBatch>,
     /// Requests inside `ready` (kept incrementally for the backpressure gate).
     ready_len: usize,
     in_flight: usize,
     next_seq: usize,
-    responses: Vec<EngineResponse>,
+    /// Completed requests keyed by submission id — keyed delivery for the
+    /// network front-end; [`Engine::take_responses`] drains it in id order.
+    responses: HashMap<u64, EngineResponse>,
+    /// Ids shed by admission control at [`Engine::seal`]. Unlike
+    /// backpressure (which fails `submit` synchronously), admission
+    /// shedding happens after the caller already holds an id, so consumers
+    /// that promised a reply per id (the TCP server) collect these from
+    /// [`Engine::take_shed_ids`] / [`Engine::wait_events`].
+    shed_ids: Vec<u64>,
     /// While set, workers leave `ready` untouched — the replay harness
     /// stages every batch first so its service-time measurements never
     /// share the CPU with the submission loop (single-core machines).
@@ -248,6 +262,9 @@ struct Shared {
     window: f64,
     /// Planning budget: `window × headroom` (the margin the controller sees).
     budget: f64,
+    /// The configured headroom fraction, kept so per-request deadlines map
+    /// to planning budgets the same way the engine-wide SLA does.
+    headroom: f64,
     max_queue: usize,
     metrics: EngineMetrics,
 }
@@ -275,11 +292,13 @@ impl Engine {
             state: Mutex::new(EngineState {
                 open_ids: Vec::new(),
                 open_inputs: Vec::new(),
+                open_budget_min: f64::INFINITY,
                 ready: VecDeque::new(),
                 ready_len: 0,
                 in_flight: 0,
                 next_seq: 0,
-                responses: Vec::new(),
+                responses: HashMap::new(),
+                shed_ids: Vec::new(),
                 hold: false,
                 stop: false,
                 pending_submitted: 0,
@@ -290,6 +309,7 @@ impl Engine {
             controller,
             window: cfg.latency / 2.0,
             budget: cfg.latency / 2.0 * cfg.headroom,
+            headroom: cfg.headroom,
             max_queue: cfg.max_queue,
             metrics,
         });
@@ -324,19 +344,55 @@ impl Engine {
     /// Offers one request to the open batch. Sheds (and counts the shed)
     /// under backpressure instead of buffering beyond `max_queue`.
     pub fn submit(&self, input: Tensor) -> Result<u64, ShedReason> {
+        self.submit_with_deadline(input, None)
+    }
+
+    /// [`Engine::submit`] with an optional per-request SLA: `deadline` is
+    /// this request's own end-to-end latency bound `T_i` in seconds,
+    /// overriding the engine-wide `EngineConfig::latency` when tighter. The
+    /// request's planning budget is `(T_i/2) · headroom` — the same mapping
+    /// the engine default goes through — and the batch it lands in plans
+    /// against the tightest budget of its members. Deadlines looser than
+    /// the engine default do not relax the batch (the engine still owes its
+    /// configured SLA to every other member).
+    pub fn submit_with_deadline(
+        &self,
+        input: Tensor,
+        deadline: Option<f64>,
+    ) -> Result<u64, ShedReason> {
+        self.submit_or_return(input, deadline).map_err(|(reason, t)| {
+            t.recycle();
+            reason
+        })
+    }
+
+    /// [`Engine::submit_with_deadline`] that hands the input back on
+    /// refusal, so a router can fail the same tensor over to another
+    /// replica without copying it.
+    pub fn submit_or_return(
+        &self,
+        input: Tensor,
+        deadline: Option<f64>,
+    ) -> Result<u64, (ShedReason, Tensor)> {
         let mut st = self.shared.state.lock().expect("engine lock");
         st.pending_submitted += 1;
         if st.stop {
             st.pending_shed += 1;
-            return Err(ShedReason::Stopping);
+            return Err((ShedReason::Stopping, input));
         }
         if st.open_ids.len() + st.ready_len >= self.shared.max_queue {
             st.pending_shed += 1;
-            return Err(ShedReason::Backpressure);
+            return Err((ShedReason::Backpressure, input));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         st.open_ids.push(id);
         st.open_inputs.push(input);
+        if let Some(t) = deadline {
+            if t.is_finite() && t > 0.0 {
+                let budget = t / 2.0 * self.shared.headroom;
+                st.open_budget_min = st.open_budget_min.min(budget);
+            }
+        }
         Ok(id)
     }
 
@@ -351,24 +407,33 @@ impl Engine {
         if n == 0 {
             return None;
         }
-        let SlaDecision { rate, admit, shed } =
-            self.shared.controller.decide(n, self.shared.budget);
+        // The batch honours the tightest deadline among its members: the
+        // engine-wide budget unless some request asked for less.
+        let budget = self.shared.budget.min(st.open_budget_min);
+        st.open_budget_min = f64::INFINITY;
+        let SlaDecision { rate, admit, shed } = self.shared.controller.decide(n, budget);
         let mut ids = std::mem::take(&mut st.open_ids);
         let mut inputs = std::mem::take(&mut st.open_inputs);
         if shed > 0 {
-            ids.truncate(admit);
-            inputs.truncate(admit);
+            let dropped = ids.split_off(admit);
+            for t in inputs.split_off(admit) {
+                t.recycle();
+            }
+            st.shed_ids.extend(dropped);
             self.shared.metrics.shed.add(shed as u64);
         }
         if admit == 0 {
             self.shared.metrics.queue_depth.set(st.ready_len as f64);
+            drop(st);
+            // Admission-shed ids are events too: wake keyed waiters.
+            self.shared.idle.notify_all();
             return None;
         }
         let capacity = self
             .shared
             .controller
             .profile()
-            .max_batch(rate, self.shared.budget);
+            .max_batch(rate, budget);
         self.shared
             .metrics
             .batch_fill
@@ -383,7 +448,11 @@ impl Engine {
             rate,
         });
         self.shared.metrics.queue_depth.set(st.ready_len as f64);
+        drop(st);
         self.shared.work.notify_one();
+        if shed > 0 {
+            self.shared.idle.notify_all();
+        }
         Some(seq)
     }
 
@@ -408,10 +477,64 @@ impl Engine {
         }
     }
 
-    /// Takes all responses accumulated since the last call.
+    /// Takes all responses accumulated since the last call, in submission-id
+    /// order. Thin wrapper over the keyed store — consumers that know the id
+    /// they are waiting for should use [`Engine::take_response`] instead of
+    /// scanning this list.
     pub fn take_responses(&self) -> Vec<EngineResponse> {
         let mut st = self.shared.state.lock().expect("engine lock");
-        std::mem::take(&mut st.responses)
+        let mut out: Vec<EngineResponse> = st.responses.drain().map(|(_, r)| r).collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Takes the response for one submission id, if it has completed.
+    pub fn take_response(&self, id: u64) -> Option<EngineResponse> {
+        let mut st = self.shared.state.lock().expect("engine lock");
+        st.responses.remove(&id)
+    }
+
+    /// Takes the ids shed by admission control at [`Engine::seal`] since the
+    /// last call (backpressure sheds fail `submit` synchronously and never
+    /// appear here).
+    pub fn take_shed_ids(&self) -> Vec<u64> {
+        let mut st = self.shared.state.lock().expect("engine lock");
+        std::mem::take(&mut st.shed_ids)
+    }
+
+    /// Blocks until at least one completion event (response or
+    /// admission-shed id) is available, or `timeout` elapses; drains and
+    /// returns everything pending. The network front-end's per-engine
+    /// dispatcher thread lives on this call.
+    pub fn wait_events(&self, timeout: Duration) -> (Vec<EngineResponse>, Vec<u64>) {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect("engine lock");
+        while st.responses.is_empty() && st.shed_ids.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                return (Vec::new(), Vec::new());
+            }
+            let (guard, _) = self
+                .shared
+                .idle
+                .wait_timeout(st, deadline - now)
+                .expect("engine lock");
+            st = guard;
+        }
+        let mut responses: Vec<EngineResponse> = st.responses.drain().map(|(_, r)| r).collect();
+        responses.sort_by_key(|r| r.id);
+        let shed = std::mem::take(&mut st.shed_ids);
+        (responses, shed)
+    }
+
+    /// The batching window `T/2` in seconds (half the configured SLA).
+    pub fn window(&self) -> f64 {
+        self.shared.window
+    }
+
+    /// The configured headroom fraction.
+    pub fn headroom(&self) -> f64 {
+        self.shared.headroom
     }
 
     /// Counter snapshot from the telemetry registry (percentiles come from
@@ -533,13 +656,16 @@ fn worker_loop(shared: Arc<Shared>, mut model: Box<dyn Layer + Send>) {
         }
         let mut st = shared.state.lock().expect("engine lock");
         for (id, logits) in batch.ids.into_iter().zip(rows) {
-            st.responses.push(EngineResponse {
+            st.responses.insert(
                 id,
-                logits,
-                rate: batch.rate.get(),
-                batch_seq: batch.seq,
-                service_time: service,
-            });
+                EngineResponse {
+                    id,
+                    logits,
+                    rate: batch.rate.get(),
+                    batch_seq: batch.seq,
+                    service_time: service,
+                },
+            );
         }
         st.in_flight -= 1;
         drop(st);
@@ -907,6 +1033,78 @@ mod tests {
         let r = e.replay(&trace, |_| Tensor::zeros([8]));
         assert_eq!(r.shed, 0);
         assert_eq!(r.served, r.arrived);
+        e.shutdown();
+    }
+
+    #[test]
+    fn keyed_take_response_removes_exactly_one() {
+        let e = engine(2, RatePolicy::Elastic);
+        let ids: Vec<u64> = (0..6).map(|_| e.submit(Tensor::zeros([8])).unwrap()).collect();
+        e.seal();
+        e.drain();
+        let r = e.take_response(ids[3]).expect("completed");
+        assert_eq!(r.id, ids[3]);
+        assert!(e.take_response(ids[3]).is_none(), "second take is empty");
+        assert_eq!(e.take_responses().len(), 5, "wrapper drains the rest");
+        e.shutdown();
+    }
+
+    #[test]
+    fn admission_shed_ids_are_reported() {
+        // Same setting as `overload_sheds_at_admission_and_within_budget`:
+        // capacity 1600 of 2000 → the 400-id tail is shed at seal.
+        let e = engine(2, RatePolicy::Elastic);
+        for _ in 0..2000 {
+            e.submit(Tensor::zeros([8])).unwrap();
+        }
+        e.seal();
+        e.drain();
+        let shed = e.take_shed_ids();
+        assert_eq!(shed.len(), 400);
+        assert!(shed.iter().all(|&id| id >= 1600), "the tail is shed");
+        assert_eq!(e.take_responses().len(), 1600);
+        assert!(e.take_shed_ids().is_empty(), "drained");
+        e.shutdown();
+    }
+
+    #[test]
+    fn per_request_deadline_tightens_the_batch_budget() {
+        // Quadratic profile, t_full 10µs, engine budget 1ms. 64 requests at
+        // the default plan at full width (64·1·10µs = 0.64ms ≤ 1ms); one
+        // request with a 0.5ms total SLA (budget 0.25ms) forces the whole
+        // batch down to the widest rate with 64·r²·10µs ≤ 0.25ms → r = 0.5.
+        let e = engine(1, RatePolicy::Elastic);
+        for _ in 0..63 {
+            e.submit(Tensor::zeros([8])).unwrap();
+        }
+        e.submit_with_deadline(Tensor::zeros([8]), Some(0.5e-3)).unwrap();
+        e.seal();
+        e.drain();
+        let rs = e.take_responses();
+        assert_eq!(rs.len(), 64);
+        assert!(rs.iter().all(|r| r.rate == 0.5), "rate {}", rs[0].rate);
+        // The tightened budget does not leak into the next batch.
+        for _ in 0..64 {
+            e.submit(Tensor::zeros([8])).unwrap();
+        }
+        e.seal();
+        e.drain();
+        assert!(e.take_responses().iter().all(|r| r.rate == 1.0));
+        e.shutdown();
+    }
+
+    #[test]
+    fn wait_events_delivers_responses_and_times_out_when_idle() {
+        let e = engine(1, RatePolicy::Elastic);
+        let (rs, shed) = e.wait_events(std::time::Duration::from_millis(5));
+        assert!(rs.is_empty() && shed.is_empty(), "timeout on idle engine");
+        for _ in 0..4 {
+            e.submit(Tensor::zeros([8])).unwrap();
+        }
+        e.seal();
+        let (rs, shed) = e.wait_events(std::time::Duration::from_secs(5));
+        assert_eq!(rs.len(), 4);
+        assert!(shed.is_empty());
         e.shutdown();
     }
 

@@ -21,6 +21,12 @@
 //!   periodic [`Flusher`] thread that dumps both to a directory (the
 //!   engine and the experiment harness point it at `results/logs/`).
 //!
+//! Snapshots can also be pulled over the network: the `ms-net` TCP server
+//! answers a `Metrics` frame with [`Registry::render_prometheus`] output
+//! from the serving process, so a live scrape (`ms-net`'s `scrape` binary, or
+//! any client speaking the frame protocol) needs no file [`Flusher`] at
+//! all.
+//!
 //! # Kill switch
 //!
 //! [`set_enabled`] flips one global `AtomicBool` that every record path

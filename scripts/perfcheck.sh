@@ -20,6 +20,11 @@
 # 6. Hot forward/backward bodies must not reintroduce ad-hoc allocation:
 #    `Tensor::zeros(` and `vec![` are banned in the layer hot paths — use
 #    `Tensor::pooled_zeros`, `pooled_clone`, `Workspace::take` instead.
+# 7. The loopback net gate (PR 4): serving the same full-width request
+#    stream through the TCP front-end must cost <= 15% throughput vs the
+#    in-process engine (MS_NET_GATE_PCT overrides), and `bench_snapshot`
+#    records the wire-vs-in-process numbers in results/BENCH_net_pr4.json
+#    (alongside the PR 1 kernel snapshot it already writes).
 #
 # Usage: scripts/perfcheck.sh   (from the repo root)
 set -euo pipefail
@@ -53,6 +58,12 @@ cargo run --release -p ms-bench --bin engine_smoke
 echo "== engine smoke with span tracing compiled in =="
 MS_TELEMETRY_BENCH_OUT=results/BENCH_telemetry_pr3_spans.json \
     cargo run --release -p ms-bench --features telemetry-spans --bin engine_smoke
+
+echo "== loopback net gate (wire path vs in-process) =="
+cargo run --release -p ms-bench --bin engine_smoke -- --net
+
+echo "== bench snapshots (kernels + net) =="
+cargo run --release -p ms-bench --bin bench_snapshot > /dev/null
 
 echo "== allocation tripwire (hot layer bodies) =="
 HOT_FILES=(

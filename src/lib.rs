@@ -29,6 +29,9 @@
 //!   ([`ms_data`]).
 //! - [`serving`] — the Section-4 applications: dynamic-workload serving and
 //!   cascade ranking ([`ms_serving`]).
+//! - [`net`] — serving over TCP: the length-prefixed wire protocol, the
+//!   thread-per-connection front-end, blocking/pipelined clients and the
+//!   deadline-aware multi-engine router ([`ms_net`]).
 //! - [`telemetry`] — zero-cost observability: the global metrics registry,
 //!   feature-gated span tracing and Prometheus/JSON exposition
 //!   ([`ms_telemetry`]).
@@ -62,6 +65,7 @@ pub use ms_baselines as baselines;
 pub use ms_core as slicing;
 pub use ms_data as data;
 pub use ms_models as models;
+pub use ms_net as net;
 pub use ms_nn as nn;
 pub use ms_serving as serving;
 pub use ms_telemetry as telemetry;

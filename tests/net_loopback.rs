@@ -1,0 +1,326 @@
+//! End-to-end serving over TCP: the `tests/serving_sla.rs` flash-crowd
+//! story, told through the wire instead of in-process replay.
+//!
+//! A client paces the spike trace in real time over a loopback socket,
+//! stamping every request with its SLA as a wire deadline. On-time is
+//! judged where it matters — at the client: response received within the
+//! SLA of the moment the request was written. The elastic policy must
+//! beat every fixed-rate configuration on deadline hits, and a graceful
+//! drain at the end of each run must answer every in-flight request.
+//!
+//! Latencies here include the transport (encode, socket, decode, the
+//! server's rendezvous) on top of queueing and service, so the absolute
+//! thresholds are looser than the in-process test's; the *comparative*
+//! claim is the load-bearing one, and the transport taxes every policy
+//! identically.
+
+use modelslicing::models::mlp::{Mlp, MlpConfig};
+use modelslicing::net::protocol::{
+    read_frame, write_frame, Frame, InferOutcome, InferRequest,
+};
+use modelslicing::net::{Router, Server, ServerConfig};
+use modelslicing::nn::layer::Layer;
+use modelslicing::nn::shared::SharedWeights;
+use modelslicing::serving::controller::{RatePolicy, SlaController};
+use modelslicing::serving::engine::{Engine, EngineConfig};
+use modelslicing::serving::profile::LatencyProfile;
+use modelslicing::serving::workload::WorkloadTrace;
+use modelslicing::slicing::slice_rate::{SliceRate, SliceRateList};
+use modelslicing::tensor::{SeededRng, Tensor};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// These tests time real forward passes against wall-clock deadlines, so
+/// no other test in this binary may compete for the CPU while one runs.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const INPUT_DIM: usize = 64;
+const REPLICAS: usize = 2;
+
+/// Heavier than the in-process test's MLP on purpose: wall-clock pacing
+/// needs engine windows in the milliseconds, or OS scheduling and sleep
+/// granularity (~0.1–1 ms) would dominate the µs-scale windows a tiny
+/// model calibrates to and every response would miss its deadline for
+/// reasons that have nothing to do with the serving policy.
+fn mlp_config() -> MlpConfig {
+    MlpConfig {
+        input_dim: INPUT_DIM,
+        hidden_dims: vec![512, 512],
+        num_classes: 8,
+        groups: 4,
+        dropout: 0.0,
+        input_rescale: true,
+    }
+}
+
+fn calibrated_profile() -> LatencyProfile {
+    let mut rng = SeededRng::new(11);
+    let mut net = Mlp::new(&mlp_config(), &mut rng);
+    LatencyProfile::calibrate(
+        &mut net,
+        SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]),
+        &[INPUT_DIM],
+        512,
+        5,
+    )
+}
+
+fn input_for(id: u64) -> Tensor {
+    Tensor::full([INPUT_DIM], ((id % 31) as f32) * 0.06 - 0.9)
+}
+
+/// Calm traffic sized from the calibrated profile, with two flash crowds
+/// far beyond even the base subnet's capacity (same shape as the
+/// in-process SLA test).
+fn spike_trace(profile: &LatencyProfile, budget: f64) -> WorkloadTrace {
+    let calm = (profile.max_batch(SliceRate::FULL, budget) * 7 / 10).max(1);
+    let overload = profile.max_batch(SliceRate::new(0.25), budget) * 3;
+    let arrivals: Vec<usize> = (0..60)
+        .map(|t| {
+            if (15..20).contains(&t) || (40..45).contains(&t) {
+                overload
+            } else {
+                calm
+            }
+        })
+        .collect();
+    let rates = arrivals.iter().map(|&n| n as f64).collect();
+    WorkloadTrace { arrivals, rates }
+}
+
+/// The client-side SLA is this multiple of the engine's internal SLA:
+/// the engine plans against the tighter budget, and the allowance covers
+/// what the in-process test never pays — transport, the server's
+/// rendezvous, and worker/sealer contention when CI gives us one core.
+const WIRE_ALLOWANCE: f64 = 2.0;
+
+struct WireRun {
+    sent: usize,
+    served: usize,
+    shed: usize,
+    on_time: usize,
+    /// The `DrainAck` payload: responses the server flushed in its lifetime.
+    ack_delivered: u64,
+}
+
+/// Stands up a routed multi-replica server under `policy`, paces `trace`
+/// through one pipelined connection (one tick per engine window, every
+/// request carrying `latency` as its wire deadline), then drains the
+/// server over the wire and accounts for every correlation id.
+fn run_over_wire(
+    profile: &LatencyProfile,
+    policy: RatePolicy,
+    trace: &WorkloadTrace,
+    latency: f64,
+) -> WireRun {
+    let mut proto = Mlp::new(&mlp_config(), &mut SeededRng::new(17));
+    let weights = SharedWeights::capture(&mut proto);
+    let engines = (0..REPLICAS)
+        .map(|i| {
+            let mut m = Mlp::new(&mlp_config(), &mut SeededRng::new(100 + i as u64));
+            weights.hydrate(&mut m);
+            Engine::start(
+                EngineConfig {
+                    latency,
+                    headroom: 0.5,
+                    max_queue: usize::MAX / 2,
+                },
+                SlaController::new(profile.clone(), policy),
+                vec![Box::new(m) as Box<dyn Layer + Send>],
+            )
+        })
+        .collect();
+    let server = Server::start(
+        "127.0.0.1:0",
+        Router::new(engines),
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let reader_stream = stream.try_clone().expect("clone stream");
+
+    let total: usize = trace.arrivals.iter().sum();
+    let window = latency / 2.0;
+    let deadline = latency * WIRE_ALLOWANCE;
+    // Looser than the engine default, so it exercises the wire field
+    // without tightening the planner below its configured budget.
+    let deadline_micros = (deadline * 1e6) as u64;
+    let mut sent_at: Vec<Instant> = Vec::with_capacity(total);
+
+    let (answers, ack) = std::thread::scope(|s| {
+        let collector = s.spawn(move || {
+            let mut reader = BufReader::new(reader_stream);
+            let mut got: Vec<(u64, bool, Instant)> = Vec::new();
+            let mut ack = None;
+            loop {
+                match read_frame(&mut reader) {
+                    Ok((Frame::InferResponse(r), _)) => {
+                        let ok = matches!(r.outcome, InferOutcome::Logits { .. });
+                        got.push((r.correlation_id, ok, Instant::now()));
+                    }
+                    Ok((Frame::DrainAck { delivered }, _)) => {
+                        ack = Some(delivered);
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+            (got, ack)
+        });
+
+        // Pace the trace on an absolute schedule: one tick per window; a
+        // burst that takes longer than a window to serialise just spills
+        // into the next tick, exactly as a real client's would.
+        let mut writer = BufWriter::new(&stream);
+        let start = Instant::now();
+        let mut id: u64 = 0;
+        for (t, &n) in trace.arrivals.iter().enumerate() {
+            let due = window * t as f64;
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed < due {
+                std::thread::sleep(Duration::from_secs_f64(due - elapsed));
+            }
+            for _ in 0..n {
+                sent_at.push(Instant::now());
+                write_frame(
+                    &mut writer,
+                    &Frame::InferRequest(InferRequest {
+                        correlation_id: id,
+                        deadline_micros,
+                        dims: vec![INPUT_DIM as u32],
+                        data: input_for(id).data().to_vec(),
+                    }),
+                )
+                .expect("write request");
+                id += 1;
+            }
+            writer.flush().expect("flush tick");
+        }
+        // Graceful drain while the backlog is still in flight: every
+        // response must be flushed to us before the ack arrives.
+        write_frame(&mut writer, &Frame::Drain).expect("write drain");
+        writer.flush().expect("flush drain");
+        collector.join().expect("collector thread")
+    });
+
+    server.shutdown();
+
+    let ack_delivered = ack.expect("no DrainAck before the connection closed");
+    let mut seen = vec![false; total];
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    let mut on_time = 0usize;
+    let mut lats: Vec<f64> = Vec::new();
+    for (cid, ok, t_recv) in &answers {
+        let idx = *cid as usize;
+        assert!(idx < total, "response for an id never sent: {cid}");
+        assert!(!seen[idx], "duplicate response for id {cid}");
+        seen[idx] = true;
+        if *ok {
+            served += 1;
+            let l = t_recv.duration_since(sent_at[idx]).as_secs_f64();
+            lats.push(l);
+            if l <= deadline {
+                on_time += 1;
+            }
+        } else {
+            shed += 1;
+        }
+    }
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if !lats.is_empty() {
+        eprintln!(
+            "DIAG deadline={deadline:.4} served={served} shed={shed} on_time={on_time} p10={:.4} p50={:.4} p90={:.4} p99={:.4}",
+            lats[lats.len() / 10],
+            lats[lats.len() / 2],
+            lats[lats.len() * 9 / 10],
+            lats[lats.len() * 99 / 100],
+        );
+    }
+    WireRun {
+        sent: total,
+        served,
+        shed,
+        on_time,
+        ack_delivered,
+    }
+}
+
+#[test]
+fn wire_elastic_beats_every_fixed_rate_on_deadline_hits() {
+    let _serial = serial();
+    let profile = calibrated_profile();
+    // Real sleeps against real sockets: a scheduler stall on a one-core CI
+    // box can sink any single attempt for reasons unrelated to the serving
+    // policy, so one failed attempt earns one retry. Two failures in a row
+    // is a genuine regression.
+    if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compare_policies(&profile)
+    })) {
+        let msg = e
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| e.downcast_ref::<&str>().copied())
+            .unwrap_or("non-string panic");
+        eprintln!("first attempt failed ({msg}); retrying once");
+        compare_policies(&profile);
+    }
+}
+
+fn compare_policies(profile: &LatencyProfile) {
+    // Window sized so a full-width batch of a hundred samples fits: big
+    // enough that OS and transport jitter are small relative to it, small
+    // enough that the fixed-rate runs (which must serve *everything*
+    // before their drain completes) stay affordable on one core.
+    let budget = profile.predict(100, SliceRate::FULL);
+    let latency = budget * 4.0; // window = T/2 = 2·budget, headroom 0.5
+    let trace = spike_trace(profile, budget);
+    let total: usize = trace.arrivals.iter().sum();
+
+    let elastic = run_over_wire(profile, RatePolicy::Elastic, &trace, latency);
+    // Drain dropped nothing: every correlation id came back, and the
+    // server's own delivery count agrees.
+    assert_eq!(elastic.sent, total);
+    assert_eq!(elastic.served + elastic.shed, total, "lost requests");
+    assert_eq!(elastic.ack_delivered as usize, total);
+    assert!(elastic.served > 0);
+    // Under the flash crowds the elastic engine sheds rather than queues…
+    assert!(elastic.shed > 0, "flash crowds should force admission shedding");
+    // …so a solid fraction of what it does serve meets the deadline even
+    // with the wire in the path. The floor is deliberately loose — the
+    // comparative assertion below is the load-bearing one; this only
+    // catches wholesale SLA collapse (e.g. the deadline field ignored).
+    assert!(
+        elastic.on_time * 3 >= elastic.served,
+        "elastic late too often over the wire: {} on-time of {} served",
+        elastic.on_time,
+        elastic.served
+    );
+
+    for r in profile.list().iter() {
+        let fixed = run_over_wire(profile, RatePolicy::Fixed(r), &trace, latency);
+        // The inelastic server answers everything — drain still loses
+        // nothing even with a multi-window backlog in flight…
+        assert_eq!(fixed.served + fixed.shed, total, "lost requests at rate {r}");
+        assert_eq!(fixed.ack_delivered as usize, total);
+        assert_eq!(fixed.shed, 0, "fixed rate {r} should never shed");
+        // …but it answers late: elastic completes strictly more requests
+        // within their wire deadlines.
+        assert!(
+            elastic.on_time > fixed.on_time,
+            "fixed rate {r}: {} on-time vs elastic {} (elastic shed {})",
+            fixed.on_time,
+            elastic.on_time,
+            elastic.shed
+        );
+    }
+}
