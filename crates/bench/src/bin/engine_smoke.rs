@@ -28,7 +28,9 @@
 //! With `--net` the binary instead runs the PR 4 loopback gate: the same
 //! full-width request stream is served in-process and through the TCP
 //! front-end, and the wire path must cost no more than 15 % throughput
-//! (`MS_NET_GATE_PCT` overrides; see `ms_bench::netbench`).
+//! (`MS_NET_GATE_PCT` overrides; see `ms_bench::netbench`). It then runs
+//! a traced loopback burst with the flight recorder on and writes the
+//! server's trace dump to `results/logs/trace_net.json` (Perfetto).
 
 use ms_core::scheduler::{Scheduler, SchedulerKind};
 use ms_core::slice_rate::{SliceRate, SliceRateList};
@@ -171,6 +173,16 @@ fn net_gate() {
         std::process::exit(1);
     }
     println!("net gate OK");
+
+    // End-to-end tracing walkthrough: a short traced burst over the same
+    // loopback stack, dumped via the TraceDumpRequest frame and written as
+    // Chrome trace-event JSON for Perfetto.
+    let logs_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/logs");
+    let (path, served) = ms_bench::flightbench::traced_wire_demo(logs_dir, 64);
+    println!(
+        "traced demo: 64 requests over the wire ({served} served), flight dump at {}",
+        path.display()
+    );
 }
 
 fn main() {

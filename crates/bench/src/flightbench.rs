@@ -1,0 +1,212 @@
+//! Flight-recorder cost A/B for the PR 5 trace gate, plus a small traced
+//! loopback demo that exports a Perfetto-loadable trace.
+//!
+//! The A/B drives the in-process engine submit→seal→drain path — the
+//! exact code that stamps `Admitted`/`Enqueued`/`SealedIntoBatch`/
+//! `DispatchStart`/`ComputeDone` — with nonzero trace ids in *both*
+//! modes, so recording-off still pays the early-out branch and the gate
+//! prices only the seqlock publish itself. The model is heavy enough
+//! (~2 MFLOP per sample) that the comparison reflects a realistic
+//! serving workload, not a framing microbenchmark.
+
+use ms_core::slice_rate::{SliceRate, SliceRateList};
+use ms_models::mlp::{Mlp, MlpConfig};
+use ms_net::protocol::InferOutcome;
+use ms_net::{PipelinedClient, Router, Server, ServerConfig};
+use ms_nn::layer::Layer;
+use ms_nn::shared::SharedWeights;
+use ms_serving::controller::{RatePolicy, SlaController};
+use ms_serving::engine::{Engine, EngineConfig};
+use ms_serving::profile::LatencyProfile;
+use ms_tensor::{SeededRng, Tensor};
+use ms_telemetry::flight;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const INPUT_DIM: usize = 64;
+const SEAL_EVERY: u64 = 32;
+
+pub struct FlightAb {
+    pub requests: usize,
+    pub pairs: usize,
+    /// Best request throughput with the recorder off.
+    pub rps_recording_off: f64,
+    /// Best request throughput with the recorder on.
+    pub rps_recording_on: f64,
+    /// Median over interleaved pairs of `100·(wall_on − wall_off)/wall_off`,
+    /// clamped at 0 (the recorder cannot speed the engine up).
+    pub overhead_pct: f64,
+}
+
+fn mlp_config() -> MlpConfig {
+    MlpConfig {
+        input_dim: INPUT_DIM,
+        hidden_dims: vec![1024, 1024],
+        num_classes: 8,
+        groups: 4,
+        dropout: 0.0,
+        input_rescale: true,
+    }
+}
+
+fn engine(weights: &SharedWeights) -> Engine {
+    let mut m = Mlp::new(&mlp_config(), &mut SeededRng::new(51));
+    weights.hydrate(&mut m);
+    Engine::start(
+        EngineConfig {
+            // Throughput A/B: wide window, full admission, one worker.
+            latency: 1.0,
+            headroom: 1.0,
+            max_queue: usize::MAX / 2,
+        },
+        SlaController::new(
+            LatencyProfile::quadratic(SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]), 1e-5),
+            RatePolicy::Fixed(SliceRate::FULL),
+        ),
+        vec![Box::new(m) as Box<dyn Layer + Send>],
+    )
+}
+
+fn input_for(id: u64) -> Tensor {
+    Tensor::full([INPUT_DIM], ((id % 29) as f32) * 0.05 - 0.7)
+}
+
+/// One timed submit→seal→drain pass of `requests` traced requests; the
+/// response map is drained afterwards so later reps start clean.
+fn run_once(engine: &Engine, base: u64, requests: usize) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..requests as u64 {
+        engine
+            .submit_traced(input_for(base + i), None, base + i)
+            .expect("A/B engine must admit every request");
+        if (i + 1) % SEAL_EVERY == 0 {
+            engine.seal();
+        }
+    }
+    engine.seal();
+    engine.drain();
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let got = engine.take_responses().len();
+    assert_eq!(got, requests, "A/B engine lost responses");
+    wall
+}
+
+/// Interleaved recorder-on/off pairs on one shared engine; the overhead is
+/// the median paired relative difference, so drift slower than a rep
+/// cancels inside each pair and scheduler hiccups land in the tail.
+pub fn recorder_on_vs_off(requests: usize, pairs: usize) -> FlightAb {
+    let mut proto = Mlp::new(&mlp_config(), &mut SeededRng::new(50));
+    let weights = SharedWeights::capture(&mut proto);
+    let engine = engine(&weights);
+
+    let prior = flight::recording();
+    flight::set_recording(false);
+    let mut base = 0x0F1A_0000_0000_0000u64;
+    let mut next_base = |n: usize| {
+        let b = base;
+        base += n as u64;
+        b
+    };
+    // Warm-up: worker placement, pool, allocator and governors all ramp
+    // over the first bursts; none of that may be billed to either mode.
+    for _ in 0..2 {
+        run_once(&engine, next_base(requests), requests);
+    }
+
+    let mut diffs: Vec<f64> = Vec::with_capacity(pairs);
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    for i in 0..pairs {
+        // Alternate order within pairs so per-slot position effects cancel.
+        let modes: [bool; 2] = if i % 2 == 0 { [true, false] } else { [false, true] };
+        let mut wall_on = 0.0f64;
+        let mut wall_off = 0.0f64;
+        for on in modes {
+            flight::set_recording(on);
+            let wall = run_once(&engine, next_base(requests), requests);
+            let rps = requests as f64 / wall;
+            if on {
+                wall_on = wall;
+                best_on = best_on.max(rps);
+            } else {
+                wall_off = wall;
+                best_off = best_off.max(rps);
+            }
+        }
+        diffs.push(100.0 * (wall_on - wall_off) / wall_off);
+    }
+    flight::set_recording(prior);
+    engine.shutdown();
+
+    diffs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mid = diffs.len() / 2;
+    let median = if diffs.len() % 2 == 0 {
+        0.5 * (diffs[mid - 1] + diffs[mid])
+    } else {
+        diffs[mid]
+    };
+    FlightAb {
+        requests,
+        pairs,
+        rps_recording_off: best_off,
+        rps_recording_on: best_on,
+        overhead_pct: median.max(0.0),
+    }
+}
+
+/// Non-timed traced loopback pass: serves a short burst with the recorder
+/// on (some requests on deliberately hopeless deadlines so the trace shows
+/// sheds and deadline misses next to served requests), fetches the
+/// server's flight dump over the wire, and writes it to
+/// `<logs_dir>/trace_net.json` — loadable in Perfetto or `chrome://tracing`.
+/// Returns the written path and the number of requests that were served.
+pub fn traced_wire_demo(logs_dir: &str, requests: usize) -> (PathBuf, usize) {
+    let mut proto = Mlp::new(&mlp_config(), &mut SeededRng::new(50));
+    let weights = SharedWeights::capture(&mut proto);
+
+    let prior = flight::recording();
+    flight::reset();
+    flight::set_recording(true);
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        Router::new(vec![engine(&weights)]),
+        ServerConfig {
+            seal_interval: Some(Duration::from_millis(2)),
+        },
+    )
+    .expect("bind loopback");
+    let mut client = PipelinedClient::connect(server.local_addr()).expect("connect");
+
+    let mut served = 0usize;
+    for i in 0..requests as u64 {
+        // Every fourth request gets a 50 µs deadline no batch can make, so
+        // the exported trace carries shed/missed chains alongside served
+        // ones — the case the tail sampler always retains.
+        let deadline_micros = if i % 4 == 3 { 50 } else { 0 };
+        client
+            .send_traced(i, deadline_micros, &input_for(i), 0x7DE0_0000_0000_0000 + i)
+            .expect("send");
+    }
+    client.flush().expect("flush");
+    for _ in 0..requests {
+        let (r, _trace) = client
+            .recv_traced_timeout(Duration::from_secs(30))
+            .expect("response before timeout");
+        if matches!(r.outcome, InferOutcome::Logits { .. }) {
+            served += 1;
+        }
+    }
+
+    let json = client
+        .trace_dump(Duration::from_secs(10))
+        .expect("trace dump over the wire");
+    drop(client);
+    server.shutdown();
+    flight::set_recording(prior);
+
+    std::fs::create_dir_all(logs_dir).expect("create logs dir");
+    let path = PathBuf::from(logs_dir).join("trace_net.json");
+    std::fs::write(&path, &json).expect("write wire trace dump");
+    (path, served)
+}

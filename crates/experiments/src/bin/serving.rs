@@ -235,10 +235,13 @@ fn real_engine_replay() {
 
 /// The same flash-crowd story through `ms_net`: two elastic replicas
 /// behind the TCP front-end, a pipelined client pacing the trace over
-/// loopback, then a health snapshot and a graceful drain.
+/// loopback — with the flight recorder on, so the run ends with a health
+/// snapshot, a trace dump (`results/logs/trace_serving.json`, loadable in
+/// Perfetto), and a graceful drain.
 fn loopback_serving_run() {
     use ms_net::protocol::InferOutcome;
     use ms_net::{PipelinedClient, Router, Server, ServerConfig};
+    use ms_telemetry::flight;
     use std::time::Duration;
 
     const INPUT_DIM: usize = 16;
@@ -290,13 +293,31 @@ fn loopback_serving_run() {
         latency * 1e3
     );
 
+    // Flight recorder on for the whole run: every request below carries a
+    // trace id end-to-end, and the tail sampler keeps the slowest and every
+    // shed/deadline-missed chain for the dump at the end. The retain cap is
+    // raised well past its default because this trace sheds thousands of
+    // requests during the crowds — at 256 the late deadline-missed chains
+    // would evict every shed.
+    flight::reset();
+    flight::set_tail_policy(flight::TailPolicy {
+        slowest_k: 8,
+        retain_cap: 4096,
+    });
+    flight::set_recording(true);
+
     let mut client = PipelinedClient::connect(server.local_addr()).expect("connect");
     let deadline_micros = (latency * 1e6) as u64;
     let mut id = 0u64;
     for &n in &arrivals {
         for _ in 0..n {
             client
-                .send(id, deadline_micros, &Tensor::full([INPUT_DIM], ((id % 31) as f32) * 0.06 - 0.9))
+                .send_traced(
+                    id,
+                    deadline_micros,
+                    &Tensor::full([INPUT_DIM], ((id % 31) as f32) * 0.06 - 0.9),
+                    0x5E1F_0000_0000_0000 + id,
+                )
                 .expect("send");
             id += 1;
         }
@@ -324,6 +345,13 @@ fn loopback_serving_run() {
             rep.shed
         );
     }
+    if let Ok(json) = client.trace_dump(Duration::from_secs(10)) {
+        if std::fs::create_dir_all("results/logs").is_ok()
+            && std::fs::write("results/logs/trace_serving.json", &json).is_ok()
+        {
+            println!("  flight dump: results/logs/trace_serving.json ({} bytes)", json.len());
+        }
+    }
     let delivered = client
         .drain_server(Duration::from_secs(30))
         .expect("drain ack");
@@ -334,4 +362,6 @@ fn loopback_serving_run() {
     );
     drop(client);
     server.shutdown();
+    flight::set_recording(false);
+    flight::set_tail_policy(flight::TailPolicy::default());
 }

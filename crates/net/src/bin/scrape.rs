@@ -3,8 +3,13 @@
 //! ```text
 //! scrape 127.0.0.1:7878            # Prometheus text exposition
 //! scrape 127.0.0.1:7878 health     # replica health snapshot
+//! scrape 127.0.0.1:7878 trace     # flight-recorder dump (Chrome trace JSON)
 //! scrape 127.0.0.1:7878 drain      # graceful drain, prints delivered count
 //! ```
+//!
+//! `trace` prints the Chrome trace-event JSON to stdout; redirect it to a
+//! file and load it in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
 
 use ms_net::Client;
 use std::process::ExitCode;
@@ -24,19 +29,23 @@ fn main() -> ExitCode {
     let result = match what.as_str() {
         "metrics" => client.metrics().map(|text| print!("{text}")),
         "health" => client.health().map(|h| {
+            println!("build: {}", h.build);
+            println!("uptime_seconds: {:.1}", h.uptime_seconds);
             println!("draining: {}", h.draining);
             for (i, r) in h.replicas.iter().enumerate() {
                 println!(
-                    "replica {i}: draining={} queue_depth={:.0} p99_service_s={:.6} served={} shed={}",
-                    r.draining, r.queue_depth, r.p99_service_s, r.served, r.shed
+                    "replica {i}: draining={} queue_depth={:.0} rate={:.2} \
+                     p99_service_s={:.6} served={} shed={}",
+                    r.draining, r.queue_depth, r.rate, r.p99_service_s, r.served, r.shed
                 );
             }
         }),
+        "trace" => client.trace_dump().map(|json| println!("{json}")),
         "drain" => client.drain().map(|(flushed, delivered)| {
             println!("drained: delivered={delivered} flushed_here={}", flushed.len());
         }),
         other => {
-            eprintln!("scrape: unknown request {other:?} (want metrics | health | drain)");
+            eprintln!("scrape: unknown request {other:?} (want metrics | health | trace | drain)");
             return ExitCode::FAILURE;
         }
     };

@@ -7,7 +7,8 @@
 //! accumulates a whole `T/2` window of requests instead of one.
 
 use crate::protocol::{
-    read_frame, write_frame, Frame, HealthReply, InferRequest, InferResponse, NetError, WireError,
+    read_frame, read_frame_traced, write_frame, write_frame_traced, Frame, HealthReply,
+    InferRequest, InferResponse, NetError, WireError,
 };
 use ms_tensor::Tensor;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -61,10 +62,33 @@ impl Client {
         deadline_micros: u64,
         input: &Tensor,
     ) -> Result<InferResponse, NetError> {
-        self.send(&request_frame(correlation_id, deadline_micros, input))?;
+        self.infer_traced(correlation_id, deadline_micros, input, 0)
+            .map(|(r, _)| r)
+    }
+
+    /// [`Client::infer`] with an explicit flight-recorder trace context.
+    /// Returns the response together with the trace id its frame carried
+    /// back (the server echoes the request's id, minting one if the
+    /// recorder is on and `trace_id` was 0).
+    pub fn infer_traced(
+        &mut self,
+        correlation_id: u64,
+        deadline_micros: u64,
+        input: &Tensor,
+        trace_id: u64,
+    ) -> Result<(InferResponse, u64), NetError> {
+        write_frame_traced(
+            &mut self.writer,
+            &request_frame(correlation_id, deadline_micros, input),
+            trace_id,
+        )?;
+        self.writer.flush().map_err(NetError::Io)?;
         loop {
-            match self.recv()? {
-                Frame::InferResponse(r) if r.correlation_id == correlation_id => return Ok(r),
+            let (frame, trace, _) = read_frame_traced(&mut self.reader)?;
+            match frame {
+                Frame::InferResponse(r) if r.correlation_id == correlation_id => {
+                    return Ok((r, trace))
+                }
                 // Stale response from an earlier (abandoned) exchange.
                 Frame::InferResponse(_) => continue,
                 _ => return Err(NetError::Wire(WireError::Malformed("unexpected reply frame"))),
@@ -96,6 +120,19 @@ impl Client {
         }
     }
 
+    /// Fetches the server's flight-recorder dump as Chrome trace-event
+    /// JSON (load it in `chrome://tracing` or Perfetto).
+    pub fn trace_dump(&mut self) -> Result<String, NetError> {
+        self.send(&Frame::TraceDumpRequest)?;
+        loop {
+            match self.recv()? {
+                Frame::TraceDumpReply(json) => return Ok(json),
+                Frame::InferResponse(_) => continue,
+                _ => return Err(NetError::Wire(WireError::Malformed("unexpected reply frame"))),
+            }
+        }
+    }
+
     /// Initiates a graceful drain and blocks for the `DrainAck`. Responses
     /// to this connection's still-in-flight requests arrive first (the
     /// server orders them before the ack); they are returned alongside the
@@ -117,6 +154,7 @@ impl Client {
 enum Control {
     Health(HealthReply),
     Metrics(String),
+    TraceDump(String),
     DrainAck(u64),
 }
 
@@ -126,7 +164,7 @@ enum Control {
 pub struct PipelinedClient {
     writer: BufWriter<TcpStream>,
     stream: TcpStream,
-    responses: Receiver<InferResponse>,
+    responses: Receiver<(InferResponse, u64)>,
     control: Receiver<Control>,
     reader: Option<JoinHandle<()>>,
 }
@@ -145,19 +183,22 @@ impl PipelinedClient {
             .spawn(move || {
                 let mut r = BufReader::new(read_half);
                 loop {
-                    match read_frame(&mut r) {
-                        Ok((Frame::InferResponse(resp), _)) => {
-                            if resp_tx.send(resp).is_err() {
+                    match read_frame_traced(&mut r) {
+                        Ok((Frame::InferResponse(resp), trace, _)) => {
+                            if resp_tx.send((resp, trace)).is_err() {
                                 break;
                             }
                         }
-                        Ok((Frame::HealthReply(h), _)) => {
+                        Ok((Frame::HealthReply(h), _, _)) => {
                             let _ = ctrl_tx.send(Control::Health(h));
                         }
-                        Ok((Frame::MetricsReply(m), _)) => {
+                        Ok((Frame::MetricsReply(m), _, _)) => {
                             let _ = ctrl_tx.send(Control::Metrics(m));
                         }
-                        Ok((Frame::DrainAck { delivered }, _)) => {
+                        Ok((Frame::TraceDumpReply(j), _, _)) => {
+                            let _ = ctrl_tx.send(Control::TraceDump(j));
+                        }
+                        Ok((Frame::DrainAck { delivered }, _, _)) => {
                             let _ = ctrl_tx.send(Control::DrainAck(delivered));
                         }
                         Ok(_) => break,  // client-to-server frame: protocol misuse
@@ -181,7 +222,23 @@ impl PipelinedClient {
         deadline_micros: u64,
         input: &Tensor,
     ) -> Result<(), NetError> {
-        write_frame(&mut self.writer, &request_frame(correlation_id, deadline_micros, input))?;
+        self.send_traced(correlation_id, deadline_micros, input, 0)
+    }
+
+    /// [`PipelinedClient::send`] with an explicit flight-recorder trace
+    /// context (`trace_id != 0` emits a v2 frame carrying the id).
+    pub fn send_traced(
+        &mut self,
+        correlation_id: u64,
+        deadline_micros: u64,
+        input: &Tensor,
+        trace_id: u64,
+    ) -> Result<(), NetError> {
+        write_frame_traced(
+            &mut self.writer,
+            &request_frame(correlation_id, deadline_micros, input),
+            trace_id,
+        )?;
         Ok(())
     }
 
@@ -193,6 +250,12 @@ impl PipelinedClient {
     /// Next available response, in arrival order; `None` on timeout or
     /// when the connection died with nothing buffered.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<InferResponse> {
+        self.recv_traced_timeout(timeout).map(|(r, _)| r)
+    }
+
+    /// [`PipelinedClient::recv_timeout`] that also yields the trace id the
+    /// response frame carried (0 = untraced).
+    pub fn recv_traced_timeout(&self, timeout: Duration) -> Option<(InferResponse, u64)> {
         match self.responses.recv_timeout(timeout) {
             Ok(r) => Some(r),
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
@@ -221,6 +284,20 @@ impl PipelinedClient {
             _ => Err(NetError::Io(io::Error::new(
                 io::ErrorKind::TimedOut,
                 "no metrics reply",
+            ))),
+        }
+    }
+
+    /// Requests the server's flight-recorder dump (Chrome trace-event
+    /// JSON) and waits for it.
+    pub fn trace_dump(&mut self, timeout: Duration) -> Result<String, NetError> {
+        write_frame(&mut self.writer, &Frame::TraceDumpRequest)?;
+        self.flush().map_err(NetError::Io)?;
+        match self.control.recv_timeout(timeout) {
+            Ok(Control::TraceDump(j)) => Ok(j),
+            _ => Err(NetError::Io(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "no trace dump reply",
             ))),
         }
     }

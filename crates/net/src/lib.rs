@@ -11,7 +11,9 @@
 //!
 //! - [`protocol`] — versioned frames ([`Frame`]) with an FNV-1a checksum
 //!   over header and payload; decoding rejects malformed bytes with a
-//!   [`WireError`], never a panic.
+//!   [`WireError`], never a panic. Since v2 a frame can carry an 8-byte
+//!   flight-recorder trace id; untraced frames still encode byte-for-byte
+//!   as v1, and v1 decoders' frames still decode.
 //! - [`router`] — [`Router`] places each request on the healthiest of N
 //!   [`Engine`](ms_serving::engine::Engine) replicas
 //!   (`score = queue_depth + W·p99/window`), failing over on
@@ -49,5 +51,6 @@ pub use protocol::{
     Frame, HealthReply, InferOutcome, InferRequest, InferResponse, NetError, ReplicaHealth,
     WireError, WireShedReason,
 };
+pub use protocol::{read_frame_traced, write_frame_traced};
 pub use router::{RouteError, Router, RouterConfig};
 pub use server::{Server, ServerConfig};

@@ -9,17 +9,31 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic     0x4D534E46 ("MSNF")
-//!      4     2  version   currently 1
+//!      4     2  version   1 (legacy) or 2 (trace-context)
 //!      6     2  type      frame type tag (see the `ty` constants)
-//!      8     4  length    payload bytes (≤ 64 MiB)
-//!     12     4  checksum  FNV-1a/32 over bytes [4..12) ++ payload
-//!     16     …  payload
+//!      8     4  length    payload bytes (≤ 64 MiB, excludes the extension)
+//!     12     4  checksum  FNV-1a/32 over bytes [4..12) ++ ext ++ payload
+//!     16     8  trace_id  (version 2 only) flight-recorder trace context
+//!   16/24     …  payload
 //! ```
 //!
+//! Version 2 (this PR) extends the header with an 8-byte `trace_id` so a
+//! request's flight-recorder identity survives the network hop; `0` means
+//! "untraced". Encoders emit version 1 — byte-identical to the pre-trace
+//! protocol — whenever a frame carries no trace id and no v2-only payload,
+//! so old peers keep interoperating; decoders accept both versions
+//! (version-1 frames decode with `trace_id == 0` and defaulted v2 payload
+//! fields). The extension bytes sit between header and payload and are
+//! covered by the checksum, which conveniently keeps the checksum formula
+//! identical across versions: FNV over bytes `[4..12)` then everything
+//! after the fixed header.
+//!
 //! The checksum covers the version/type/length fields as well as the
-//! payload, so *any* single corrupted byte — header or body — is rejected:
-//! a flipped type tag cannot reinterpret a valid payload as a different
-//! frame kind. Decoding is total: malformed input of every sort (truncated,
+//! payload, so *any* single corrupted byte — header, extension or body —
+//! is rejected: a flipped type tag cannot reinterpret a valid payload as a
+//! different frame kind, and a flipped version bit cannot re-frame the
+//! extension (1 and 2 differ in two bits, and the checksum input shifts
+//! anyway). Decoding is total: malformed input of every sort (truncated,
 //! oversized, bit-flipped, structurally invalid) returns a [`WireError`],
 //! never panics, and never allocates more than the declared-and-validated
 //! payload length.
@@ -29,10 +43,15 @@ use std::io::{self, Read, Write};
 
 /// Frame magic: `"MSNF"` as a little-endian u32.
 pub const MAGIC: u32 = 0x464E_534D;
-/// Current protocol version.
-pub const VERSION: u16 = 1;
-/// Header bytes before the payload.
+/// Current protocol version (adds the `trace_id` header extension).
+pub const VERSION: u16 = 2;
+/// The pre-trace protocol version; still decoded, still emitted for
+/// untraced frames with no v2-only payload.
+pub const LEGACY_VERSION: u16 = 1;
+/// Fixed header bytes (both versions).
 pub const HEADER_LEN: usize = 16;
+/// Header-extension bytes carrying the trace id in version 2 frames.
+pub const TRACE_EXT_LEN: usize = 8;
 /// Hard cap on the payload length a peer may declare.
 pub const MAX_PAYLOAD: u32 = 64 << 20;
 /// Hard cap on tensor rank in a frame.
@@ -51,6 +70,8 @@ pub mod ty {
     pub const METRICS_REPLY: u16 = 6;
     pub const DRAIN: u16 = 7;
     pub const DRAIN_ACK: u16 = 8;
+    pub const TRACE_DUMP_REQUEST: u16 = 9;
+    pub const TRACE_DUMP_REPLY: u16 = 10;
 }
 
 /// Why a frame failed to decode. Every variant is a rejection, not a crash:
@@ -207,6 +228,10 @@ pub struct ReplicaHealth {
     pub served: u64,
     /// Requests shed since start.
     pub shed: u64,
+    /// Slice rate the controller chose for the most recently sealed batch
+    /// (0.0 before the first seal). Version ≥ 2; decodes as 0.0 from
+    /// legacy peers.
+    pub rate: f32,
 }
 
 /// Reply to a [`Frame::HealthRequest`].
@@ -214,6 +239,12 @@ pub struct ReplicaHealth {
 pub struct HealthReply {
     /// Whether the whole server is draining.
     pub draining: bool,
+    /// Seconds since the server started. Version ≥ 2; decodes as 0.0 from
+    /// legacy peers.
+    pub uptime_seconds: f64,
+    /// Human-readable build identifier (crate version + compiled
+    /// features). Version ≥ 2; decodes as empty from legacy peers.
+    pub build: String,
     /// Per-replica health, in router order.
     pub replicas: Vec<ReplicaHealth>,
 }
@@ -234,6 +265,11 @@ pub enum Frame {
     /// Drain completed; `delivered` responses were flushed over the
     /// server's lifetime.
     DrainAck { delivered: u64 },
+    /// Ask the server to harvest its flight recorder and dump the retained
+    /// trace chains.
+    TraceDumpRequest,
+    /// Chrome `trace_event` JSON of the server's retained trace chains.
+    TraceDumpReply(String),
 }
 
 // ---------------------------------------------------------------------------
@@ -364,6 +400,22 @@ impl Frame {
             Frame::MetricsReply(_) => ty::METRICS_REPLY,
             Frame::Drain => ty::DRAIN,
             Frame::DrainAck { .. } => ty::DRAIN_ACK,
+            Frame::TraceDumpRequest => ty::TRACE_DUMP_REQUEST,
+            Frame::TraceDumpReply(_) => ty::TRACE_DUMP_REPLY,
+        }
+    }
+
+    /// Which header version this frame goes on the wire as: legacy
+    /// (byte-identical to the pre-trace protocol) whenever possible,
+    /// version 2 when a trace id must travel or the payload has v2-only
+    /// fields.
+    fn wire_version(&self, trace_id: u64) -> u16 {
+        if trace_id != 0 {
+            return VERSION;
+        }
+        match self {
+            Frame::HealthReply(_) | Frame::TraceDumpRequest | Frame::TraceDumpReply(_) => VERSION,
+            _ => LEGACY_VERSION,
         }
     }
 
@@ -385,9 +437,15 @@ impl Frame {
                     InferOutcome::Shed(reason) => out.push(reason.code()),
                 }
             }
-            Frame::HealthRequest | Frame::MetricsRequest | Frame::Drain => {}
+            Frame::HealthRequest | Frame::MetricsRequest | Frame::Drain
+            | Frame::TraceDumpRequest => {}
             Frame::HealthReply(h) => {
+                // Always the v2 layout: wire_version() pins HealthReply to
+                // version 2 precisely because of these fields.
                 out.push(h.draining as u8);
+                out.extend_from_slice(&h.uptime_seconds.to_bits().to_le_bytes());
+                out.extend_from_slice(&(h.build.len() as u32).to_le_bytes());
+                out.extend_from_slice(h.build.as_bytes());
                 out.extend_from_slice(&(h.replicas.len() as u32).to_le_bytes());
                 for e in &h.replicas {
                     out.push(e.draining as u8);
@@ -395,43 +453,76 @@ impl Frame {
                     out.extend_from_slice(&e.p99_service_s.to_bits().to_le_bytes());
                     out.extend_from_slice(&e.served.to_le_bytes());
                     out.extend_from_slice(&e.shed.to_le_bytes());
+                    out.extend_from_slice(&e.rate.to_bits().to_le_bytes());
                 }
             }
-            Frame::MetricsReply(text) => out.extend_from_slice(text.as_bytes()),
+            Frame::MetricsReply(text) | Frame::TraceDumpReply(text) => {
+                out.extend_from_slice(text.as_bytes())
+            }
             Frame::DrainAck { delivered } => out.extend_from_slice(&delivered.to_le_bytes()),
         }
     }
 
-    /// Appends the complete encoded frame (header + payload) to `out`.
-    /// Panics only on frames this process built wrong (payload over the
-    /// cap), never on remote input.
+    /// Appends the complete encoded frame (header + payload) to `out`,
+    /// untraced (`trace_id == 0`). Equivalent to
+    /// `encode_traced(0, out)` — frames without v2-only payload encode
+    /// byte-identically to protocol version 1.
     pub fn encode(&self, out: &mut Vec<u8>) {
+        self.encode_traced(0, out);
+    }
+
+    /// Appends the complete encoded frame carrying `trace_id` in the
+    /// version-2 header extension (`0` = untraced; emits a legacy header
+    /// when the payload allows). Panics only on frames this process built
+    /// wrong (payload over the cap), never on remote input.
+    pub fn encode_traced(&self, trace_id: u64, out: &mut Vec<u8>) {
+        let version = self.wire_version(trace_id);
+        let ext = if version >= 2 { TRACE_EXT_LEN } else { 0 };
         let start = out.len();
         out.extend_from_slice(&MAGIC.to_le_bytes());
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&self.type_tag().to_le_bytes());
         out.extend_from_slice(&[0u8; 8]); // length + checksum placeholders
+        if ext > 0 {
+            out.extend_from_slice(&trace_id.to_le_bytes());
+        }
         self.encode_payload(out);
-        let payload_len = out.len() - start - HEADER_LEN;
+        let payload_len = out.len() - start - HEADER_LEN - ext;
         assert!(payload_len as u64 <= MAX_PAYLOAD as u64, "frame too large");
         out[start + 8..start + 12].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        // The checksum input — bytes [4..12) then everything after the
+        // fixed header — covers the trace extension in v2 for free.
         let sum = fnv1a(FNV_OFFSET, &out[start + 4..start + 12]);
         let sum = fnv1a(sum, &out[start + HEADER_LEN..]);
         out[start + 12..start + 16].copy_from_slice(&sum.to_le_bytes());
     }
 
-    /// Encodes into a fresh buffer.
+    /// Encodes into a fresh buffer, untraced.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         self.encode(&mut out);
         out
     }
 
-    /// Decodes one complete frame from `buf`. The buffer must hold exactly
-    /// the frame — a short buffer is [`WireError::Truncated`], a long one
-    /// [`WireError::TrailingBytes`]. Total over arbitrary input: returns an
-    /// error for anything invalid, never panics.
+    /// Encodes into a fresh buffer with a trace id.
+    pub fn to_bytes_traced(&self, trace_id: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_traced(trace_id, &mut out);
+        out
+    }
+
+    /// Decodes one complete frame from `buf`, discarding any trace id.
+    /// The buffer must hold exactly the frame — a short buffer is
+    /// [`WireError::Truncated`], a long one [`WireError::TrailingBytes`].
+    /// Total over arbitrary input: returns an error for anything invalid,
+    /// never panics.
     pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+        Self::decode_traced(buf).map(|(frame, _)| frame)
+    }
+
+    /// Decodes one complete frame plus its trace id (0 for untraced and
+    /// legacy version-1 frames). Accepts both protocol versions.
+    pub fn decode_traced(buf: &[u8]) -> Result<(Frame, u64), WireError> {
         if buf.len() < HEADER_LEN {
             return Err(WireError::Truncated);
         }
@@ -440,16 +531,17 @@ impl Frame {
             return Err(WireError::BadMagic);
         }
         let version = u16::from_le_bytes([buf[4], buf[5]]);
-        if version != VERSION {
+        if version != LEGACY_VERSION && version != VERSION {
             return Err(WireError::UnsupportedVersion(version));
         }
+        let ext = if version >= 2 { TRACE_EXT_LEN } else { 0 };
         let tag = u16::from_le_bytes([buf[6], buf[7]]);
         let length = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
         if length > MAX_PAYLOAD {
             return Err(WireError::Oversized(length));
         }
         let declared = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]);
-        let total = HEADER_LEN + length as usize;
+        let total = HEADER_LEN + ext + length as usize;
         if buf.len() < total {
             return Err(WireError::Truncated);
         }
@@ -461,7 +553,15 @@ impl Frame {
         if sum != declared {
             return Err(WireError::ChecksumMismatch);
         }
-        let mut r = Reader::new(&buf[HEADER_LEN..]);
+        let trace_id = if ext > 0 {
+            u64::from_le_bytes([
+                buf[16], buf[17], buf[18], buf[19], buf[20], buf[21], buf[22], buf[23],
+            ])
+        } else {
+            0
+        };
+        let payload = &buf[HEADER_LEN + ext..];
+        let mut r = Reader::new(payload);
         let frame = match tag {
             ty::INFER_REQUEST => {
                 let correlation_id = r.u64()?;
@@ -493,6 +593,20 @@ impl Frame {
             ty::HEALTH_REQUEST => Frame::HealthRequest,
             ty::HEALTH_REPLY => {
                 let draining = r.u8()? != 0;
+                // The uptime/build preamble and per-replica rate exist
+                // only in version ≥ 2; legacy frames decode with defaults.
+                let (uptime_seconds, build) = if version >= 2 {
+                    let uptime = r.f64()?;
+                    let blen = r.u32()? as usize;
+                    if blen > 4096 {
+                        return Err(WireError::Malformed("build string out of range"));
+                    }
+                    let text = std::str::from_utf8(r.bytes(blen)?)
+                        .map_err(|_| WireError::Malformed("build string not utf-8"))?;
+                    (uptime, text.to_string())
+                } else {
+                    (0.0, String::new())
+                };
                 let n = r.u32()? as usize;
                 if n > 4096 {
                     return Err(WireError::Malformed("replica count out of range"));
@@ -505,23 +619,36 @@ impl Frame {
                         p99_service_s: r.f64()?,
                         served: r.u64()?,
                         shed: r.u64()?,
+                        rate: if version >= 2 { r.f32()? } else { 0.0 },
                     });
                 }
-                Frame::HealthReply(HealthReply { draining, replicas })
+                Frame::HealthReply(HealthReply {
+                    draining,
+                    uptime_seconds,
+                    build,
+                    replicas,
+                })
             }
             ty::METRICS_REQUEST => Frame::MetricsRequest,
             ty::METRICS_REPLY => {
-                let bytes = r.bytes(buf.len() - HEADER_LEN)?;
+                let bytes = r.bytes(payload.len())?;
                 let text = std::str::from_utf8(bytes)
                     .map_err(|_| WireError::Malformed("metrics text not utf-8"))?;
                 Frame::MetricsReply(text.to_string())
             }
             ty::DRAIN => Frame::Drain,
             ty::DRAIN_ACK => Frame::DrainAck { delivered: r.u64()? },
+            ty::TRACE_DUMP_REQUEST => Frame::TraceDumpRequest,
+            ty::TRACE_DUMP_REPLY => {
+                let bytes = r.bytes(payload.len())?;
+                let text = std::str::from_utf8(bytes)
+                    .map_err(|_| WireError::Malformed("trace dump not utf-8"))?;
+                Frame::TraceDumpReply(text.to_string())
+            }
             t => return Err(WireError::UnknownType(t)),
         };
         r.done()?;
-        Ok(frame)
+        Ok((frame, trace_id))
     }
 }
 
@@ -529,17 +656,30 @@ impl Frame {
 // Stream IO
 // ---------------------------------------------------------------------------
 
-/// Writes one frame; returns the bytes put on the wire.
+/// Writes one untraced frame; returns the bytes put on the wire.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<usize> {
-    let bytes = frame.to_bytes();
+    write_frame_traced(w, frame, 0)
+}
+
+/// Writes one frame carrying `trace_id`; returns the bytes put on the
+/// wire.
+pub fn write_frame_traced(w: &mut impl Write, frame: &Frame, trace_id: u64) -> io::Result<usize> {
+    let bytes = frame.to_bytes_traced(trace_id);
     w.write_all(&bytes)?;
     Ok(bytes.len())
 }
 
-/// Reads one frame; returns it with the bytes consumed. Header fields are
-/// validated *before* the payload allocation, so a hostile length cannot
-/// make the reader allocate more than [`MAX_PAYLOAD`].
+/// Reads one frame, discarding its trace id; returns it with the bytes
+/// consumed.
 pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), NetError> {
+    read_frame_traced(r).map(|(frame, _, n)| (frame, n))
+}
+
+/// Reads one frame plus its trace id (0 for untraced/legacy frames);
+/// returns them with the bytes consumed. Header fields are validated
+/// *before* the payload allocation, so a hostile length cannot make the
+/// reader allocate more than [`MAX_PAYLOAD`].
+pub fn read_frame_traced(r: &mut impl Read) -> Result<(Frame, u64, usize), NetError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
@@ -547,19 +687,20 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), NetError> {
         return Err(WireError::BadMagic.into());
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != VERSION {
+    if version != LEGACY_VERSION && version != VERSION {
         return Err(WireError::UnsupportedVersion(version).into());
     }
+    let ext = if version >= 2 { TRACE_EXT_LEN } else { 0 };
     let length = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
     if length > MAX_PAYLOAD {
         return Err(WireError::Oversized(length).into());
     }
-    let total = HEADER_LEN + length as usize;
+    let total = HEADER_LEN + ext + length as usize;
     let mut buf = vec![0u8; total];
     buf[..HEADER_LEN].copy_from_slice(&header);
     r.read_exact(&mut buf[HEADER_LEN..])?;
-    let frame = Frame::decode(&buf)?;
-    Ok((frame, total))
+    let (frame, trace_id) = Frame::decode_traced(&buf)?;
+    Ok((frame, trace_id, total))
 }
 
 #[cfg(test)]
@@ -590,18 +731,23 @@ mod tests {
             Frame::HealthRequest,
             Frame::HealthReply(HealthReply {
                 draining: false,
+                uptime_seconds: 12.75,
+                build: "ms-net 0.1.0 (release)".to_string(),
                 replicas: vec![ReplicaHealth {
                     draining: true,
                     queue_depth: 12.0,
                     p99_service_s: 0.0031,
                     served: 1000,
                     shed: 3,
+                    rate: 0.75,
                 }],
             }),
             Frame::MetricsRequest,
             Frame::MetricsReply("# TYPE x counter\nx 1\n".to_string()),
             Frame::Drain,
             Frame::DrainAck { delivered: 99 },
+            Frame::TraceDumpRequest,
+            Frame::TraceDumpReply("{\"traceEvents\":[]}".to_string()),
         ]
     }
 
@@ -610,6 +756,73 @@ mod tests {
         for f in sample_frames() {
             let bytes = f.to_bytes();
             assert_eq!(Frame::decode(&bytes).unwrap(), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn trace_id_round_trips_and_zero_stays_legacy() {
+        for f in sample_frames() {
+            for trace in [0u64, 1, 0xDEAD_BEEF_CAFE_F00D, u64::MAX] {
+                let bytes = f.to_bytes_traced(trace);
+                let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+                if trace == 0
+                    && !matches!(
+                        f,
+                        Frame::HealthReply(_) | Frame::TraceDumpRequest | Frame::TraceDumpReply(_)
+                    )
+                {
+                    // Untraced frames stay on the legacy wire format,
+                    // byte-identical to plain encode().
+                    assert_eq!(version, LEGACY_VERSION, "{f:?}");
+                    assert_eq!(bytes, f.to_bytes(), "{f:?}");
+                } else {
+                    assert_eq!(version, VERSION, "{f:?}");
+                }
+                let (got, got_trace) = Frame::decode_traced(&bytes).unwrap();
+                assert_eq!(got, f, "{f:?}");
+                assert_eq!(got_trace, trace, "{f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_v1_health_reply_decodes_with_defaults() {
+        // Hand-build a version-1 HealthReply (the pre-trace layout: no
+        // uptime/build preamble, no per-replica rate) and check it decodes
+        // with the new fields defaulted.
+        let mut payload = Vec::new();
+        payload.push(1u8); // draining
+        payload.extend_from_slice(&1u32.to_le_bytes()); // one replica
+        payload.push(0u8);
+        payload.extend_from_slice(&3.0f64.to_bits().to_le_bytes()); // queue_depth
+        payload.extend_from_slice(&0.002f64.to_bits().to_le_bytes()); // p99
+        payload.extend_from_slice(&500u64.to_le_bytes()); // served
+        payload.extend_from_slice(&7u64.to_le_bytes()); // shed
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&LEGACY_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&ty::HEALTH_REPLY.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 4]);
+        bytes.extend_from_slice(&payload);
+        let sum = fnv1a(FNV_OFFSET, &bytes[4..12]);
+        let sum = fnv1a(sum, &bytes[HEADER_LEN..]);
+        bytes[12..16].copy_from_slice(&sum.to_le_bytes());
+
+        let (frame, trace) = Frame::decode_traced(&bytes).unwrap();
+        assert_eq!(trace, 0);
+        match frame {
+            Frame::HealthReply(h) => {
+                assert!(h.draining);
+                assert_eq!(h.uptime_seconds, 0.0);
+                assert_eq!(h.build, "");
+                assert_eq!(h.replicas.len(), 1);
+                let r = &h.replicas[0];
+                assert_eq!((r.queue_depth, r.p99_service_s), (3.0, 0.002));
+                assert_eq!((r.served, r.shed), (500, 7));
+                assert_eq!(r.rate, 0.0);
+            }
+            other => panic!("wrong frame {other:?}"),
         }
     }
 
@@ -641,15 +854,18 @@ mod tests {
                 data: vec![1.5, -0.5],
             },
         });
-        let bytes = f.to_bytes();
-        for i in 0..bytes.len() {
-            for bit in 0..8 {
-                let mut corrupt = bytes.clone();
-                corrupt[i] ^= 1 << bit;
-                assert!(
-                    Frame::decode(&corrupt).is_err(),
-                    "flip byte {i} bit {bit} decoded"
-                );
+        // Both wire versions: the legacy encoding and a traced v2 frame
+        // (where the flipped bit may land in the trace extension).
+        for bytes in [f.to_bytes(), f.to_bytes_traced(0x1234_5678_9ABC_DEF0)] {
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut corrupt = bytes.clone();
+                    corrupt[i] ^= 1 << bit;
+                    assert!(
+                        Frame::decode(&corrupt).is_err(),
+                        "flip byte {i} bit {bit} decoded"
+                    );
+                }
             }
         }
     }

@@ -176,10 +176,17 @@ impl Router {
     /// over on backpressure, and returns `(replica index, engine id)` on
     /// success. The id is scoped to that replica's engine — collect the
     /// response from `self.engine(i)`.
+    ///
+    /// `trace_id` is the flight-recorder trace context (0 = untraced); it
+    /// rides into whichever replica finally admits the request. On
+    /// `Err(_)` no replica holds the trace — the *caller* owns stamping
+    /// the terminal `Shed` flight event, precisely because a refusal here
+    /// may have been preceded by failed attempts on other replicas.
     pub fn route(
         &self,
         input: Tensor,
         deadline: Option<f64>,
+        trace_id: u64,
     ) -> Result<(usize, u64), RouteError> {
         let mut order: Vec<(f64, usize)> = (0..self.replicas.len())
             .filter(|&i| !self.is_draining(i))
@@ -193,7 +200,10 @@ impl Router {
         let mut input = input;
         let mut last = ShedReason::Backpressure;
         for (attempt, &(_, i)) in order.iter().enumerate() {
-            match self.replicas[i].engine.submit_or_return(input, deadline) {
+            match self.replicas[i]
+                .engine
+                .submit_or_return(input, deadline, trace_id)
+            {
                 Ok(id) => {
                     if attempt > 0 {
                         self.failovers.inc();

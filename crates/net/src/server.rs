@@ -44,11 +44,12 @@
 //! in-flight requests are dropped.
 
 use crate::protocol::{
-    read_frame, write_frame, Frame, HealthReply, InferOutcome, InferRequest, InferResponse,
-    NetError, ReplicaHealth, WireShedReason,
+    read_frame_traced, write_frame_traced, Frame, HealthReply, InferOutcome, InferRequest,
+    InferResponse, NetError, ReplicaHealth, WireShedReason,
 };
 use crate::router::{RouteError, Router};
 use ms_serving::engine::{Engine, ShedReason};
+use ms_telemetry::flight;
 use ms_tensor::Tensor;
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
@@ -115,7 +116,9 @@ impl NetMetrics {
 }
 
 enum ConnMsg {
-    Frame(Frame),
+    /// An outbound frame plus the trace context it carries on the wire
+    /// (0 = untraced → the writer emits a legacy v1 frame when possible).
+    Frame(Frame, u64),
     Close,
 }
 
@@ -127,6 +130,8 @@ struct Pending {
     conn: u64,
     correlation_id: u64,
     t0: Instant,
+    /// Flight-recorder trace context (0 = untraced).
+    trace: u64,
 }
 
 /// What the engine reported for one placed request.
@@ -151,6 +156,7 @@ struct ReplicaTable {
 struct Shared {
     router: Router,
     cfg: ServerConfig,
+    started: Instant,
     draining: AtomicBool,
     stop: AtomicBool,
     /// Requests placed on an engine whose response has not yet been handed
@@ -164,7 +170,7 @@ struct Shared {
 }
 
 impl Shared {
-    fn send_to(&self, conn: u64, frame: Frame) {
+    fn send_to(&self, conn: u64, frame: Frame, trace: u64) {
         let tx = {
             let conns = self.conns.lock().expect("conns lock");
             conns.get(&conn).map(|h| h.tx.clone())
@@ -172,7 +178,7 @@ impl Shared {
         if let Some(tx) = tx {
             // A dead connection just drops its responses; in-flight
             // accounting is settled by the caller either way.
-            let _ = tx.send(ConnMsg::Frame(frame));
+            let _ = tx.send(ConnMsg::Frame(frame, trace));
         }
     }
 
@@ -187,13 +193,19 @@ impl Shared {
 
     /// Final leg shared by both rendezvous orders: builds the response
     /// frame, hands it to the connection's writer, settles accounting.
+    ///
+    /// Flight terminal: a served request gets its `Delivered` stamp here
+    /// (response handed to the writer); an admission-shed one was already
+    /// stamped `Shed` by the engine at seal time, so delivering the shed
+    /// *frame* adds nothing.
     fn deliver(&self, p: Pending, out: Outcome) {
+        let served = matches!(out, Outcome::Served { .. });
         let frame = match out {
             Outcome::Served { rate, dims, data } => {
                 self.metrics.responses_ok.inc();
                 self.metrics
                     .request_seconds
-                    .record(p.t0.elapsed().as_secs_f64());
+                    .record_traced(p.t0.elapsed().as_secs_f64(), p.trace);
                 Frame::InferResponse(InferResponse {
                     correlation_id: p.correlation_id,
                     rate_used: rate,
@@ -202,7 +214,10 @@ impl Shared {
             }
             Outcome::Shed => self.shed_frame(p.correlation_id, WireShedReason::Admission),
         };
-        self.send_to(p.conn, frame);
+        self.send_to(p.conn, frame, p.trace);
+        if served {
+            flight::delivered(p.trace);
+        }
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
         self.delivered.fetch_add(1, Ordering::AcqRel);
     }
@@ -236,11 +251,14 @@ impl Shared {
                     p99_service_s: c.p99_service,
                     served: c.served,
                     shed: c.shed,
+                    rate: e.last_rate(),
                 }
             })
             .collect();
         Frame::HealthReply(HealthReply {
             draining: self.draining.load(Ordering::Acquire),
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+            build: build_string(),
             replicas,
         })
     }
@@ -294,6 +312,7 @@ impl Server {
         let shared = Arc::new(Shared {
             router,
             cfg,
+            started: Instant::now(),
             draining: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             in_flight: AtomicU64::new(0),
@@ -397,6 +416,17 @@ impl Drop for Server {
 
 static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Build identity string for the `Health` frame: crate version plus the
+/// compile-time knobs an operator needs to interpret the numbers.
+fn build_string() -> String {
+    format!(
+        "ms-net {} ({}{})",
+        env!("CARGO_PKG_VERSION"),
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        if ms_telemetry::spans_compiled() { ", spans" } else { "" },
+    )
+}
+
 fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
     while !shared.stop.load(Ordering::Acquire) {
         match listener.accept() {
@@ -460,11 +490,19 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
 fn reader_loop(shared: Arc<Shared>, conn: u64, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
     loop {
-        match read_frame(&mut reader) {
-            Ok((frame, bytes)) => {
+        match read_frame_traced(&mut reader) {
+            Ok((frame, mut trace, bytes)) => {
                 shared.metrics.frames_rx.inc();
                 shared.metrics.bytes_rx.add(bytes as u64);
-                if !handle_frame(&shared, conn, frame) {
+                // Trace context starts here: honor a client-supplied id, or
+                // mint one for untraced inference requests while recording.
+                if let Frame::InferRequest(ref req) = frame {
+                    if trace == 0 && flight::recording() {
+                        trace = flight::next_trace_id();
+                    }
+                    flight::wire_decoded(trace, req.deadline_micros);
+                }
+                if !handle_frame(&shared, conn, frame, trace) {
                     break;
                 }
             }
@@ -485,27 +523,36 @@ fn reader_loop(shared: Arc<Shared>, conn: u64, stream: TcpStream) {
 
 /// Handles one inbound frame; returns `false` when the connection should
 /// close (protocol misuse, or a `Drain` that completed).
-fn handle_frame(shared: &Arc<Shared>, conn: u64, frame: Frame) -> bool {
+fn handle_frame(shared: &Arc<Shared>, conn: u64, frame: Frame, trace: u64) -> bool {
     match frame {
         Frame::InferRequest(req) => {
             shared.metrics.requests.inc();
-            if let Some(f) = place_request(shared, conn, req) {
-                shared.send_to(conn, f);
+            if let Some(f) = place_request(shared, conn, req, trace) {
+                shared.send_to(conn, f, trace);
             }
             true
         }
         Frame::HealthRequest => {
-            shared.send_to(conn, shared.health_reply());
+            shared.send_to(conn, shared.health_reply(), 0);
             true
         }
         Frame::MetricsRequest => {
+            // Fold finished chains into the stage histograms first, so the
+            // scrape sees flight-derived series that are current.
+            flight::harvest();
             let text = ms_telemetry::global().render_prometheus();
-            shared.send_to(conn, Frame::MetricsReply(text));
+            shared.send_to(conn, Frame::MetricsReply(text), 0);
+            true
+        }
+        Frame::TraceDumpRequest => {
+            flight::harvest();
+            let json = flight::chrome_trace_json(&flight::retained());
+            shared.send_to(conn, Frame::TraceDumpReply(json), 0);
             true
         }
         Frame::Drain => {
             let delivered = shared.drain_and_stop();
-            shared.send_to(conn, Frame::DrainAck { delivered });
+            shared.send_to(conn, Frame::DrainAck { delivered }, 0);
             shared.close_all_conns();
             false
         }
@@ -514,6 +561,7 @@ fn handle_frame(shared: &Arc<Shared>, conn: u64, frame: Frame) -> bool {
         Frame::InferResponse(_)
         | Frame::HealthReply(_)
         | Frame::MetricsReply(_)
+        | Frame::TraceDumpReply(_)
         | Frame::DrainAck { .. } => {
             shared.metrics.decode_errors.inc();
             false
@@ -523,15 +571,23 @@ fn handle_frame(shared: &Arc<Shared>, conn: u64, frame: Frame) -> bool {
 
 /// Routes one request; returns the immediate reply frame when the request
 /// was refused synchronously (otherwise the dispatcher answers later).
-fn place_request(shared: &Arc<Shared>, conn: u64, req: InferRequest) -> Option<Frame> {
+///
+/// Synchronous refusals stamp the terminal `Shed` flight event *here* —
+/// the router may have tried several replicas, so only this final arbiter
+/// knows the request is truly refused.
+fn place_request(shared: &Arc<Shared>, conn: u64, req: InferRequest, trace: u64) -> Option<Frame> {
     if shared.draining.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
+        flight::shed(trace, flight::ShedCause::Draining);
         return Some(shared.shed_frame(req.correlation_id, WireShedReason::Draining));
     }
     let dims: Vec<usize> = req.dims.iter().map(|&d| d as usize).collect();
     let input = match Tensor::from_vec(dims, req.data) {
         Ok(t) => t,
         // Unreachable for frames the decoder accepted; refuse defensively.
-        Err(_) => return Some(shared.shed_frame(req.correlation_id, WireShedReason::Backpressure)),
+        Err(_) => {
+            flight::shed(trace, flight::ShedCause::Backpressure);
+            return Some(shared.shed_frame(req.correlation_id, WireShedReason::Backpressure));
+        }
     };
     let deadline = if req.deadline_micros > 0 {
         Some(req.deadline_micros as f64 * 1e-6)
@@ -541,7 +597,7 @@ fn place_request(shared: &Arc<Shared>, conn: u64, req: InferRequest) -> Option<F
     // Counted before placement so the drain gate can never observe zero
     // while a placed request still lacks its rendezvous entry.
     shared.in_flight.fetch_add(1, Ordering::AcqRel);
-    match shared.router.route(input, deadline) {
+    match shared.router.route(input, deadline, trace) {
         Ok((replica, id)) => {
             // Reader side of the rendezvous: claim a parked outcome if the
             // dispatcher got here first, otherwise file the pending entry.
@@ -549,6 +605,7 @@ fn place_request(shared: &Arc<Shared>, conn: u64, req: InferRequest) -> Option<F
                 conn,
                 correlation_id: req.correlation_id,
                 t0: Instant::now(),
+                trace,
             };
             let claimed = {
                 let mut t = shared.tables[replica].lock().expect("table lock");
@@ -567,11 +624,16 @@ fn place_request(shared: &Arc<Shared>, conn: u64, req: InferRequest) -> Option<F
         }
         Err(e) => {
             shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-            let reason = match e {
-                RouteError::Draining => WireShedReason::Draining,
-                RouteError::Shed(ShedReason::Backpressure) => WireShedReason::Backpressure,
-                RouteError::Shed(ShedReason::Stopping) => WireShedReason::Stopping,
+            let (reason, cause) = match e {
+                RouteError::Draining => (WireShedReason::Draining, flight::ShedCause::Draining),
+                RouteError::Shed(ShedReason::Backpressure) => {
+                    (WireShedReason::Backpressure, flight::ShedCause::Backpressure)
+                }
+                RouteError::Shed(ShedReason::Stopping) => {
+                    (WireShedReason::Stopping, flight::ShedCause::Stopping)
+                }
             };
+            flight::shed(trace, cause);
             Some(shared.shed_frame(req.correlation_id, reason))
         }
     }
@@ -588,7 +650,7 @@ fn writer_loop(shared: Arc<Shared>, stream: TcpStream, rx: Receiver<ConnMsg>) {
         let mut msg = Some(first);
         while let Some(m) = msg.take() {
             match m {
-                ConnMsg::Frame(f) => match write_frame(&mut w, &f) {
+                ConnMsg::Frame(f, trace) => match write_frame_traced(&mut w, &f, trace) {
                     Ok(n) => {
                         shared.metrics.frames_tx.inc();
                         shared.metrics.bytes_tx.add(n as u64);

@@ -8,8 +8,8 @@
 //! payloads whose bit patterns (NaNs included) must survive the wire.
 
 use ms_net::protocol::{
-    read_frame, Frame, HealthReply, InferOutcome, InferRequest, InferResponse, ReplicaHealth,
-    WireShedReason, HEADER_LEN, MAGIC, MAX_PAYLOAD,
+    read_frame, read_frame_traced, Frame, HealthReply, InferOutcome, InferRequest, InferResponse,
+    ReplicaHealth, WireShedReason, HEADER_LEN, LEGACY_VERSION, MAGIC, MAX_PAYLOAD,
 };
 use proptest::prelude::*;
 
@@ -84,10 +84,17 @@ fn build_frame(variant: usize, seed: u64) -> Frame {
                     p99_service_s: (m.next() % 1_000_000_000) as f64 * 1e-9,
                     served: m.next(),
                     shed: m.next(),
+                    rate: f32::from_bits(m.next() as u32),
                 })
+                .collect();
+            let blen = (m.next() % 40) as usize;
+            let build: String = (0..blen)
+                .map(|_| char::from_u32(32 + (m.next() % 95) as u32).unwrap())
                 .collect();
             Frame::HealthReply(HealthReply {
                 draining: m.next() % 2 == 0,
+                uptime_seconds: (m.next() % 1_000_000_000) as f64 * 1e-3,
+                build,
                 replicas,
             })
         }
@@ -100,11 +107,19 @@ fn build_frame(variant: usize, seed: u64) -> Frame {
             Frame::MetricsReply(text)
         }
         7 => Frame::Drain,
-        _ => Frame::DrainAck { delivered: m.next() },
+        8 => Frame::DrainAck { delivered: m.next() },
+        9 => Frame::TraceDumpRequest,
+        _ => {
+            let len = (m.next() % 300) as usize;
+            let json: String = (0..len)
+                .map(|_| char::from_u32(32 + (m.next() % 95) as u32).unwrap())
+                .collect();
+            Frame::TraceDumpReply(json)
+        }
     }
 }
 
-const VARIANTS: usize = 9;
+const VARIANTS: usize = 11;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -198,5 +213,65 @@ proptest! {
         };
         prop_assert_eq!(n, bytes.len());
         prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    /// The trace context round-trips the codec for every frame kind and
+    /// every trace id, including 0 — and an untraced frame of a
+    /// v1-expressible kind still encodes byte-for-byte as a legacy v1
+    /// frame, so pre-trace decoders keep working.
+    #[test]
+    fn trace_context_round_trips(variant in 0usize..VARIANTS, seed in any::<u64>(), trace in any::<u64>()) {
+        let frame = build_frame(variant, seed);
+        let bytes = frame.to_bytes_traced(trace);
+        let (decoded, got_trace) = match Frame::decode_traced(&bytes) {
+            Ok(r) => r,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("own traced encoding must decode: {e}"),
+            )),
+        };
+        prop_assert_eq!(got_trace, trace);
+        prop_assert_eq!(decoded.to_bytes_traced(trace), bytes);
+        // v1 compatibility: untraced legacy-expressible frames are exactly
+        // the v1 bytes (HealthReply and TraceDump* are v2-only kinds).
+        let v2_only = matches!(
+            frame,
+            Frame::HealthReply(_) | Frame::TraceDumpRequest | Frame::TraceDumpReply(_)
+        );
+        if trace == 0 && !v2_only {
+            let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+            prop_assert_eq!(version, LEGACY_VERSION);
+            prop_assert_eq!(bytes, frame.to_bytes());
+        }
+    }
+
+    /// Every single-bit flip in a traced (v2) frame is rejected — the
+    /// trace extension is inside the checksummed region, and a flip in
+    /// the version field cannot turn v2 into valid v1 or vice versa.
+    #[test]
+    fn traced_bit_flip_is_rejected(variant in 0usize..VARIANTS, seed in any::<u64>(), bit in any::<u64>()) {
+        let mut bytes = build_frame(variant, seed).to_bytes_traced(0x1234_5678_9ABC_DEF0);
+        let bit = (bit as usize) % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(Frame::decode_traced(&bytes).is_err());
+    }
+
+    /// The traced stream reader agrees with the traced buffer decoder.
+    #[test]
+    fn traced_stream_reader_matches_buffer_decoder(
+        variant in 0usize..VARIANTS,
+        seed in any::<u64>(),
+        trace in any::<u64>(),
+    ) {
+        let bytes = build_frame(variant, seed).to_bytes_traced(trace);
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        let (decoded, got_trace, n) = match read_frame_traced(&mut cursor) {
+            Ok(r) => r,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("traced stream decode failed: {e}"),
+            )),
+        };
+        prop_assert_eq!(n, bytes.len());
+        prop_assert_eq!(got_trace, trace);
+        prop_assert_eq!(decoded.to_bytes_traced(trace), bytes);
     }
 }

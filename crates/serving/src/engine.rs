@@ -40,6 +40,7 @@ use crate::workload::WorkloadTrace;
 use ms_core::inference::batched_sliced_forward;
 use ms_core::slice_rate::SliceRate;
 use ms_nn::layer::Layer;
+use ms_telemetry::flight;
 use ms_telemetry::{Counter, Gauge, Histogram};
 use ms_tensor::Tensor;
 use std::collections::{HashMap, VecDeque};
@@ -52,6 +53,12 @@ use std::time::{Duration, Instant};
 /// engines (tests spin up many) keep distinct registry series.
 static ENGINE_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Indices into [`EngineMetrics::shed_reason`].
+const SHED_BACKPRESSURE: usize = 0;
+const SHED_ADMISSION: usize = 1;
+const SHED_STOPPING: usize = 2;
+const SHED_REASON_NAMES: [&str; 3] = ["backpressure", "admission", "stopping"];
+
 /// Registry handles for one engine instance. All series carry an
 /// `engine="<n>"` label; per-rate series add `rate="<r>"`, indexed like
 /// the controller profile's rate list so the record path is a direct
@@ -60,7 +67,14 @@ struct EngineMetrics {
     submitted: Counter,
     served: Counter,
     shed: Counter,
+    /// Per-reason shed counters (`reason` label), indexed by the
+    /// `SHED_REASON_*` constants. `shed` above stays the aggregate.
+    shed_reason: [Counter; 3],
     batches: Counter,
+    /// Slice rate the controller chose for the most recently sealed batch
+    /// (0 before the first seal) — the "current controller rate" the
+    /// health endpoint reports.
+    last_rate: Gauge,
     /// Requests buffered (open batch + sealed-but-unstarted). Updated at
     /// batch granularity — on seal and on worker pop, not per submit — so
     /// the per-request hot path pays no gauge store; a scraper sees the
@@ -111,7 +125,19 @@ impl EngineMetrics {
                 e,
                 "requests shed (backpressure + admission control)",
             ),
+            shed_reason: SHED_REASON_NAMES.map(|reason| {
+                reg.counter_with(
+                    "engine_shed_reason_total",
+                    &[("engine", id.as_str()), ("reason", reason)],
+                    "requests shed, by reason",
+                )
+            }),
             batches: reg.counter_with("engine_batches_total", e, "batches executed"),
+            last_rate: reg.gauge_with(
+                "engine_last_rate",
+                e,
+                "slice rate chosen for the most recently sealed batch",
+            ),
             queue_depth: reg.gauge_with(
                 "engine_queue_depth",
                 e,
@@ -180,6 +206,9 @@ pub struct EngineResponse {
     pub batch_seq: usize,
     /// Measured wall-clock service time of that whole batch (seconds).
     pub service_time: f64,
+    /// Flight-recorder trace id the request was submitted with (0 =
+    /// untraced).
+    pub trace_id: u64,
 }
 
 /// Aggregate engine counters, exposed for the experiments binaries.
@@ -212,12 +241,16 @@ pub struct EngineCounters {
 struct WorkBatch {
     seq: usize,
     ids: Vec<u64>,
+    /// Trace id per request, parallel to `ids` (0 = untraced).
+    traces: Vec<u64>,
     inputs: Vec<Tensor>,
     rate: SliceRate,
 }
 
 struct EngineState {
     open_ids: Vec<u64>,
+    /// Trace id per open request, parallel to `open_ids`.
+    open_traces: Vec<u64>,
     open_inputs: Vec<Tensor>,
     /// Tightest per-request planning budget among the open requests
     /// (`+inf` when none carries a deadline). A request submitted with a
@@ -250,7 +283,10 @@ struct EngineState {
     /// the single biggest telemetry cost on the serving hot path, while a
     /// plain `+= 1` under the already-held mutex is free.
     pending_submitted: u64,
-    pending_shed: u64,
+    /// Synchronous-refusal tallies by reason (backpressure, stopping);
+    /// admission sheds are counted directly at seal.
+    pending_shed_backpressure: u64,
+    pending_shed_stopping: u64,
 }
 
 struct Shared {
@@ -291,6 +327,7 @@ impl Engine {
         let shared = Arc::new(Shared {
             state: Mutex::new(EngineState {
                 open_ids: Vec::new(),
+                open_traces: Vec::new(),
                 open_inputs: Vec::new(),
                 open_budget_min: f64::INFINITY,
                 ready: VecDeque::new(),
@@ -302,7 +339,8 @@ impl Engine {
                 hold: false,
                 stop: false,
                 pending_submitted: 0,
-                pending_shed: 0,
+                pending_shed_backpressure: 0,
+                pending_shed_stopping: 0,
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
@@ -320,7 +358,7 @@ impl Engine {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("ms-worker-{i}"))
-                    .spawn(move || worker_loop(shared, model))
+                    .spawn(move || worker_loop(shared, i, model))
                     .expect("spawn worker")
             })
             .collect();
@@ -360,32 +398,50 @@ impl Engine {
         input: Tensor,
         deadline: Option<f64>,
     ) -> Result<u64, ShedReason> {
-        self.submit_or_return(input, deadline).map_err(|(reason, t)| {
-            t.recycle();
-            reason
-        })
+        self.submit_traced(input, deadline, 0)
     }
 
-    /// [`Engine::submit_with_deadline`] that hands the input back on
-    /// refusal, so a router can fail the same tensor over to another
-    /// replica without copying it.
+    /// [`Engine::submit_with_deadline`] carrying a flight-recorder trace
+    /// id (0 = untraced). When the recorder is on, `Admitted` and
+    /// `Enqueued` events are stamped on the way into the open batch.
+    pub fn submit_traced(
+        &self,
+        input: Tensor,
+        deadline: Option<f64>,
+        trace_id: u64,
+    ) -> Result<u64, ShedReason> {
+        self.submit_or_return(input, deadline, trace_id)
+            .map_err(|(reason, t)| {
+                t.recycle();
+                reason
+            })
+    }
+
+    /// [`Engine::submit_traced`] that hands the input back on refusal, so
+    /// a router can fail the same tensor over to another replica without
+    /// copying it. The flight recorder's `Shed` event is *not* stamped on
+    /// refusal — the caller owns it, because a refusal here may still be
+    /// served by a failover replica.
     pub fn submit_or_return(
         &self,
         input: Tensor,
         deadline: Option<f64>,
+        trace_id: u64,
     ) -> Result<u64, (ShedReason, Tensor)> {
         let mut st = self.shared.state.lock().expect("engine lock");
         st.pending_submitted += 1;
         if st.stop {
-            st.pending_shed += 1;
+            st.pending_shed_stopping += 1;
             return Err((ShedReason::Stopping, input));
         }
         if st.open_ids.len() + st.ready_len >= self.shared.max_queue {
-            st.pending_shed += 1;
+            st.pending_shed_backpressure += 1;
             return Err((ShedReason::Backpressure, input));
         }
+        flight::admitted(trace_id);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         st.open_ids.push(id);
+        st.open_traces.push(trace_id);
         st.open_inputs.push(input);
         if let Some(t) = deadline {
             if t.is_finite() && t > 0.0 {
@@ -393,6 +449,7 @@ impl Engine {
                 st.open_budget_min = st.open_budget_min.min(budget);
             }
         }
+        flight::enqueued(trace_id);
         Ok(id)
     }
 
@@ -412,15 +469,24 @@ impl Engine {
         let budget = self.shared.budget.min(st.open_budget_min);
         st.open_budget_min = f64::INFINITY;
         let SlaDecision { rate, admit, shed } = self.shared.controller.decide(n, budget);
+        self.shared.metrics.last_rate.set(rate.get() as f64);
         let mut ids = std::mem::take(&mut st.open_ids);
+        let mut traces = std::mem::take(&mut st.open_traces);
         let mut inputs = std::mem::take(&mut st.open_inputs);
         if shed > 0 {
             let dropped = ids.split_off(admit);
+            let dropped_traces = traces.split_off(admit);
             for t in inputs.split_off(admit) {
                 t.recycle();
             }
             st.shed_ids.extend(dropped);
             self.shared.metrics.shed.add(shed as u64);
+            self.shared.metrics.shed_reason[SHED_ADMISSION].add(shed as u64);
+            if flight::recording() {
+                for &tr in &dropped_traces {
+                    flight::shed(tr, flight::ShedCause::Admission);
+                }
+            }
         }
         if admit == 0 {
             self.shared.metrics.queue_depth.set(st.ready_len as f64);
@@ -434,16 +500,20 @@ impl Engine {
             .controller
             .profile()
             .max_batch(rate, budget);
-        self.shared
-            .metrics
-            .batch_fill
-            .set(admit as f64 / capacity.max(1) as f64);
+        let fill = admit as f64 / capacity.max(1) as f64;
+        self.shared.metrics.batch_fill.set(fill);
         let seq = st.next_seq;
         st.next_seq += 1;
         st.ready_len += admit;
+        if flight::recording() {
+            for &tr in &traces {
+                flight::sealed_into_batch(tr, seq as u64, rate.get(), fill as f32);
+            }
+        }
         st.ready.push_back(WorkBatch {
             seq,
             ids,
+            traces,
             inputs,
             rate,
         });
@@ -462,9 +532,15 @@ impl Engine {
             let n = std::mem::take(&mut st.pending_submitted);
             self.shared.metrics.submitted.add(n);
         }
-        if st.pending_shed > 0 {
-            let n = std::mem::take(&mut st.pending_shed);
+        if st.pending_shed_backpressure > 0 {
+            let n = std::mem::take(&mut st.pending_shed_backpressure);
             self.shared.metrics.shed.add(n);
+            self.shared.metrics.shed_reason[SHED_BACKPRESSURE].add(n);
+        }
+        if st.pending_shed_stopping > 0 {
+            let n = std::mem::take(&mut st.pending_shed_stopping);
+            self.shared.metrics.shed.add(n);
+            self.shared.metrics.shed_reason[SHED_STOPPING].add(n);
         }
     }
 
@@ -568,6 +644,12 @@ impl Engine {
         self.shared.metrics.queue_depth.get()
     }
 
+    /// Slice rate picked by the controller for the most recently sealed
+    /// batch (0 until the first seal).
+    pub fn last_rate(&self) -> f32 {
+        self.shared.metrics.last_rate.get() as f32
+    }
+
     /// Per-rate `(rate, p50 seconds, p99 seconds)` from the measured
     /// service-time histograms, for rates that ran at least one batch.
     pub fn rate_service_percentiles(&self) -> Vec<(f32, f64, f64)> {
@@ -616,7 +698,7 @@ impl Drop for Engine {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, mut model: Box<dyn Layer + Send>) {
+fn worker_loop(shared: Arc<Shared>, worker: usize, mut model: Box<dyn Layer + Send>) {
     loop {
         let batch = {
             let mut st = shared.state.lock().expect("engine lock");
@@ -638,12 +720,22 @@ fn worker_loop(shared: Arc<Shared>, mut model: Box<dyn Layer + Send>) {
                 st = shared.work.wait(st).expect("engine lock");
             }
         };
+        if flight::recording() {
+            for &tr in &batch.traces {
+                flight::dispatch_start(tr, worker as u64);
+            }
+        }
         let t0 = Instant::now();
         let rows = {
             let _span = ms_telemetry::span!("engine.batch_forward");
             batched_sliced_forward(model.as_mut(), &batch.inputs, batch.rate)
         };
         let service = t0.elapsed().as_secs_f64();
+        if flight::recording() {
+            for &tr in &batch.traces {
+                flight::compute_done(tr);
+            }
+        }
         for input in batch.inputs {
             input.recycle();
         }
@@ -655,7 +747,12 @@ fn worker_loop(shared: Arc<Shared>, mut model: Box<dyn Layer + Send>) {
             shared.metrics.rate_service[idx].record(service);
         }
         let mut st = shared.state.lock().expect("engine lock");
-        for (id, logits) in batch.ids.into_iter().zip(rows) {
+        for ((id, trace_id), logits) in batch
+            .ids
+            .into_iter()
+            .zip(batch.traces)
+            .zip(rows)
+        {
             st.responses.insert(
                 id,
                 EngineResponse {
@@ -664,6 +761,7 @@ fn worker_loop(shared: Arc<Shared>, mut model: Box<dyn Layer + Send>) {
                     rate: batch.rate.get(),
                     batch_seq: batch.seq,
                     service_time: service,
+                    trace_id,
                 },
             );
         }

@@ -160,6 +160,19 @@ impl Registry {
                 label_block(&desc.labels, None),
                 count
             );
+            // OpenMetrics-style exemplar, rendered as a comment so strict
+            // 0.0.4 parsers skip it while humans and our own tools can
+            // still jump from a histogram to the flight-recorder chain.
+            if let Some((v, trace_id)) = h.exemplar() {
+                let _ = writeln!(
+                    out,
+                    "# EXEMPLAR {}{} value={} trace_id={}",
+                    desc.name,
+                    label_block(&desc.labels, None),
+                    fmt_f64(v),
+                    trace_id
+                );
+            }
         }
         let span_snap = spans::snapshot();
         if !span_snap.is_empty() {
@@ -221,10 +234,16 @@ impl Registry {
         out.push_str("  ],\n  \"histograms\": [\n");
         for (i, h) in inner.histograms.iter().enumerate() {
             let desc = &h.0.desc;
+            let exemplar = match h.exemplar() {
+                Some((v, id)) => {
+                    format!("{{\"value\": {}, \"trace_id\": {}}}", json_num(v), id)
+                }
+                None => "null".to_string(),
+            };
             let _ = write!(
                 out,
                 "    {{\"name\": \"{}\", \"labels\": {}, \"count\": {}, \"sum\": {}, \
-                 \"p50\": {}, \"p90\": {}, \"p99\": {}}}{}\n",
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"exemplar\": {}}}{}\n",
                 json_escape(&desc.name),
                 json_labels(&desc.labels),
                 h.count(),
@@ -232,6 +251,7 @@ impl Registry {
                 json_num(h.percentile(0.50)),
                 json_num(h.percentile(0.90)),
                 json_num(h.percentile(0.99)),
+                exemplar,
                 if i + 1 == inner.histograms.len() { "" } else { "," }
             );
         }
@@ -330,7 +350,7 @@ mod tests {
         r.gauge("expose_depth", "queue depth").set(7.0);
         let h = r.histogram("expose_service_seconds", "service time");
         h.record(0.001);
-        h.record(0.002);
+        h.record_traced(0.002, 99);
         let text = r.render_prometheus();
         assert!(text.contains("# TYPE expose_requests_total counter"));
         assert!(text.contains("expose_requests_total 1"));
@@ -341,6 +361,7 @@ mod tests {
         assert!(text.contains("expose_service_seconds_count 2"));
         assert!(text.contains("le=\"+Inf\"} 2"));
         assert!(text.contains("expose_service_seconds_sum"));
+        assert!(text.contains("# EXEMPLAR expose_service_seconds value=0.002 trace_id=99"));
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub(crate) struct HistogramCell {
     // of this cell written per record, and must not share a line with a
     // neighbouring cell's hot atomic.
     sum_bits: PaddedAtomicU64,
+    // Exemplar: the largest sample recorded with a trace id attached, so a
+    // scrape can jump from "p99 moved" straight to the flight-recorder
+    // chain that moved it. `exemplar_id == 0` means none yet.
+    exemplar_bits: AtomicU64,
+    exemplar_id: AtomicU64,
 }
 
 /// A cloneable handle to one registered histogram. Recording is a bucket
@@ -95,6 +100,8 @@ impl Histogram {
             desc,
             buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
             sum_bits: PaddedAtomicU64::new(0f64.to_bits()),
+            exemplar_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            exemplar_id: AtomicU64::new(0),
         }))
     }
 
@@ -135,6 +142,43 @@ impl Histogram {
                 Err(seen) => cur = seen,
             }
         }
+    }
+
+    /// Records one sample and, if it is the largest traced sample so far,
+    /// remembers `trace_id` as this histogram's exemplar. `trace_id == 0`
+    /// degrades to a plain [`Histogram::record`].
+    pub fn record_traced(&self, v: f64, trace_id: u64) {
+        self.record(v);
+        if trace_id == 0 || !crate::enabled() {
+            return;
+        }
+        let mut cur = self.0.exemplar_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.0.exemplar_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    // Racing writers may pair a slightly older id with the
+                    // max value; exemplars are a debugging hint, not an
+                    // exact max, so last-writer-wins is fine.
+                    self.0.exemplar_id.store(trace_id, Ordering::Relaxed);
+                    return;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// `(value, trace_id)` of the largest traced sample, if any.
+    pub fn exemplar(&self) -> Option<(f64, u64)> {
+        let id = self.0.exemplar_id.load(Ordering::Relaxed);
+        if id == 0 {
+            return None;
+        }
+        Some((f64::from_bits(self.0.exemplar_bits.load(Ordering::Relaxed)), id))
     }
 
     /// Total recorded samples.
@@ -244,5 +288,20 @@ mod tests {
     #[test]
     fn empty_percentile_is_zero() {
         assert_eq!(Histogram::detached("t").percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_slowest_traced_sample() {
+        let h = Histogram::detached("t");
+        assert_eq!(h.exemplar(), None);
+        h.record_traced(0.010, 0); // untraced: counted but no exemplar
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.exemplar(), None);
+        h.record_traced(0.020, 41);
+        h.record_traced(0.005, 42); // faster: does not displace
+        assert_eq!(h.exemplar(), Some((0.020, 41)));
+        h.record_traced(0.500, 43);
+        assert_eq!(h.exemplar(), Some((0.500, 43)));
+        assert_eq!(h.count(), 4);
     }
 }

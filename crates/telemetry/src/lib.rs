@@ -20,6 +20,11 @@
 //! - [`expose`] — Prometheus text-format and JSON snapshot writers plus a
 //!   periodic [`Flusher`] thread that dumps both to a directory (the
 //!   engine and the experiment harness point it at `results/logs/`).
+//! - [`flight`] — a request-scoped flight recorder: per-request lifecycle
+//!   events (decode → admit → seal → dispatch → deliver/shed) in a
+//!   fixed-capacity atomic ring, reassembled post-hoc into per-stage
+//!   latency attribution, tail-sampled chains and Chrome `trace_event`
+//!   JSON. Off by default ([`flight::set_recording`]).
 //!
 //! Snapshots can also be pulled over the network: the `ms-net` TCP server
 //! answers a `Metrics` frame with [`Registry::render_prometheus`] output
@@ -35,6 +40,7 @@
 //! and off inside a single process (the ≤ 2 % overhead gate).
 
 pub mod expose;
+pub mod flight;
 pub mod histogram;
 pub mod registry;
 pub mod spans;

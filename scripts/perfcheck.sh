@@ -25,6 +25,15 @@
 #    in-process engine (MS_NET_GATE_PCT overrides), and `bench_snapshot`
 #    records the wire-vs-in-process numbers in results/BENCH_net_pr4.json
 #    (alongside the PR 1 kernel snapshot it already writes).
+# 8. The flight-recorder gates (PR 5): the request-lifecycle recorder's
+#    hot path must not allocate (counting-allocator test in
+#    ms-telemetry/tests/zero_alloc_flight.rs), and recording must cost
+#    <= 2% engine throughput (interleaved on/off A/B inside
+#    `bench_snapshot`, numbers in results/BENCH_trace_pr5.json;
+#    MS_TRACE_GATE_PCT overrides — bench_snapshot exits non-zero on a
+#    gate failure). The determinism probe in step 4 additionally asserts
+#    the recorder is numerically invisible (identical fingerprints with
+#    recording on and off).
 #
 # Usage: scripts/perfcheck.sh   (from the repo root)
 set -euo pipefail
@@ -41,6 +50,7 @@ cargo test --release -p ms-nn --test zero_alloc
 cargo test --release -p ms-core --test zero_alloc_batched
 cargo test --release -p ms-telemetry --test zero_alloc
 cargo test --release -p ms-telemetry --test zero_alloc --features telemetry-spans
+cargo test --release -p ms-telemetry --test zero_alloc_flight
 
 echo "== cross-build determinism (spans on vs off) =="
 cargo run --release -q -p ms-bench --bin determinism_probe > /tmp/ms_probe_default.txt
@@ -62,7 +72,7 @@ MS_TELEMETRY_BENCH_OUT=results/BENCH_telemetry_pr3_spans.json \
 echo "== loopback net gate (wire path vs in-process) =="
 cargo run --release -p ms-bench --bin engine_smoke -- --net
 
-echo "== bench snapshots (kernels + net) =="
+echo "== bench snapshots (kernels + net + flight-recorder trace gate) =="
 cargo run --release -p ms-bench --bin bench_snapshot > /dev/null
 
 echo "== allocation tripwire (hot layer bodies) =="

@@ -18,7 +18,8 @@ use modelslicing::models::mlp::{Mlp, MlpConfig};
 use modelslicing::net::protocol::{
     read_frame, write_frame, Frame, InferOutcome, InferRequest,
 };
-use modelslicing::net::{Router, Server, ServerConfig};
+use modelslicing::net::{PipelinedClient, Router, Server, ServerConfig};
+use modelslicing::telemetry::flight;
 use modelslicing::nn::layer::Layer;
 use modelslicing::nn::shared::SharedWeights;
 use modelslicing::serving::controller::{RatePolicy, SlaController};
@@ -274,6 +275,243 @@ fn wire_elastic_beats_every_fixed_rate_on_deadline_hits() {
         eprintln!("first attempt failed ({msg}); retrying once");
         compare_policies(&profile);
     }
+}
+
+/// Turns the flight recorder on for one test and guarantees it is off
+/// (and the retained set cleared) however the test exits.
+struct RecorderGuard;
+
+impl RecorderGuard {
+    fn on() -> RecorderGuard {
+        flight::reset();
+        // The soak can shed hundreds of requests; keep them all so the
+        // retained-set assertions below are not at the mercy of eviction.
+        flight::set_tail_policy(flight::TailPolicy {
+            slowest_k: 8,
+            retain_cap: 4096,
+        });
+        flight::set_recording(true);
+        RecorderGuard
+    }
+}
+
+impl Drop for RecorderGuard {
+    fn drop(&mut self) {
+        flight::set_recording(false);
+        flight::set_tail_policy(flight::TailPolicy::default());
+        flight::reset();
+    }
+}
+
+/// End-to-end tracing under contention: 16 pipelined clients, each
+/// stamping its own trace ids onto the wire, soak a routed two-replica
+/// server. Every single request — served or shed — must come back with a
+/// complete, monotonically-timestamped flight chain under its client-
+/// chosen id, the chain's terminal must agree with what the client saw,
+/// and for the slowest served request the five per-stage durations must
+/// sum to within 5% of the latency the client itself measured. The dump
+/// is exported as Chrome trace-event JSON and structurally checked.
+#[test]
+fn sixteen_client_soak_traces_every_request_end_to_end() {
+    let _serial = serial();
+    let profile = calibrated_profile();
+    // Same retry discipline as the policy test: wall-clock deadlines on a
+    // shared CI core earn one retry; two failures is a real regression.
+    if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        traced_soak(&profile, 0xE2E0_0000_0000_0000)
+    })) {
+        let msg = e
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| e.downcast_ref::<&str>().copied())
+            .unwrap_or("non-string panic");
+        eprintln!("first attempt failed ({msg}); retrying once");
+        traced_soak(&profile, 0xE2E1_0000_0000_0000);
+    }
+}
+
+const SOAK_CLIENTS: usize = 16;
+const SOAK_PER_CLIENT: usize = 40;
+
+fn traced_soak(profile: &LatencyProfile, trace_base: u64) {
+    let _recorder = RecorderGuard::on();
+    let budget = profile.predict(100, SliceRate::FULL);
+    // A wide SLA (long seal window) on purpose: the flood then queues for
+    // multiple windows, so served latencies are tens of milliseconds and
+    // the fixed ~1–2 ms of scheduling/transport slop the chain cannot see
+    // stays far inside the 5% attribution tolerance asserted below.
+    let latency = budget * 8.0;
+    let mut proto = Mlp::new(&mlp_config(), &mut SeededRng::new(17));
+    let weights = SharedWeights::capture(&mut proto);
+    let engines = (0..REPLICAS)
+        .map(|i| {
+            let mut m = Mlp::new(&mlp_config(), &mut SeededRng::new(200 + i as u64));
+            weights.hydrate(&mut m);
+            Engine::start(
+                EngineConfig {
+                    latency,
+                    headroom: 0.5,
+                    max_queue: usize::MAX / 2,
+                },
+                SlaController::new(profile.clone(), RatePolicy::Elastic),
+                vec![Box::new(m) as Box<dyn Layer + Send>],
+            )
+        })
+        .collect();
+    let server = Server::start("127.0.0.1:0", Router::new(engines), ServerConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    // Deliberately tight: one full-width batch budget. The flood queues
+    // several windows deep, so requests *will* miss this and the
+    // controller's narrowed planning budget *will* shed — the outcomes the
+    // tail sampler exists for.
+    let deadline_micros = (budget * 1e6) as u64;
+
+    // Each client fires its requests in bursts (flood first, collect
+    // later) so the replicas see real queueing — the soak must produce
+    // deadline misses or admission sheds, not a sequence of idle RPCs.
+    type ClientLog = Vec<(u64, f64, bool)>; // (trace_id, client latency s, served)
+    let logs: Vec<ClientLog> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..SOAK_CLIENTS)
+            .map(|k| {
+                s.spawn(move || {
+                    let mut client = PipelinedClient::connect(addr).expect("connect");
+                    // Warm-up round trip: the measured phase must not bill
+                    // accept-loop polling and reader/writer thread spawns
+                    // to the first request's latency.
+                    client
+                        .send_traced(u64::MAX, 0, &input_for(0), 0)
+                        .expect("warm-up send");
+                    client.flush().expect("warm-up flush");
+                    client
+                        .recv_traced_timeout(Duration::from_secs(60))
+                        .expect("warm-up response");
+                    let mut sent: Vec<(u64, Instant)> = Vec::with_capacity(SOAK_PER_CLIENT);
+                    for i in 0..SOAK_PER_CLIENT {
+                        let trace = trace_base + (k as u64) * 1_000 + i as u64;
+                        let input = input_for((k * SOAK_PER_CLIENT + i) as u64);
+                        // Flush per request: `t0` must mean "this frame is
+                        // on the wire", or client-side write buffering
+                        // would count against the server's attribution.
+                        sent.push((trace, Instant::now()));
+                        client
+                            .send_traced(i as u64, deadline_micros, &input, trace)
+                            .expect("send");
+                        client.flush().expect("flush");
+                    }
+                    let mut log: ClientLog = Vec::with_capacity(SOAK_PER_CLIENT);
+                    for _ in 0..SOAK_PER_CLIENT {
+                        let (resp, trace) = client
+                            .recv_traced_timeout(Duration::from_secs(60))
+                            .expect("response before timeout");
+                        let (sent_trace, t0) = sent[resp.correlation_id as usize];
+                        assert_eq!(
+                            trace, sent_trace,
+                            "response must echo the request's trace id"
+                        );
+                        let served = matches!(resp.outcome, InferOutcome::Logits { .. });
+                        log.push((trace, t0.elapsed().as_secs_f64(), served));
+                    }
+                    log
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+    server.shutdown();
+
+    // Zero lost ids: one complete, monotone chain per request, terminal
+    // agreeing with the client-observed outcome.
+    // Bound the range so a retry attempt never picks up the first
+    // attempt's chains (each attempt gets its own trace base).
+    let trace_end = trace_base + (SOAK_CLIENTS as u64) * 1_000;
+    let chains: Vec<flight::TraceChain> = flight::chains()
+        .into_iter()
+        .filter(|c| c.trace_id >= trace_base && c.trace_id < trace_end)
+        .collect();
+    let total = SOAK_CLIENTS * SOAK_PER_CLIENT;
+    assert_eq!(chains.len(), total, "every request must leave a chain");
+    let by_id: std::collections::HashMap<u64, &flight::TraceChain> =
+        chains.iter().map(|c| (c.trace_id, c)).collect();
+    let mut slowest_served: Option<(u64, f64)> = None; // (trace, client s)
+    let mut misses = 0usize;
+    let mut sheds = 0usize;
+    for (trace, client_s, served) in logs.iter().flatten() {
+        let chain = by_id
+            .get(trace)
+            .unwrap_or_else(|| panic!("trace {trace:#x} lost"));
+        assert!(chain.is_monotonic(), "non-monotone chain for {trace:#x}");
+        assert!(chain.is_complete(), "incomplete chain for {trace:#x}");
+        let terminal = chain.terminal().expect("complete chain has terminal");
+        if *served {
+            assert_eq!(terminal, flight::EventKind::Delivered, "trace {trace:#x}");
+            if chain.deadline_missed() {
+                misses += 1;
+            }
+            if slowest_served.map_or(true, |(_, s)| *client_s > s) {
+                slowest_served = Some((*trace, *client_s));
+            }
+        } else {
+            assert_eq!(terminal, flight::EventKind::Shed, "trace {trace:#x}");
+            sheds += 1;
+        }
+    }
+    eprintln!(
+        "DIAG soak: sheds={sheds} misses={misses} slowest={:?} deadline={:.4}s",
+        slowest_served,
+        deadline_micros as f64 * 1e-6
+    );
+    assert!(
+        misses + sheds > 0,
+        "soak produced neither a deadline miss nor a shed — not a soak"
+    );
+
+    // Per-stage attribution accounts for what the client experienced: on
+    // the slowest served request (transport is a vanishing fraction of a
+    // many-window latency) the five stages must sum to within 5% of the
+    // client-measured latency.
+    let (slow_trace, client_s) = slowest_served.expect("soak served nothing");
+    let chain = by_id[&slow_trace];
+    let stages = chain.stage_nanos().expect("served chain has stages");
+    let stage_sum_s = stages.iter().sum::<u64>() as f64 * 1e-9;
+    assert_eq!(
+        stage_sum_s,
+        chain.total_nanos().unwrap() as f64 * 1e-9,
+        "stages must tile the chain exactly"
+    );
+    let rel = (client_s - stage_sum_s).abs() / client_s;
+    eprintln!(
+        "DIAG slowest trace {slow_trace:#x}: client {client_s:.4}s, stages {stage_sum_s:.4}s \
+         (rel err {:.2}%), misses={misses} sheds={sheds}",
+        rel * 100.0
+    );
+    assert!(
+        rel <= 0.05,
+        "stage sum {stage_sum_s:.4}s vs client {client_s:.4}s: {:.1}% apart",
+        rel * 100.0
+    );
+
+    // The dump round: harvest retains the interesting tail (every shed +
+    // every miss + slowest-K), and the Chrome export is structurally valid.
+    flight::harvest();
+    let retained = flight::retained();
+    assert!(
+        retained.iter().any(|c| c.trace_id == slow_trace),
+        "slowest served chain must be tail-sampled"
+    );
+    let path = flight::export_chrome_trace("results/logs", "e2e").expect("export");
+    let json = std::fs::read_to_string(&path).expect("read export");
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(json.ends_with("]}"));
+    assert!(json.contains("\"ph\":\"M\""), "needs metadata events");
+    assert!(json.contains("\"ph\":\"X\""), "needs duration slices");
+    for name in flight::STAGE_NAMES {
+        assert!(json.contains(&format!("\"name\":\"{name}\"")), "missing {name}");
+    }
+    assert!(
+        json.contains(&format!("\"trace_id\":{slow_trace}")),
+        "slowest chain must appear in the export"
+    );
 }
 
 fn compare_policies(profile: &LatencyProfile) {
