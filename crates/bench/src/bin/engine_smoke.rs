@@ -118,6 +118,7 @@ fn build_engine(profile: &LatencyProfile, policy: RatePolicy, latency: f64) -> E
             latency,
             headroom: 0.5,
             max_queue: usize::MAX / 2,
+            refine: false,
         },
         SlaController::new(profile.clone(), policy),
         replicas,

@@ -58,6 +58,7 @@ fn engine(weights: &SharedWeights) -> Engine {
             latency: 1.0,
             headroom: 1.0,
             max_queue: usize::MAX / 2,
+            refine: false,
         },
         SlaController::new(
             LatencyProfile::quadratic(SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]), 1e-5),

@@ -7,6 +7,7 @@ use ms_tensor::SeededRng;
 
 pub mod flightbench;
 pub mod netbench;
+pub mod prefixbench;
 
 /// The standard bench-scale VGG (matches the experiment setting).
 pub fn bench_vgg() -> Vgg {

@@ -1,0 +1,231 @@
+//! PR 6 A/B: anytime incremental prefix forward vs recompute-from-scratch.
+//!
+//! Two measurements, both on the rate ladder a refining engine actually
+//! walks:
+//!
+//! 1. **Rate-switch microbench** — a single output/input-grouped linear at
+//!    the 256³ acceptance shape, 4 groups. Walking the ladder by full
+//!    recomputation costs `Σ rᵢ²` of a full pass in MACs; walking it by
+//!    prefix refinement costs `Σ rᵢ·Δᵢ`, which telescopes to exactly one
+//!    full pass. At `{0.25, 0.5, 0.75, 1.0}` the MAC ratio is exactly
+//!    3.0×, so wall clock is gated at ≥ 2× (pre-packed panels keep the
+//!    delta passes on the same GEMM throughput as the full ones).
+//!
+//! 2. **Network-level ladder** — `refine_batched_forward` through an MLP
+//!    on `{0.375 → 0.5 → 0.75 → 1.0}` vs a fresh
+//!    `batched_sliced_forward_into` at every rung. Refinement's MAC bill
+//!    telescopes to exactly `full_flops` (asserted via the measured
+//!    [`CostModel`], no tolerance), and its wall clock must stay within
+//!    10 % of a single direct full-width pass (`MS_PREFIX_GATE_PCT`
+//!    overrides the percentage).
+
+use ms_core::cost::CostModel;
+use ms_core::inference::{batched_sliced_forward_into, refine_batched_forward};
+use ms_core::slice_rate::{SliceRate, SliceRateList};
+use ms_models::mlp::{Mlp, MlpConfig};
+use ms_nn::layer::{Layer, Mode};
+use ms_nn::linear::{Linear, LinearConfig};
+use ms_tensor::{SeededRng, Tensor};
+use std::time::Instant;
+
+/// Seconds per call, best of `reps`, each batch sized to swamp timer noise.
+fn time_per_call(reps: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut iters = 1u32;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed().as_secs_f64() >= 0.02 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+/// Result of the single-layer rate-switch A/B.
+pub struct LadderAb {
+    /// Milliseconds to serve the whole ladder by recomputation.
+    pub recompute_ms: f64,
+    /// Milliseconds to serve the whole ladder by prefix refinement.
+    pub refine_ms: f64,
+    /// `recompute_ms / refine_ms`.
+    pub speedup: f64,
+    /// Exact MAC ratio of the two strategies (3.0 on this ladder).
+    pub mac_ratio: f64,
+}
+
+/// Times one ladder pass over a 256→256 linear (batch 256, 4 groups on
+/// both sides): recompute-at-every-rung vs prefix-refine-the-delta.
+pub fn rate_switch_ladder(reps: usize) -> LadderAb {
+    let dim = 256usize;
+    let cfg = LinearConfig {
+        in_dim: dim,
+        out_dim: dim,
+        in_groups: Some(4),
+        out_groups: Some(4),
+        bias: true,
+        input_rescale: true,
+    };
+    let rates: Vec<SliceRate> = [0.25f32, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|&r| SliceRate::new(r))
+        .collect();
+    let mut rng = SeededRng::new(41);
+    let full: Vec<f32> = (0..dim * dim).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    // Per-rung inputs: the leading `a_in(r)` columns of the same full
+    // input, exactly what an upstream sliced layer would hand down.
+    let xs: Vec<Tensor> = rates
+        .iter()
+        .map(|&r| {
+            let a_in = ms_nn::slice::active_units(dim, 4, r);
+            Tensor::from_vec(
+                vec![dim, a_in],
+                (0..dim)
+                    .flat_map(|row| full[row * dim..row * dim + a_in].iter().copied())
+                    .collect(),
+            )
+            .expect("bench input")
+        })
+        .collect();
+
+    let mut recompute_net = Linear::new("switch", cfg.clone(), &mut rng);
+    recompute_net.prepack();
+    let recompute = time_per_call(reps, || {
+        for (&r, x) in rates.iter().zip(&xs) {
+            recompute_net.set_slice_rate(r);
+            recompute_net.forward(x, Mode::Infer).recycle();
+        }
+        recompute_net.set_slice_rate(SliceRate::FULL);
+    });
+
+    let mut refine_net = Linear::new("switch", cfg, &mut SeededRng::new(41));
+    refine_net.prepack();
+    let refine = time_per_call(reps, || {
+        let mut prev: Option<SliceRate> = None;
+        for (&r, x) in rates.iter().zip(&xs) {
+            refine_net.forward_prefix(x, prev, r).recycle();
+            prev = Some(r);
+        }
+        refine_net.set_slice_rate(SliceRate::FULL);
+    });
+
+    // Both input and output widths scale with the rate, so the exact MAC
+    // ratio of the two strategies is Σ rᵢ² / Σ rᵢ·Δᵢ (3.0 on this ladder).
+    let sum_sq: f64 = rates.iter().map(|r| (r.get() as f64).powi(2)).sum();
+    let mut sum_delta = 0.0f64;
+    let mut prev = 0.0f64;
+    for r in &rates {
+        sum_delta += r.get() as f64 * (r.get() as f64 - prev);
+        prev = r.get() as f64;
+    }
+    LadderAb {
+        recompute_ms: recompute * 1e3,
+        refine_ms: refine * 1e3,
+        speedup: recompute / refine,
+        mac_ratio: sum_sq / sum_delta,
+    }
+}
+
+/// Result of the network-level refine-vs-recompute A/B.
+pub struct RefineAb {
+    /// Ladder rates, ascending.
+    pub rates: Vec<f32>,
+    /// Milliseconds for a fresh batched pass at every rung.
+    pub recompute_ms: f64,
+    /// Milliseconds for base + refine steps over the same rungs.
+    pub refine_ms: f64,
+    /// Milliseconds for one direct full-width batched pass.
+    pub direct_full_ms: f64,
+    /// Refinement's total MAC bill (telescopes across the ladder).
+    pub refine_macs: u64,
+    /// One full-width pass in MACs — the Eq. 3 floor for the ladder.
+    pub full_macs: u64,
+    /// `refine_ms / direct_full_ms` − 1, as a percentage.
+    pub overhead_pct: f64,
+}
+
+/// Walks `{0.375, 0.5, 0.75, 1.0}` through a bench-scale MLP, comparing a
+/// fresh forward at every rung against base + per-rung refinement.
+pub fn refine_vs_recompute(batch: usize, reps: usize) -> RefineAb {
+    let cfg = MlpConfig {
+        // Large enough that GEMM work dominates the per-pass fixed costs
+        // (stacking, splitting, activations) — Eq. 3 models FLOPs, so the
+        // wall-clock gate is only meaningful on a compute-bound pass.
+        input_dim: 64,
+        hidden_dims: vec![512, 512],
+        num_classes: 10,
+        groups: 8, // 0.375 · 8 = 3 groups exactly
+        dropout: 0.0,
+        input_rescale: true,
+    };
+    let list = SliceRateList::from_rates(&[0.375, 0.5, 0.75, 1.0]);
+    let rates: Vec<SliceRate> = list.iter().collect();
+    let mut rng = SeededRng::new(43);
+    let inputs: Vec<Tensor> = (0..batch)
+        .map(|_| {
+            Tensor::from_vec(
+                vec![cfg.input_dim],
+                (0..cfg.input_dim).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+            )
+            .expect("bench input")
+        })
+        .collect();
+
+    let mut net = Mlp::new(&cfg, &mut rng);
+    net.prepack();
+    let cost = CostModel::measure(&mut net, list);
+    let mut out: Vec<Tensor> = Vec::with_capacity(batch);
+    let drain = |out: &mut Vec<Tensor>| {
+        for t in out.drain(..) {
+            t.recycle();
+        }
+    };
+
+    let recompute = time_per_call(reps, || {
+        for &r in &rates {
+            batched_sliced_forward_into(&mut net, &inputs, r, &mut out);
+            drain(&mut out);
+        }
+    });
+    let refine = time_per_call(reps, || {
+        let mut prev: Option<SliceRate> = None;
+        for &r in &rates {
+            refine_batched_forward(&mut net, &inputs, prev, r, &mut out);
+            drain(&mut out);
+            prev = Some(r);
+        }
+    });
+    let direct_full = time_per_call(reps, || {
+        batched_sliced_forward_into(&mut net, &inputs, SliceRate::FULL, &mut out);
+        drain(&mut out);
+    });
+
+    // Per-sample MACs: base rung costs flops_at(r₁), each refine step the
+    // marginal flops_at(rᵢ) − flops_at(rᵢ₋₁) — the whole ladder telescopes.
+    let mut refine_macs = cost.flops_at(rates[0]);
+    for w in rates.windows(2) {
+        refine_macs += cost.flops_at(w[1]) - cost.flops_at(w[0]);
+    }
+    RefineAb {
+        rates: rates.iter().map(|r| r.get()).collect(),
+        recompute_ms: recompute * 1e3,
+        refine_ms: refine * 1e3,
+        direct_full_ms: direct_full * 1e3,
+        refine_macs,
+        full_macs: cost.full_flops(),
+        overhead_pct: (refine / direct_full - 1.0) * 100.0,
+    }
+}

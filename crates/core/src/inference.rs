@@ -27,12 +27,11 @@ impl ElasticEngine {
         &self.cost
     }
 
-    /// Runs `net` at exactly `rate`, restoring full width afterwards.
+    /// Runs `net` at exactly `rate`, restoring full width afterwards — even
+    /// when the forward pass panics (the restore rides an RAII guard).
     pub fn predict_at(&self, net: &mut dyn Layer, x: &Tensor, rate: SliceRate) -> Tensor {
-        net.set_slice_rate(rate);
-        let y = net.forward(x, Mode::Infer);
-        net.set_slice_rate(SliceRate::FULL);
-        y
+        let guard = FullRateGuard::new(net, rate);
+        guard.net.forward(x, Mode::Infer)
     }
 
     /// Selects the widest affordable subnet for a per-sample FLOPs budget
@@ -219,6 +218,77 @@ mod tests {
         let inputs = vec![Tensor::zeros([8]), Tensor::zeros([4])];
         let _ = batched_sliced_forward(&mut net, &inputs, SliceRate::FULL);
     }
+
+    /// A layer whose forward panics, recording every rate it is set to — the
+    /// probe for the RAII restore guarantee.
+    struct PanickyLayer {
+        rates: std::rc::Rc<std::cell::RefCell<Vec<f32>>>,
+    }
+
+    impl Layer for PanickyLayer {
+        fn forward(&mut self, _x: &Tensor, _m: Mode) -> Tensor {
+            panic!("poisoned batch");
+        }
+        fn backward(&mut self, dy: &Tensor) -> Tensor {
+            dy.clone()
+        }
+        fn visit_params(&mut self, _f: &mut dyn FnMut(&mut ms_nn::layer::Param)) {}
+        fn set_slice_rate(&mut self, r: SliceRate) {
+            self.rates.borrow_mut().push(r.get());
+        }
+        fn flops_per_sample(&self) -> u64 {
+            1
+        }
+        fn name(&self) -> &str {
+            "panicky"
+        }
+    }
+
+    #[test]
+    fn panicking_forward_still_restores_full_width() {
+        // Regression: before the RAII guard, a panic between set_slice_rate
+        // and the restore left the shared net sliced for the next caller.
+        let rates = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut net = PanickyLayer {
+            rates: rates.clone(),
+        };
+        let inputs = vec![Tensor::zeros([8])];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut out = Vec::new();
+            batched_sliced_forward_into(&mut net, &inputs, SliceRate::new(0.5), &mut out);
+        }));
+        assert!(caught.is_err(), "forward should have panicked");
+        // The last rate the net saw must be the full-width restore, not the
+        // sliced rate the panicking pass ran at.
+        assert_eq!(*rates.borrow(), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn refine_batched_forward_matches_direct_prefix_pass_bitwise() {
+        let mut rng = SeededRng::new(43);
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|_| {
+                Tensor::from_vec([8], (0..8).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap()
+            })
+            .collect();
+        for &(r1, r2) in &[(0.25f32, 0.5f32), (0.25, 1.0), (0.5, 0.75)] {
+            let (r1, r2) = (SliceRate::new(r1), SliceRate::new(r2));
+            // Direct pass at r2 on a fresh net.
+            let (_, mut direct) = engine_and_net();
+            let mut want = Vec::new();
+            refine_batched_forward(&mut direct, &inputs, None, r2, &mut want);
+            // Base pass at r1, then refine to r2, on an identical net.
+            let (_, mut refined) = engine_and_net();
+            let mut rows = Vec::new();
+            refine_batched_forward(&mut refined, &inputs, None, r1, &mut rows);
+            refine_batched_forward(&mut refined, &inputs, Some(r1), r2, &mut rows);
+            for (i, (w, g)) in want.iter().zip(&rows).enumerate() {
+                assert_eq!(w.data(), g.data(), "refine {r1}→{r2} row {i}");
+            }
+            // The net ends restored at full width.
+            assert_eq!(refined.flops_per_sample(), (8 * 16 + 16 * 4) as u64);
+        }
+    }
 }
 
 /// Confidence-gated progressive inference — the "IDK cascade" policy the
@@ -246,9 +316,17 @@ impl ElasticEngine {
         let mut spent = 0u64;
         let batch = x.dims()[0];
         let mut last = None;
+        let mut prev_rate: Option<SliceRate> = None;
+        let guard = FullRateGuard::new(net, self.cost.list().min());
         for (i, &r) in rates.iter().enumerate() {
-            let logits = self.predict_at(net, x, r);
-            spent += self.cost.flops_at(r) * batch as u64;
+            // Refine upward from the previous attempt: only the new weight
+            // panels run, so an escalation to rate r charges the Eq. 3 delta
+            // flops(r) − flops(r_prev) instead of a fresh full pass at r.
+            let logits = guard.net.forward_prefix(x, prev_rate, r);
+            let marginal =
+                self.cost.flops_at(r) - prev_rate.map_or(0, |p| self.cost.flops_at(p));
+            spent += marginal * batch as u64;
+            prev_rate = Some(r);
             let conf = min_max_prob(&logits);
             let is_last = i + 1 == rates.len();
             if conf >= confidence || is_last {
@@ -275,6 +353,28 @@ impl ElasticEngine {
             flops_spent: spent,
             confidence: conf,
         }
+    }
+}
+
+/// RAII guard that pins a network at a slice rate for the duration of a
+/// forward pass and restores full width on drop — **including when the pass
+/// panics**. Without it, a caught panic (e.g. a poisoned batch behind
+/// `catch_unwind`) would leave the shared network sliced, silently truncating
+/// every subsequent full-width caller.
+struct FullRateGuard<'a> {
+    net: &'a mut dyn Layer,
+}
+
+impl<'a> FullRateGuard<'a> {
+    fn new(net: &'a mut dyn Layer, rate: SliceRate) -> Self {
+        net.set_slice_rate(rate);
+        FullRateGuard { net }
+    }
+}
+
+impl Drop for FullRateGuard<'_> {
+    fn drop(&mut self) {
+        self.net.set_slice_rate(SliceRate::FULL);
     }
 }
 
@@ -322,8 +422,58 @@ pub fn batched_sliced_forward_into(
     rate: SliceRate,
     out: &mut Vec<Tensor>,
 ) {
-    assert!(!inputs.is_empty(), "empty batch");
     out.clear();
+    let x = stack_inputs(inputs);
+    // The guard — not a trailing statement — restores full width, so a
+    // panicking forward (caught upstream) can't leave the net sliced.
+    let y = {
+        let guard = FullRateGuard::new(net, rate);
+        guard.net.forward(&x, Mode::Infer)
+    };
+    x.recycle();
+    split_rows(&y, inputs.len(), out);
+    y.recycle();
+}
+
+/// Refinement twin of [`batched_sliced_forward_into`]: runs the batch through
+/// [`Layer::forward_prefix`], computing only the weight panels between `from`
+/// and `to` and reusing each layer's cached prefix activations.
+///
+/// Call it first with `from = None` to establish the prefix at the base rate,
+/// then with `from = Some(prev)` and the **same net and inputs** to refine
+/// upward; each layer checks its cache watermark and panics on a stale or
+/// mismatched resume. The refined logits are bitwise-identical to a direct
+/// `from = None` pass at `to` — the anytime-inference contract
+/// `tests/prefix_refine.rs` pins across layer types.
+///
+/// Shares the zero-alloc steady-state contract of its twin (warm pool +
+/// reused `out` ⇒ no heap allocations), which
+/// `crates/core/tests/zero_alloc_refine.rs` pins with a counting allocator.
+/// The network is left at full width afterwards, panics included.
+pub fn refine_batched_forward(
+    net: &mut dyn Layer,
+    inputs: &[Tensor],
+    from: Option<SliceRate>,
+    to: SliceRate,
+    out: &mut Vec<Tensor>,
+) {
+    out.clear();
+    let x = stack_inputs(inputs);
+    let y = {
+        let guard = FullRateGuard::new(net, to);
+        guard.net.forward_prefix(&x, from, to)
+    };
+    x.recycle();
+    split_rows(&y, inputs.len(), out);
+    y.recycle();
+}
+
+/// Stacks same-shaped sample tensors into one pooled `[n, …]` batch.
+///
+/// # Panics
+/// If `inputs` is empty or the samples disagree on shape (`ragged batch`).
+fn stack_inputs(inputs: &[Tensor]) -> Tensor {
+    assert!(!inputs.is_empty(), "empty batch");
     let sample = inputs[0].dims();
     let stride = inputs[0].numel();
     let mut batch_dims = [0usize; ms_tensor::shape::MAX_RANK];
@@ -334,18 +484,18 @@ pub fn batched_sliced_forward_into(
         assert_eq!(input.dims(), sample, "ragged batch at row {i}");
         x.data_mut()[i * stride..(i + 1) * stride].copy_from_slice(input.data());
     }
-    net.set_slice_rate(rate);
-    let y = net.forward(&x, Mode::Infer);
-    net.set_slice_rate(SliceRate::FULL);
-    x.recycle();
-    let out_stride = y.numel() / inputs.len();
-    for i in 0..inputs.len() {
+    x
+}
+
+/// Splits a `[n, …]` batch output into `n` pooled per-request rows.
+fn split_rows(y: &Tensor, n: usize, out: &mut Vec<Tensor>) {
+    let out_stride = y.numel() / n;
+    for i in 0..n {
         let mut row = Tensor::pooled_zeros(&y.dims()[1..]);
         row.data_mut()
             .copy_from_slice(&y.data()[i * out_stride..(i + 1) * out_stride]);
         out.push(row);
     }
-    y.recycle();
 }
 
 /// Result of a confidence-gated prediction.
@@ -355,7 +505,10 @@ pub struct ConfidentPrediction {
     pub logits: Tensor,
     /// Rate that produced them.
     pub rate: SliceRate,
-    /// MACs spent over *all* escalation attempts.
+    /// MACs spent over all escalation attempts. Escalation refines the
+    /// previous pass instead of recomputing, so each step charges only the
+    /// marginal `flops(r) − flops(r_prev)` and the worst case (escalate to
+    /// full) costs one full pass, not the sum of the ladder.
     pub flops_spent: u64,
     /// The batch's minimum top-class softmax probability at acceptance.
     pub confidence: f32,
@@ -446,12 +599,9 @@ mod confidence_tests {
         let x = Tensor::zeros([1, 3]);
         let p = eng.predict_until_confident(&mut model, &x, 0.9);
         assert!(p.rate.is_full());
-        // Paid for every attempt.
-        let total: u64 = [0.25f32, 0.5, 0.75, 1.0]
-            .iter()
-            .map(|&r| eng.cost().flops_at(SliceRate::new(r)))
-            .sum();
-        assert_eq!(p.flops_spent, total);
+        // Escalation charges marginal deltas, so the worst case telescopes
+        // to exactly one full-width pass — not the sum of the ladder.
+        assert_eq!(p.flops_spent, eng.cost().full_flops());
         assert!(p.confidence < 0.9);
     }
 
@@ -461,9 +611,10 @@ mod confidence_tests {
         let x = Tensor::zeros([1, 3]);
         let p = eng.predict_until_confident(&mut model, &x, 0.9);
         assert_eq!(p.rate.get(), 0.75);
-        // Escalation through 0.25 and 0.5 still costs less than one full
-        // pass at this (quadratic) cost profile.
-        assert!(p.flops_spent < 2 * eng.cost().full_flops());
+        // Marginal accounting telescopes: the ladder through 0.25 and 0.5
+        // costs exactly one pass at the accepting rate.
+        assert_eq!(p.flops_spent, eng.cost().flops_at(SliceRate::new(0.75)));
+        assert!(p.flops_spent < eng.cost().full_flops());
     }
 
     #[test]

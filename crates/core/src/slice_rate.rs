@@ -113,6 +113,16 @@ impl SliceRateList {
     pub fn index_of(&self, r: SliceRate) -> Option<usize> {
         self.rates.iter().position(|&c| (c - r.get()).abs() < 1e-6)
     }
+
+    /// The smallest listed rate strictly greater than `r`, or `None` when
+    /// `r` is already at (or above) the top of the list — the refinement
+    /// ladder's step function.
+    pub fn next_above(&self, r: SliceRate) -> Option<SliceRate> {
+        self.rates
+            .iter()
+            .find(|&&c| c > r.get() + 1e-6)
+            .map(|&c| SliceRate::new(c))
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +159,15 @@ mod tests {
         assert_eq!(l.snap_down(2.0).get(), 1.0);
         // Below lb clamps up to the base network.
         assert_eq!(l.snap_down(0.1).get(), 0.25);
+    }
+
+    #[test]
+    fn next_above_steps_the_ladder() {
+        let l = SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(l.next_above(SliceRate::new(0.25)).unwrap().get(), 0.5);
+        assert_eq!(l.next_above(SliceRate::new(0.6)).unwrap().get(), 0.75);
+        assert_eq!(l.next_above(SliceRate::new(0.75)).unwrap().get(), 1.0);
+        assert!(l.next_above(SliceRate::FULL).is_none());
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Steady-state allocation instrumentation for the anytime-refinement hot
+//! path.
+//!
+//! A refining engine worker runs [`refine_batched_forward`] once per sealed
+//! batch and then once per ladder step. A counting global allocator
+//! verifies that after a short warm-up (buffer pool, layer workspaces,
+//! per-layer prefix caches and weight panels all populated) a full base +
+//! refine ladder performs **zero** heap allocations — climbing the ladder
+//! is pure delta-panel compute, with no allocator traffic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use ms_core::inference::refine_batched_forward;
+use ms_core::slice_rate::SliceRate;
+use ms_nn::layer::Layer;
+use ms_nn::linear::{Linear, LinearConfig};
+use ms_nn::sequential::Sequential;
+use ms_tensor::{pool, SeededRng, Tensor};
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // `try_with` keeps the hook safe during TLS teardown.
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations(mut f: impl FnMut()) -> u64 {
+    let before = ALLOC_COUNT.with(Cell::get);
+    f();
+    ALLOC_COUNT.with(Cell::get) - before
+}
+
+fn net() -> Sequential {
+    let mut rng = SeededRng::new(5);
+    Sequential::new("net")
+        .push(Linear::new(
+            "fc1",
+            LinearConfig {
+                in_dim: 32,
+                out_dim: 64,
+                in_groups: None,
+                out_groups: Some(4),
+                bias: true,
+                input_rescale: true,
+            },
+            &mut rng,
+        ))
+        .push(Linear::new(
+            "fc2",
+            LinearConfig {
+                in_dim: 64,
+                out_dim: 8,
+                in_groups: Some(4),
+                out_groups: None,
+                bias: true,
+                input_rescale: true,
+            },
+            &mut rng,
+        ))
+}
+
+/// Runs one full anytime ladder — base pass at the narrowest rate, then
+/// one refine step per wider rate — recycling each superseded response.
+fn ladder(net: &mut Sequential, inputs: &[Tensor], rates: &[SliceRate], out: &mut Vec<Tensor>) {
+    refine_batched_forward(net, inputs, None, rates[0], out);
+    for w in rates.windows(2) {
+        for t in out.drain(..) {
+            t.recycle();
+        }
+        refine_batched_forward(net, inputs, Some(w[0]), w[1], out);
+    }
+    for t in out.drain(..) {
+        t.recycle();
+    }
+}
+
+/// One test function so the per-thread counter, the thread-local pool and
+/// the layer workspaces all live on a single thread.
+#[test]
+fn steady_state_refine_ladder_allocates_nothing() {
+    let mut net = net();
+    let mut rng = SeededRng::new(6);
+    let inputs: Vec<Tensor> = (0..24)
+        .map(|_| {
+            Tensor::from_vec([32], (0..32).map(|_| rng.uniform(-1.0, 1.0)).collect()).unwrap()
+        })
+        .collect();
+    let rates = [0.25f32, 0.5, 0.75, 1.0].map(SliceRate::new);
+
+    // Pack the weight panels up front, exactly as an engine worker does at
+    // weight-load time; the first ladder would otherwise pack lazily.
+    net.prepack();
+
+    // Reused response buffer, exactly as a warm engine worker would hold one.
+    let mut out = Vec::with_capacity(inputs.len());
+
+    // Warm-up: populate the pool, each layer's workspace and each layer's
+    // prefix cache (the base pass and every delta step have differently
+    // shaped intermediates).
+    for _ in 0..3 {
+        ladder(&mut net, &inputs, &rates, &mut out);
+    }
+
+    pool::reset_stats();
+    let delta = allocations(|| {
+        for _ in 0..10 {
+            ladder(&mut net, &inputs, &rates, &mut out);
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "steady-state refine ladder allocated {delta}x across 10 ladders"
+    );
+    // Every pooled acquire in the loop was served from the pool.
+    let stats = pool::stats();
+    assert_eq!(stats.misses, 0, "pool misses in steady state: {stats:?}");
+    assert!(stats.hits > 0, "expected pooled acquires: {stats:?}");
+}

@@ -201,6 +201,7 @@ fn real_engine_replay() {
                 latency,
                 headroom: 0.5,
                 max_queue: usize::MAX / 2,
+                refine: false,
             },
             SlaController::new(profile.clone(), policy),
             replicas,
@@ -277,6 +278,7 @@ fn loopback_serving_run() {
                     latency,
                     headroom: 0.5,
                     max_queue: usize::MAX / 2,
+                    refine: false,
                 },
                 SlaController::new(profile.clone(), RatePolicy::Elastic),
                 vec![Box::new(m) as Box<dyn Layer + Send>],

@@ -99,6 +99,12 @@ impl Layer for Mlp {
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         self.net.backward(dy)
     }
+    fn forward_prefix(&mut self, x: &Tensor, from: Option<SliceRate>, to: SliceRate) -> Tensor {
+        self.net.forward_prefix(x, from, to)
+    }
+    fn prepack(&mut self) {
+        self.net.prepack();
+    }
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.net.visit_params(f);
     }

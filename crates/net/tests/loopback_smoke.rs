@@ -66,6 +66,7 @@ fn engine(weights: &SharedWeights, workers: usize) -> Engine {
             latency: 2e-3,
             headroom: 1.0,
             max_queue: 10_000,
+            refine: false,
         },
         SlaController::new(profile, RatePolicy::Elastic),
         replicas,

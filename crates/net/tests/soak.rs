@@ -76,6 +76,7 @@ fn engine(weights: &SharedWeights, policy: RatePolicy) -> Engine {
             latency: 0.05,
             headroom: 1.0,
             max_queue: 1_000_000,
+            refine: false,
         },
         SlaController::new(profile(), policy),
         vec![m],

@@ -11,10 +11,11 @@
 //! rescaling.
 
 use crate::layer::{Layer, Mode, Param};
-use crate::slice::{active_units, SliceRate};
-use crate::workspace::{Role, Workspace};
+use crate::slice::{active_groups, active_units, group_boundary, prefix_input_width, SliceRate};
+use crate::workspace::{PrefixCache, Role, Workspace};
 use ms_tensor::conv::{col2im, im2col, ConvGeom};
 use ms_tensor::matmul::{gemm, Trans};
+use ms_tensor::panels::{gemm_packed_a, PackedA};
 use ms_tensor::{init, SeededRng, Tensor};
 
 /// Configuration for a [`Conv2d`] layer. Input spatial size is fixed at
@@ -54,6 +55,8 @@ pub struct Conv2d {
     active_out: usize,
     ws: Workspace, // im2col columns and their gradient
     cache: Option<Tensor>,
+    packed: PackedA,     // persistent panels of W (the GEMM A operand)
+    prefix: PrefixCache, // full-stride output of the last prefix pass
 }
 
 impl Conv2d {
@@ -96,6 +99,8 @@ impl Conv2d {
             active_out,
             ws: Workspace::new(),
             cache: None,
+            packed: PackedA::new(),
+            prefix: PrefixCache::default(),
         }
     }
 
@@ -126,6 +131,19 @@ impl Conv2d {
 
     fn k2(&self) -> usize {
         self.cfg.kernel * self.cfg.kernel
+    }
+
+    fn ensure_packed(&mut self) {
+        if !self.packed.is_valid() {
+            let full_k = self.cfg.in_ch * self.k2();
+            self.packed.pack(
+                Trans::No,
+                self.weight.value.data(),
+                full_k,
+                self.cfg.out_ch,
+                full_k,
+            );
+        }
     }
 }
 
@@ -240,11 +258,99 @@ impl Layer for Conv2d {
         dx
     }
 
+    fn forward_prefix(&mut self, x: &Tensor, from: Option<SliceRate>, to: SliceRate) -> Tensor {
+        // Only an output-grouped conv can be refined per group; anything
+        // else recomputes from scratch (still a pure function of (x, to),
+        // so the bitwise refine guarantee is preserved).
+        let Some(go) = self.cfg.out_groups else {
+            self.set_slice_rate(to);
+            return self.forward(x, Mode::Infer);
+        };
+        if let Some(f) = from {
+            debug_assert!(f.get() <= to.get(), "refine must go upward: {f} → {to}");
+        }
+        self.set_slice_rate(to);
+        self.ensure_packed();
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "{}: expect [B,C,H,W]", self.name);
+        let (batch, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, self.active_in, "{}: input channels", self.name);
+        assert_eq!((h, w), (self.geom.h, self.geom.w), "{}: spatial", self.name);
+
+        let out_len = self.geom.out_len();
+        let (out_ch, k2) = (self.cfg.out_ch, self.k2());
+        let g_from = from.map_or(0, |r| active_groups(out_ch, go, r));
+        let g_to = (1..=go)
+            .find(|&g| group_boundary(out_ch, go, g) == self.active_out)
+            .expect("active_out must sit on a group boundary");
+        match from {
+            None => self.prefix.begin(batch, out_ch * out_len),
+            Some(_) => {
+                let done = group_boundary(out_ch, go, g_from);
+                self.prefix.resume(batch, out_ch * out_len, done, &self.name);
+            }
+        }
+        if g_to > g_from {
+            let mut col = self.ws.take(Role::Cols, self.active_in * k2 * out_len);
+            for s in 0..batch {
+                // The column matrix is a pure function of the input-channel
+                // prefix, so recomputing it at any width reproduces the rows
+                // a narrower pass saw, bit for bit.
+                im2col(x.row(s), self.active_in, &self.geom, &mut col);
+                for g in (g_from + 1)..=g_to {
+                    let c0 = group_boundary(out_ch, go, g - 1);
+                    let c1 = group_boundary(out_ch, go, g);
+                    let k_ch = prefix_input_width(self.cfg.in_ch, self.cfg.in_groups, out_ch, go, g);
+                    let base = s * out_ch * out_len + c0 * out_len;
+                    gemm_packed_a(
+                        c0,
+                        c1,
+                        out_len,
+                        0,
+                        k_ch * k2,
+                        1.0,
+                        &self.packed,
+                        &col,
+                        out_len,
+                        0.0,
+                        &mut self.prefix.buf[base..],
+                        out_len,
+                    );
+                    if let Some(b) = &self.bias {
+                        for ch in c0..c1 {
+                            let bv = b.value.data()[ch];
+                            let row = &mut self.prefix.buf[s * out_ch * out_len + ch * out_len..]
+                                [..out_len];
+                            for v in row {
+                                *v += bv;
+                            }
+                        }
+                    }
+                }
+            }
+            self.ws.put(Role::Cols, col);
+        }
+        self.prefix.done = group_boundary(out_ch, go, g_to);
+        let mut y =
+            Tensor::pooled_zeros([batch, self.active_out, self.geom.out_h(), self.geom.out_w()]);
+        let per_sample = self.active_out * out_len;
+        for s in 0..batch {
+            y.row_mut(s)
+                .copy_from_slice(&self.prefix.buf[s * out_ch * out_len..][..per_sample]);
+        }
+        y
+    }
+
+    fn prepack(&mut self) {
+        self.ensure_packed();
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
         if let Some(b) = &mut self.bias {
             f(b);
         }
+        self.packed.invalidate();
     }
 
     fn set_slice_rate(&mut self, r: SliceRate) {
@@ -380,6 +486,38 @@ mod tests {
                     assert!((half.at(&[0, c, i, j]) - full.at(&[0, c, i, j])).abs() < 1e-5);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn prefix_refine_matches_fresh_pass_bitwise() {
+        let mut data_rng = SeededRng::new(61);
+        let x_full = Tensor::from_vec(
+            [2, 8, 4, 4],
+            (0..256).map(|_| data_rng.uniform(-1.0, 1.0)).collect(),
+        )
+        .unwrap();
+        let channel_prefix = |width: usize| {
+            let data = (0..2)
+                .flat_map(|s| x_full.data()[s * 128..s * 128 + width * 16].to_vec())
+                .collect();
+            Tensor::from_vec([2, width, 4, 4], data).unwrap()
+        };
+        for &(r1, r2) in &[(0.25f32, 0.5f32), (0.25, 1.0), (0.5, 0.75), (0.75, 1.0)] {
+            let (r1, r2) = (SliceRate::new(r1), SliceRate::new(r2));
+            let mut direct = conv(8, 8, 4, true);
+            direct.set_slice_rate(r2);
+            let x2 = channel_prefix(direct.active_channels().0);
+            let want = direct.forward_prefix(&x2, None, r2);
+            let mut refined = conv(8, 8, 4, true);
+            refined.set_slice_rate(r1);
+            let x1 = channel_prefix(refined.active_channels().0);
+            let _ = refined.forward_prefix(&x1, None, r1);
+            let got = refined.forward_prefix(&x2, Some(r1), r2);
+            assert_eq!(want.dims(), got.dims());
+            let wb: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            let gb: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(wb, gb, "conv refine {r1}→{r2} not bitwise");
         }
     }
 

@@ -12,6 +12,7 @@
 
 use crate::layer::{Layer, Mode, Param};
 use crate::slice::{active_units, SliceRate};
+use crate::workspace::PrefixCache;
 use ms_tensor::conv::ConvGeom;
 use ms_tensor::{init, SeededRng, Tensor};
 
@@ -43,6 +44,7 @@ pub struct DepthwiseConv2d {
     bias: Param,   // [channels]
     active: usize,
     cache: Option<Tensor>,
+    prefix: PrefixCache, // per-channel outputs of the last prefix pass
 }
 
 impl DepthwiseConv2d {
@@ -74,6 +76,7 @@ impl DepthwiseConv2d {
             cfg,
             name,
             cache: None,
+            prefix: PrefixCache::default(),
         }
     }
 
@@ -193,6 +196,50 @@ impl Layer for DepthwiseConv2d {
         dx
     }
 
+    fn forward_prefix(&mut self, x: &Tensor, from: Option<SliceRate>, to: SliceRate) -> Tensor {
+        // Channels are independent, so the delta is *exact*: refining only
+        // convolves the channels the narrower pass skipped. No panels needed
+        // — each channel is already a self-contained unit of work.
+        let Some(g) = self.cfg.groups else {
+            self.set_slice_rate(to);
+            return self.forward(x, Mode::Infer);
+        };
+        if let Some(f) = from {
+            debug_assert!(f.get() <= to.get(), "refine must go upward: {f} → {to}");
+        }
+        self.set_slice_rate(to);
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "{}: expect [B,C,H,W]", self.name);
+        let (batch, c) = (dims[0], dims[1]);
+        assert_eq!(c, self.active, "{}: channels", self.name);
+        let channels = self.cfg.channels;
+        let out_len = self.geom.out_len();
+        let in_len = self.geom.h * self.geom.w;
+        let c_from = from.map_or(0, |r| active_units(channels, g, r));
+        match from {
+            None => self.prefix.begin(batch, channels * out_len),
+            Some(_) => self.prefix.resume(batch, channels * out_len, c_from, &self.name),
+        }
+        for s in 0..batch {
+            for ch in c_from..self.active {
+                let plane = &x.row(s)[ch * in_len..(ch + 1) * in_len];
+                let kernel = self.weight.value.row(ch);
+                let bias = self.bias.value.data()[ch];
+                let out = &mut self.prefix.buf[s * channels * out_len + ch * out_len..][..out_len];
+                out.iter_mut().for_each(|v| *v = bias);
+                conv_plane(&self.geom, plane, kernel, out);
+            }
+        }
+        self.prefix.done = self.active;
+        let mut y =
+            Tensor::pooled_zeros([batch, self.active, self.geom.out_h(), self.geom.out_w()]);
+        for s in 0..batch {
+            y.row_mut(s)
+                .copy_from_slice(&self.prefix.buf[s * channels * out_len..][..self.active * out_len]);
+        }
+        y
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
         f(&mut self.bias);
@@ -281,6 +328,38 @@ mod tests {
         let half = l.forward(&x_half, Mode::Infer);
         for i in 0..64 {
             assert!((half.data()[i] - full.data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn prefix_refine_matches_fresh_pass_bitwise() {
+        let mut rng = SeededRng::new(55);
+        let x_full = Tensor::from_vec(
+            [2, 8, 4, 4],
+            (0..256).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+        )
+        .unwrap();
+        let channel_prefix = |width: usize| {
+            let data = (0..2)
+                .flat_map(|s| x_full.data()[s * 128..s * 128 + width * 16].to_vec())
+                .collect();
+            Tensor::from_vec([2, width, 4, 4], data).unwrap()
+        };
+        for &(r1, r2) in &[(0.25f32, 0.5f32), (0.25, 1.0), (0.5, 1.0)] {
+            let (r1, r2) = (SliceRate::new(r1), SliceRate::new(r2));
+            let mut direct = layer(8, 4);
+            direct.set_slice_rate(r2);
+            let x2 = channel_prefix(direct.active_channels());
+            let want = direct.forward_prefix(&x2, None, r2);
+            let mut refined = layer(8, 4);
+            refined.set_slice_rate(r1);
+            let x1 = channel_prefix(refined.active_channels());
+            let _ = refined.forward_prefix(&x1, None, r1);
+            let got = refined.forward_prefix(&x2, Some(r1), r2);
+            assert_eq!(want.dims(), got.dims());
+            let wb: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            let gb: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(wb, gb, "depthwise refine {r1}→{r2} not bitwise");
         }
     }
 

@@ -84,6 +84,34 @@ pub trait Layer {
     /// Applies a slice rate. Default: no-op (layer has no width dimension).
     fn set_slice_rate(&mut self, _r: SliceRate) {}
 
+    /// Anytime prefix forward: computes the output at slice rate `to`,
+    /// reusing the prefix computed by a previous `forward_prefix` call at
+    /// rate `from` on the **same input** when `from` is `Some`.
+    ///
+    /// Contract (inference only — no backward cache):
+    /// - `x` is the layer input at width `to` (containers feed each child
+    ///   the previous child's `to`-width output).
+    /// - With `from = None` the call starts a fresh prefix pass; with
+    ///   `from = Some(r₁)` it refines the pass that last ran at `r₁`, and
+    ///   the result is **bitwise-identical** to a fresh pass at `to`.
+    /// - The layer is left at slice rate `to`.
+    ///
+    /// The default recomputes from scratch at `to` — a pure function of
+    /// `(x, to)`, so the bitwise guarantee holds trivially. Layers override
+    /// this only to make refinement *cheaper* (delta groups only), never to
+    /// change its value.
+    fn forward_prefix(&mut self, x: &Tensor, from: Option<SliceRate>, to: SliceRate) -> Tensor {
+        let _ = from;
+        self.set_slice_rate(to);
+        self.forward(x, Mode::Infer)
+    }
+
+    /// Packs persistent GEMM panels for the current weights (idempotent;
+    /// cheap when already packed). Layers without weight panels ignore it.
+    /// Panels are invalidated automatically when weights change through
+    /// `visit_params`, and lazily re-packed on the next prefix forward.
+    fn prepack(&mut self) {}
+
     /// Multiply–add operations per sample under the *current* slice setting.
     /// Containers sum their children. Default 0 (parameter-free glue).
     fn flops_per_sample(&self) -> u64 {

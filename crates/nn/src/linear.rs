@@ -9,8 +9,10 @@
 //! sliced GroupNorm instead).
 
 use crate::layer::{Layer, Mode, Param};
-use crate::slice::{active_units, SliceRate};
+use crate::slice::{active_groups, active_units, group_boundary, prefix_input_width, SliceRate};
+use crate::workspace::PrefixCache;
 use ms_tensor::matmul::{gemm, Trans};
+use ms_tensor::panels::{gemm_packed_b, PackedB};
 use ms_tensor::{init, SeededRng, Tensor};
 
 /// Configuration for a [`Linear`] layer.
@@ -55,6 +57,8 @@ pub struct Linear {
     active_in: usize,
     active_out: usize,
     cache: Option<Tensor>, // input of the last Train forward
+    packed: PackedB,       // persistent panels of Wᵀ (the GEMM B operand)
+    prefix: PrefixCache,   // full-stride output of the last prefix pass
 }
 
 impl Linear {
@@ -86,6 +90,8 @@ impl Linear {
             active_in,
             active_out,
             cache: None,
+            packed: PackedB::new(),
+            prefix: PrefixCache::default(),
         }
     }
 
@@ -115,6 +121,182 @@ impl Linear {
         } else {
             1.0
         }
+    }
+
+    fn ensure_packed(&mut self) {
+        if !self.packed.is_valid() {
+            // op(B) = Wᵀ: k = in_dim rows, n = out_dim columns.
+            self.packed.pack(
+                Trans::Yes,
+                self.weight.value.data(),
+                self.cfg.in_dim,
+                self.cfg.in_dim,
+                self.cfg.out_dim,
+            );
+        }
+    }
+
+    /// Prefix pass when the output side is grouped: each output group `h`
+    /// is computed from its canonical input width `k(h)` with its canonical
+    /// rescale `M / k(h)` — pure functions of `h`, so a refined group runs
+    /// exactly the ops a fresh pass would run.
+    fn prefix_out_grouped(&mut self, x: &Tensor, from: Option<SliceRate>, go: usize) -> Tensor {
+        let (in_dim, out_dim) = (self.cfg.in_dim, self.cfg.out_dim);
+        let batch = x.numel() / self.active_in;
+        let g_from = from.map_or(0, |r| active_groups(out_dim, go, r));
+        // active_out is a group boundary by construction; recover the index.
+        let g_to = (1..=go)
+            .find(|&h| group_boundary(out_dim, go, h) == self.active_out)
+            .expect("active_out must sit on a group boundary");
+        match from {
+            None => self.prefix.begin(batch, out_dim),
+            Some(_) => {
+                let done = group_boundary(out_dim, go, g_from);
+                self.prefix.resume(batch, out_dim, done, &self.name);
+            }
+        }
+        for h in (g_from + 1)..=g_to {
+            let c0 = group_boundary(out_dim, go, h - 1);
+            let c1 = group_boundary(out_dim, go, h);
+            let k_h = prefix_input_width(in_dim, self.cfg.in_groups, out_dim, go, h);
+            let alpha = if self.cfg.input_rescale && k_h < in_dim {
+                in_dim as f32 / k_h as f32
+            } else {
+                1.0
+            };
+            gemm_packed_b(
+                batch,
+                0,
+                k_h,
+                c0,
+                c1,
+                alpha,
+                x.data(),
+                self.active_in,
+                &self.packed,
+                0.0,
+                &mut self.prefix.buf[c0..],
+                out_dim,
+            );
+            if let Some(b) = &self.bias {
+                let bias = &b.value.data()[c0..c1];
+                for row in self.prefix.buf[c0..].chunks_mut(out_dim).take(batch) {
+                    for (v, &bv) in row[..c1 - c0].iter_mut().zip(bias) {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        self.prefix.done = group_boundary(out_dim, go, g_to);
+        let mut y = Tensor::pooled_zeros([batch, self.active_out]);
+        for (dst, src) in y
+            .data_mut()
+            .chunks_mut(self.active_out)
+            .zip(self.prefix.buf.chunks(out_dim))
+        {
+            dst.copy_from_slice(&src[..self.active_out]);
+        }
+        y
+    }
+
+    /// Prefix pass for classifier-shaped layers (grouped input, full-width
+    /// output): the cache holds the **unscaled** running sum over input
+    /// groups; the readout `y = scale · S + b` is recomputed per call at the
+    /// current rate's rescale.
+    fn prefix_in_grouped(&mut self, x: &Tensor, from: Option<SliceRate>, gi: usize) -> Tensor {
+        let (in_dim, out_dim) = (self.cfg.in_dim, self.cfg.out_dim);
+        let batch = x.numel() / self.active_in;
+        let j_from = from.map_or(0, |r| active_groups(in_dim, gi, r));
+        let j_to = (1..=gi)
+            .find(|&j| group_boundary(in_dim, gi, j) == self.active_in)
+            .expect("active_in must sit on a group boundary");
+        match from {
+            None => self.prefix.begin(batch, out_dim),
+            Some(_) => {
+                let done = group_boundary(in_dim, gi, j_from);
+                self.prefix.resume(batch, out_dim, done, &self.name);
+            }
+        }
+        for j in (j_from + 1)..=j_to {
+            let k0 = group_boundary(in_dim, gi, j - 1);
+            let k1 = group_boundary(in_dim, gi, j);
+            gemm_packed_b(
+                batch,
+                k0,
+                k1,
+                0,
+                out_dim,
+                1.0,
+                x.data(),
+                self.active_in,
+                &self.packed,
+                1.0,
+                &mut self.prefix.buf,
+                out_dim,
+            );
+        }
+        self.prefix.done = group_boundary(in_dim, gi, j_to);
+        let scale = self.rescale();
+        let mut y = Tensor::pooled_zeros([batch, out_dim]);
+        let bias = self.bias.as_ref().map(|b| b.value.data());
+        for (dst, src) in y
+            .data_mut()
+            .chunks_mut(out_dim)
+            .zip(self.prefix.buf.chunks(out_dim))
+        {
+            match bias {
+                Some(b) => {
+                    for ((d, &s), &bv) in dst.iter_mut().zip(src).zip(b) {
+                        *d = scale * s + bv;
+                    }
+                }
+                None => {
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d = scale * s;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Prefix pass for a fully dense layer (no grouped side): one canonical
+    /// computation, cached whole and reused on refine.
+    fn prefix_dense(&mut self, x: &Tensor, from: Option<SliceRate>) -> Tensor {
+        let (in_dim, out_dim) = (self.cfg.in_dim, self.cfg.out_dim);
+        let batch = x.numel() / in_dim;
+        match from {
+            None => {
+                self.prefix.begin(batch, out_dim);
+                gemm_packed_b(
+                    batch,
+                    0,
+                    in_dim,
+                    0,
+                    out_dim,
+                    1.0,
+                    x.data(),
+                    in_dim,
+                    &self.packed,
+                    0.0,
+                    &mut self.prefix.buf,
+                    out_dim,
+                );
+                if let Some(b) = &self.bias {
+                    ms_tensor::ops::add_bias_rows(
+                        &mut self.prefix.buf,
+                        b.value.data(),
+                        out_dim,
+                        out_dim,
+                    );
+                }
+                self.prefix.done = out_dim;
+            }
+            Some(_) => self.prefix.resume(batch, out_dim, out_dim, &self.name),
+        }
+        let mut y = Tensor::pooled_zeros([batch, out_dim]);
+        y.data_mut().copy_from_slice(&self.prefix.buf);
+        y
     }
 }
 
@@ -213,11 +395,46 @@ impl Layer for Linear {
         dx
     }
 
+    fn forward_prefix(&mut self, x: &Tensor, from: Option<SliceRate>, to: SliceRate) -> Tensor {
+        if let Some(f) = from {
+            debug_assert!(f.get() <= to.get(), "refine must go upward: {f} → {to}");
+        }
+        self.set_slice_rate(to);
+        self.ensure_packed();
+        let dims = x.dims();
+        assert_eq!(
+            dims.last().copied(),
+            Some(self.active_in),
+            "{}: prefix input width {:?} != active_in {}",
+            self.name,
+            dims.last(),
+            self.active_in
+        );
+        let y = match (self.cfg.out_groups, self.cfg.in_groups) {
+            (Some(go), _) => self.prefix_out_grouped(x, from, go),
+            (None, Some(gi)) => self.prefix_in_grouped(x, from, gi),
+            (None, None) => self.prefix_dense(x, from),
+        };
+        if dims.len() > 2 {
+            y.reshape(x.shape().with_last_dim(self.active_out))
+                .expect("same numel")
+        } else {
+            y
+        }
+    }
+
+    fn prepack(&mut self) {
+        self.ensure_packed();
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
         if let Some(b) = &mut self.bias {
             f(b);
         }
+        // The visitor may have rewritten the weights (optimiser step, weight
+        // hydration); panels re-pack lazily on the next prefix forward.
+        self.packed.invalidate();
     }
 
     fn set_slice_rate(&mut self, r: SliceRate) {
@@ -399,5 +616,110 @@ mod tests {
         let x = Tensor::zeros([2, 3, 8]);
         let y = l.forward(&x, Mode::Infer);
         assert_eq!(y.dims(), &[2, 3, 12]);
+    }
+
+    /// Slices rows of a full-width input down to the active prefix width.
+    fn prefix_input(full: &Tensor, width: usize) -> Tensor {
+        let full_w = *full.dims().last().unwrap();
+        let batch = full.numel() / full_w;
+        let data = (0..batch)
+            .flat_map(|i| full.data()[i * full_w..i * full_w + width].to_vec())
+            .collect();
+        Tensor::from_vec([batch, width], data).unwrap()
+    }
+
+    fn assert_bitwise(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.dims(), b.dims(), "{what}: shape");
+        let ab: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb, "{what}: bits differ");
+    }
+
+    /// refine(r₁→r₂) must equal a fresh prefix pass at r₂ bit for bit, for
+    /// every layer shape class (out-grouped, classifier, dense).
+    #[test]
+    fn prefix_refine_matches_fresh_pass_bitwise() {
+        let cases = [
+            (Some(3), Some(4), true),  // hidden layer, ragged groups
+            (Some(4), None, true),     // classifier head
+            (None, Some(4), false),    // first layer (full-width input)
+            (None, None, false),       // plain dense
+        ];
+        for (case_id, &(in_groups, out_groups, rescale)) in cases.iter().enumerate() {
+            let mk = || {
+                Linear::new(
+                    "fc",
+                    LinearConfig {
+                        in_dim: 13,
+                        out_dim: 11,
+                        in_groups,
+                        out_groups,
+                        bias: true,
+                        input_rescale: rescale,
+                    },
+                    &mut SeededRng::new(77),
+                )
+            };
+            let mut data_rng = SeededRng::new(5 + case_id as u64);
+            let x_full = Tensor::from_vec(
+                [3, 13],
+                (0..39).map(|_| data_rng.uniform(-1.0, 1.0)).collect(),
+            )
+            .unwrap();
+            for &(r1, r2) in &[(0.3f32, 0.7f32), (0.3, 1.0), (0.7, 1.0), (0.5, 0.5)] {
+                let (r1, r2) = (SliceRate::new(r1), SliceRate::new(r2));
+                // Direct: fresh prefix pass at r2.
+                let mut direct = mk();
+                direct.set_slice_rate(r2);
+                let x2 = prefix_input(&x_full, direct.active_dims().0);
+                let want = direct.forward_prefix(&x2, None, r2);
+                // Refined: base at r1, then refine to r2.
+                let mut refined = mk();
+                refined.set_slice_rate(r1);
+                let x1 = prefix_input(&x_full, refined.active_dims().0);
+                let _ = refined.forward_prefix(&x1, None, r1);
+                let got = refined.forward_prefix(&x2, Some(r1), r2);
+                assert_bitwise(&want, &got, &format!("case {case_id} {r1}→{r2}"));
+            }
+        }
+    }
+
+    /// Weight mutation through `visit_params` invalidates the panels; the
+    /// next prefix pass repacks and sees the new weights.
+    #[test]
+    fn prefix_panels_track_weight_updates() {
+        let mut l = layer(8, 8, false);
+        let x = Tensor::full([2, 8], 0.5);
+        let before = l.forward_prefix(&x, None, SliceRate::FULL);
+        l.visit_params(&mut |p| {
+            if p.name.ends_with("weight") {
+                p.value.fill(0.25);
+            }
+        });
+        let after = l.forward_prefix(&x, None, SliceRate::FULL);
+        assert!(
+            before.data() != after.data(),
+            "stale panels served old weights"
+        );
+        let mut fresh = layer(8, 8, false);
+        fresh.visit_params(&mut |p| {
+            if p.name.ends_with("weight") {
+                p.value.fill(0.25);
+            }
+        });
+        let want = fresh.forward_prefix(&x, None, SliceRate::FULL);
+        assert_bitwise(&want, &after, "repacked panels");
+    }
+
+    /// A refine against a cache from a different batch must panic loudly,
+    /// not corrupt logits.
+    #[test]
+    #[should_panic(expected = "stale prefix cache")]
+    fn prefix_refine_rejects_stale_cache() {
+        let mut l = layer(8, 8, false);
+        let x1 = Tensor::full([2, 4], 1.0);
+        let _ = l.forward_prefix(&x1, None, SliceRate::new(0.5));
+        let x2 = Tensor::full([3, 8], 1.0);
+        let _ = l.forward_prefix(&x2, Some(SliceRate::new(0.5)), SliceRate::FULL);
     }
 }

@@ -20,6 +20,7 @@ use crate::layer::{Layer, Mode, Param};
 use crate::slice::{active_units, SliceRate};
 use ms_tensor::matmul::{gemm, Trans};
 use ms_tensor::ops::{sigmoid, sigmoid_grad_from_output, tanh_grad_from_output};
+use ms_tensor::panels::{gemm_packed_b, PackedB};
 use ms_tensor::{init, SeededRng, Tensor};
 
 const GATES: usize = 3; // r, z, n
@@ -70,6 +71,8 @@ pub struct Gru {
     active_in: usize,
     active_h: usize,
     cache: Vec<StepCache>,
+    packed_x: PackedB, // [D, 3H] panels of w_xᵀ
+    packed_h: PackedB, // [H, 3H] panels of w_hᵀ
 }
 
 impl Gru {
@@ -102,6 +105,22 @@ impl Gru {
             cfg,
             name,
             cache: Vec::new(),
+            packed_x: PackedB::new(),
+            packed_h: PackedB::new(),
+        }
+    }
+
+    /// Packs both weight matrices into persistent B-side panels (no-op when
+    /// already valid).
+    fn ensure_packed(&mut self) {
+        let (d, h) = (self.cfg.in_dim, self.cfg.hidden_dim);
+        if !self.packed_x.is_valid() {
+            self.packed_x
+                .pack(Trans::Yes, self.w_x.value.data(), d, d, GATES * h);
+        }
+        if !self.packed_h.is_valid() {
+            self.packed_h
+                .pack(Trans::Yes, self.w_h.value.data(), h, h, GATES * h);
         }
     }
 
@@ -153,6 +172,44 @@ impl Gru {
             cols,
             &w.data()[gate * h_full * full_cols..],
             full_cols,
+            1.0,
+            out.data_mut(),
+            a_h,
+        );
+        let bias = &b.data()[gate * h_full..gate * h_full + a_h];
+        for s in 0..batch {
+            for (v, &bv) in out.row_mut(s).iter_mut().zip(bias) {
+                *v += bv;
+            }
+        }
+    }
+
+    /// Panel twin of [`Self::gate_matmul`]: same math, but `op(W)` comes from
+    /// a persistent [`PackedB`] instead of being repacked per call.
+    #[allow(clippy::too_many_arguments)]
+    fn gate_matmul_packed(
+        &self,
+        packed: &PackedB,
+        b: &Tensor,
+        gate: usize,
+        input: &Tensor,
+        cols: usize,
+        scale: f32,
+        batch: usize,
+        out: &mut Tensor,
+    ) {
+        let h_full = self.cfg.hidden_dim;
+        let a_h = self.active_h;
+        gemm_packed_b(
+            batch,
+            0,
+            cols,
+            gate * h_full,
+            gate * h_full + a_h,
+            scale,
+            input.data(),
+            cols,
+            packed,
             1.0,
             out.data_mut(),
             a_h,
@@ -294,6 +351,83 @@ impl Layer for Gru {
         }
         h.recycle();
         out
+    }
+
+    fn forward_prefix(&mut self, x: &Tensor, from: Option<SliceRate>, to: SliceRate) -> Tensor {
+        // Panel-accelerated full recompute at `to`. The recurrence threads
+        // every hidden group through every timestep, so a per-group delta
+        // would need per-group frozen-prefix recurrence state — future work.
+        // Ignoring `from` keeps the output a pure function of (x, to), which
+        // preserves the refine-equals-direct bitwise contract.
+        let _ = from;
+        self.set_slice_rate(to);
+        self.ensure_packed();
+        let dims = x.dims();
+        assert_eq!(dims.len(), 3, "{}: expect [B, T, D]", self.name);
+        let (batch, steps, d) = (dims[0], dims[1], dims[2]);
+        assert_eq!(d, self.active_in, "{}: input width", self.name);
+        let a_h = self.active_h;
+        let (sx, sh) = (self.scale_x(), self.scale_h());
+
+        let mut h = Tensor::pooled_zeros([batch, a_h]);
+        let mut out = Tensor::pooled_zeros([batch, steps, a_h]);
+        for t in 0..steps {
+            let mut xt = Tensor::pooled_zeros([batch, d]);
+            for s in 0..batch {
+                xt.row_mut(s)
+                    .copy_from_slice(&x.data()[(s * steps + t) * d..(s * steps + t + 1) * d]);
+            }
+            let mut r = Tensor::pooled_zeros([batch, a_h]);
+            self.gate_matmul_packed(&self.packed_x, &self.b_x.value, 0, &xt, d, sx, batch, &mut r);
+            self.gate_matmul_packed(&self.packed_h, &self.b_h.value, 0, &h, a_h, sh, batch, &mut r);
+            r.map_inplace(sigmoid);
+            let mut z = Tensor::pooled_zeros([batch, a_h]);
+            self.gate_matmul_packed(&self.packed_x, &self.b_x.value, 1, &xt, d, sx, batch, &mut z);
+            self.gate_matmul_packed(&self.packed_h, &self.b_h.value, 1, &h, a_h, sh, batch, &mut z);
+            z.map_inplace(sigmoid);
+            let mut u_n = Tensor::pooled_zeros([batch, a_h]);
+            self.gate_matmul_packed(
+                &self.packed_h,
+                &self.b_h.value,
+                2,
+                &h,
+                a_h,
+                sh,
+                batch,
+                &mut u_n,
+            );
+            let mut n = Tensor::pooled_zeros([batch, a_h]);
+            self.gate_matmul_packed(&self.packed_x, &self.b_x.value, 2, &xt, d, sx, batch, &mut n);
+            for ((nv, &rv), &uv) in n.data_mut().iter_mut().zip(r.data()).zip(u_n.data()) {
+                *nv = (*nv + rv * uv).tanh();
+            }
+            let h_prev = h.pooled_clone();
+            for (((hv, &zv), &nv), &hp) in h
+                .data_mut()
+                .iter_mut()
+                .zip(z.data())
+                .zip(n.data())
+                .zip(h_prev.data())
+            {
+                *hv = (1.0 - zv) * nv + zv * hp;
+            }
+            for s in 0..batch {
+                out.data_mut()[(s * steps + t) * a_h..(s * steps + t + 1) * a_h]
+                    .copy_from_slice(h.row(s));
+            }
+            xt.recycle();
+            h_prev.recycle();
+            r.recycle();
+            z.recycle();
+            n.recycle();
+            u_n.recycle();
+        }
+        h.recycle();
+        out
+    }
+
+    fn prepack(&mut self) {
+        self.ensure_packed();
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
@@ -444,6 +578,9 @@ impl Layer for Gru {
         f(&mut self.w_h);
         f(&mut self.b_x);
         f(&mut self.b_h);
+        // The visitor may have rewritten weights; repack lazily on next use.
+        self.packed_x.invalidate();
+        self.packed_h.invalidate();
     }
 
     fn set_slice_rate(&mut self, r: SliceRate) {
@@ -514,6 +651,37 @@ mod tests {
         g.visit_params(&mut |p| p.value.fill_zero());
         let y = g.forward(&Tensor::zeros([1, 3, 3]), Mode::Infer);
         assert!(y.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn prefix_forward_matches_plain_forward_numerically() {
+        let mut rng = SeededRng::new(44);
+        let x = random_input(&mut rng, [2, 4, 8]);
+        for &(r1, r2) in &[(0.25f32, 0.5f32), (0.5, 1.0)] {
+            let (r1, r2) = (SliceRate::new(r1), SliceRate::new(r2));
+            let mut g = gru(8, 8, true);
+            g.set_slice_rate(r2);
+            let a_d = g.active_dims().0;
+            let x2 = {
+                let data = (0..2)
+                    .flat_map(|s| {
+                        (0..4).flat_map(move |t| ((s * 4 + t) * 8..(s * 4 + t) * 8 + a_d))
+                    })
+                    .map(|i| x.data()[i])
+                    .collect();
+                Tensor::from_vec([2, 4, a_d], data).unwrap()
+            };
+            let plain = g.forward(&x2, Mode::Infer);
+            let fresh = g.forward_prefix(&x2, None, r2);
+            assert_eq!(plain.dims(), fresh.dims());
+            for (a, b) in plain.data().iter().zip(fresh.data()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+            let refined = g.forward_prefix(&x2, Some(r1), r2);
+            let fb: Vec<u32> = fresh.data().iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = refined.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, rb, "gru refine {r1}→{r2} not bitwise");
+        }
     }
 
     #[test]

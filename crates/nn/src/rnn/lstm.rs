@@ -22,6 +22,7 @@ use crate::slice::{active_units, SliceRate};
 use crate::workspace::{Role, Workspace};
 use ms_tensor::matmul::{gemm, Trans};
 use ms_tensor::ops::{sigmoid, sigmoid_grad_from_output, tanh_grad_from_output};
+use ms_tensor::panels::{gemm_packed_b, PackedB};
 use ms_tensor::{init, SeededRng, Tensor};
 
 const GATES: usize = 4; // i, f, g, o
@@ -61,6 +62,8 @@ pub struct Lstm {
     active_h: usize,
     ws: Workspace,
     cache: Vec<StepCache>,
+    packed_x: PackedB, // persistent panels of W_xᵀ
+    packed_h: PackedB, // persistent panels of W_hᵀ
 }
 
 impl StepCache {
@@ -111,6 +114,20 @@ impl Lstm {
             bias,
             ws: Workspace::new(),
             cache: Vec::new(),
+            packed_x: PackedB::new(),
+            packed_h: PackedB::new(),
+        }
+    }
+
+    fn ensure_packed(&mut self) {
+        let (d, h) = (self.cfg.in_dim, self.cfg.hidden_dim);
+        if !self.packed_x.is_valid() {
+            self.packed_x
+                .pack(Trans::Yes, self.w_x.value.data(), d, d, GATES * h);
+        }
+        if !self.packed_h.is_valid() {
+            self.packed_h
+                .pack(Trans::Yes, self.w_h.value.data(), h, h, GATES * h);
         }
     }
 
@@ -171,6 +188,52 @@ impl Lstm {
                 a_h,
                 w_h_block,
                 h_full,
+                1.0,
+                &mut z[gate * a_h..],
+                GATES * a_h,
+            );
+            let b = &self.bias.value.data()[gate * h_full..gate * h_full + a_h];
+            for row in 0..batch {
+                let base = row * GATES * a_h + gate * a_h;
+                for (v, &bv) in z[base..base + a_h].iter_mut().zip(b) {
+                    *v += bv;
+                }
+            }
+        }
+    }
+
+    /// Panel-backed twin of [`Lstm::gate_preacts`]: same slab layout and
+    /// bias handling, but the weight side reads pre-packed panels instead of
+    /// re-gathering `Wᵀ` strips on every timestep — the recurrence pays the
+    /// strided pack cost `T` times per forward otherwise.
+    fn gate_preacts_packed(&self, x: &Tensor, h_prev: &Tensor, batch: usize, z: &mut [f32]) {
+        let h_full = self.cfg.hidden_dim;
+        let (a_d, a_h) = (self.active_in, self.active_h);
+        for gate in 0..GATES {
+            gemm_packed_b(
+                batch,
+                0,
+                a_d,
+                gate * h_full,
+                gate * h_full + a_h,
+                self.scale_x(),
+                x.data(),
+                a_d,
+                &self.packed_x,
+                1.0,
+                &mut z[gate * a_h..],
+                GATES * a_h,
+            );
+            gemm_packed_b(
+                batch,
+                0,
+                a_h,
+                gate * h_full,
+                gate * h_full + a_h,
+                self.scale_h(),
+                h_prev.data(),
+                a_h,
+                &self.packed_h,
                 1.0,
                 &mut z[gate * a_h..],
                 GATES * a_h,
@@ -432,10 +495,66 @@ impl Layer for Lstm {
         dx
     }
 
+    fn forward_prefix(&mut self, x: &Tensor, from: Option<SliceRate>, to: SliceRate) -> Tensor {
+        // The recurrence threads every hidden group through every timestep,
+        // so a per-group delta would need per-group frozen-prefix recurrence
+        // state — future work. Instead this recomputes at `to` (a pure
+        // function of (x, to), preserving the bitwise refine guarantee) with
+        // panel-backed gate GEMMs, which is where the wall-clock goes.
+        let _ = from;
+        self.set_slice_rate(to);
+        self.ensure_packed();
+        let dims = x.dims();
+        assert_eq!(dims.len(), 3, "{}: expect [B, T, D]", self.name);
+        let (batch, steps, d) = (dims[0], dims[1], dims[2]);
+        assert_eq!(d, self.active_in, "{}: input width", self.name);
+        let a_h = self.active_h;
+
+        let mut h = Tensor::pooled_zeros([batch, a_h]);
+        let mut c = Tensor::pooled_zeros([batch, a_h]);
+        let mut out = Tensor::pooled_zeros([batch, steps, a_h]);
+        let mut z = self.ws.take(Role::Preact, batch * GATES * a_h);
+        let mut xt = Tensor::pooled_zeros([batch, d]);
+        for t in 0..steps {
+            for s in 0..batch {
+                let src = &x.data()[(s * steps + t) * d..(s * steps + t + 1) * d];
+                xt.row_mut(s).copy_from_slice(src);
+            }
+            z.iter_mut().for_each(|v| *v = 0.0);
+            self.gate_preacts_packed(&xt, &h, batch, &mut z);
+            for s in 0..batch {
+                let zrow = &z[s * GATES * a_h..(s + 1) * GATES * a_h];
+                let crow = c.row_mut(s);
+                let hrow = h.row_mut(s);
+                for k in 0..a_h {
+                    let i = sigmoid(zrow[k]);
+                    let f = sigmoid(zrow[a_h + k]);
+                    let g = zrow[2 * a_h + k].tanh();
+                    let o = sigmoid(zrow[3 * a_h + k]);
+                    crow[k] = f * crow[k] + i * g;
+                    hrow[k] = o * crow[k].tanh();
+                }
+                let dst = &mut out.data_mut()[(s * steps + t) * a_h..(s * steps + t + 1) * a_h];
+                dst.copy_from_slice(&h.row(s)[..a_h]);
+            }
+        }
+        self.ws.put(Role::Preact, z);
+        xt.recycle();
+        h.recycle();
+        c.recycle();
+        out
+    }
+
+    fn prepack(&mut self) {
+        self.ensure_packed();
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w_x);
         f(&mut self.w_h);
         f(&mut self.bias);
+        self.packed_x.invalidate();
+        self.packed_h.invalidate();
     }
 
     fn set_slice_rate(&mut self, r: SliceRate) {
@@ -528,6 +647,40 @@ mod tests {
         l.set_slice_rate(SliceRate::new(0.5));
         let x = random_input(&mut rng, [2, 3, 4]);
         check_layer(&mut l, &x, &mut rng, &CheckOpts::default()).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn prefix_forward_matches_plain_forward_numerically() {
+        // The panel path reorders no per-element math but takes the blocked
+        // GEMM route unconditionally, so it agrees with the plain forward to
+        // rounding — and with itself exactly.
+        let mut rng = SeededRng::new(34);
+        let x = random_input(&mut rng, [2, 4, 8]);
+        for &(r1, r2) in &[(0.25f32, 0.5f32), (0.5, 1.0)] {
+            let (r1, r2) = (SliceRate::new(r1), SliceRate::new(r2));
+            let mut l = lstm(8, 8, true);
+            l.set_slice_rate(r2);
+            let a_d = l.active_dims().0;
+            let x2 = {
+                let data = (0..2)
+                    .flat_map(|s| {
+                        (0..4).flat_map(move |t| ((s * 4 + t) * 8..(s * 4 + t) * 8 + a_d))
+                    })
+                    .map(|i| x.data()[i])
+                    .collect();
+                Tensor::from_vec([2, 4, a_d], data).unwrap()
+            };
+            let plain = l.forward(&x2, Mode::Infer);
+            let fresh = l.forward_prefix(&x2, None, r2);
+            assert_eq!(plain.dims(), fresh.dims());
+            for (a, b) in plain.data().iter().zip(fresh.data()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+            let refined = l.forward_prefix(&x2, Some(r1), r2);
+            let fb: Vec<u32> = fresh.data().iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = refined.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, rb, "lstm refine {r1}→{r2} not bitwise");
+        }
     }
 
     #[test]

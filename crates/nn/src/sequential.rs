@@ -84,6 +84,28 @@ impl Layer for Sequential {
         cur
     }
 
+    fn forward_prefix(&mut self, x: &Tensor, from: Option<SliceRate>, to: SliceRate) -> Tensor {
+        // Same recycling discipline as `forward`; every child sees the same
+        // (from, to) pair, so each refines its own cached prefix.
+        let mut iter = self.layers.iter_mut();
+        let Some(first) = iter.next() else {
+            return x.pooled_clone();
+        };
+        let mut cur = first.forward_prefix(x, from, to);
+        for layer in iter {
+            let next = layer.forward_prefix(&cur, from, to);
+            cur.recycle();
+            cur = next;
+        }
+        cur
+    }
+
+    fn prepack(&mut self) {
+        for layer in &mut self.layers {
+            layer.prepack();
+        }
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for layer in &mut self.layers {
             layer.visit_params(f);
@@ -169,6 +191,25 @@ mod tests {
         assert_grads(&mut net, &x, &mut rng);
         net.set_slice_rate(SliceRate::new(0.5));
         assert_grads(&mut net, &x, &mut rng);
+    }
+
+    #[test]
+    fn prefix_refine_chain_matches_fresh_pass_bitwise() {
+        let x =
+            Tensor::from_vec([3, 6], (0..18).map(|v| (v as f32 * 0.37).sin()).collect()).unwrap();
+        for &(r1, r2) in &[(0.25f32, 0.5f32), (0.25, 1.0), (0.5, 0.75), (0.75, 1.0)] {
+            let (r1, r2) = (SliceRate::new(r1), SliceRate::new(r2));
+            let mut direct = mlp(&mut SeededRng::new(9));
+            direct.prepack();
+            let want = direct.forward_prefix(&x, None, r2);
+            let mut refined = mlp(&mut SeededRng::new(9));
+            let _ = refined.forward_prefix(&x, None, r1);
+            let got = refined.forward_prefix(&x, Some(r1), r2);
+            assert_eq!(want.dims(), got.dims());
+            let wb: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            let gb: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(wb, gb, "chain refine {r1}→{r2} not bitwise");
+        }
     }
 
     #[test]

@@ -81,6 +81,45 @@ pub fn active_units(m: usize, groups: usize, r: SliceRate) -> usize {
     best.max(1)
 }
 
+/// Canonical input width for output group `h` of a layer with input
+/// dimension `in_dim` (split into `in_groups`, `None` = not sliceable) and
+/// output dimension `out_dim` split into `out_groups` — the number of input
+/// units the prefix forward reads when computing output group `h`.
+///
+/// Semantics: the minimal rate that activates output groups `1..=h` is
+/// `r_h = (b_out(h) − ½) / out_dim` (because [`active_units`] rounds
+/// half-away-from-zero); the canonical width is what that rate activates on
+/// the input side. Expressed without floats: the largest input boundary
+/// `b_in(j)` with `(2·b_in(j) − 1)·out_dim ≤ (2·b_out(h) − 1)·in_dim`,
+/// floored at the base group. Being a pure function of `h` (never of the
+/// *requested* rate), it makes a refined pass compute each output group with
+/// exactly the ops of a direct pass — the bitwise-identity invariant of
+/// `forward_prefix`.
+///
+/// Always `≤ active_units(in_dim, in_groups, r)` for any `r` that activates
+/// `h` output groups, so the cached input prefix is always long enough.
+pub fn prefix_input_width(
+    in_dim: usize,
+    in_groups: Option<usize>,
+    out_dim: usize,
+    out_groups: usize,
+    h: usize,
+) -> usize {
+    debug_assert!(h >= 1 && h <= out_groups);
+    let Some(gi) = in_groups else { return in_dim };
+    let bh = group_boundary(out_dim, out_groups, h);
+    let mut best = group_boundary(in_dim, gi, 1); // base group floor
+    for j in 2..=gi {
+        let bj = group_boundary(in_dim, gi, j);
+        if (2 * bj - 1) * out_dim <= (2 * bh - 1) * in_dim {
+            best = bj;
+        } else {
+            break;
+        }
+    }
+    best.max(1)
+}
+
 /// Number of active *groups* under slice rate `r` (used by GroupNorm, whose
 /// statistics are per group).
 pub fn active_groups(m: usize, groups: usize, r: SliceRate) -> usize {
@@ -153,6 +192,53 @@ mod tests {
             let u = active_units(32, 8, rate);
             let g = active_groups(32, 8, rate);
             assert_eq!(group_boundary(32, 8, g), u);
+        }
+    }
+
+    #[test]
+    fn prefix_input_width_matches_minimal_activating_rate() {
+        // Uniform case: 16→16, 4 groups each. Group h needs the input width
+        // of the minimal rate activating h output groups.
+        assert_eq!(prefix_input_width(16, Some(4), 16, 4, 1), 4);
+        assert_eq!(prefix_input_width(16, Some(4), 16, 4, 2), 8);
+        assert_eq!(prefix_input_width(16, Some(4), 16, 4, 3), 12);
+        assert_eq!(prefix_input_width(16, Some(4), 16, 4, 4), 16);
+        // Ragged case from the design note: in=99 (3 groups: 33/66/99),
+        // out=10 (3 groups: 3/7/10). h=2 → r_min=(7−½)/10 → round(0.65·99)
+        // = 64 → snaps to boundary 33.
+        assert_eq!(prefix_input_width(99, Some(3), 10, 3, 2), 33);
+        // Non-sliceable input reads everything.
+        assert_eq!(prefix_input_width(20, None, 16, 4, 1), 20);
+    }
+
+    #[test]
+    fn prefix_input_width_is_monotone_and_bounded_by_active_units() {
+        for &(ind, gi, outd, go) in &[
+            (16usize, 4usize, 16usize, 4usize),
+            (13, 3, 7, 2),
+            (32, 8, 16, 4),
+            (99, 3, 10, 3),
+            (5, 5, 40, 8),
+        ] {
+            let mut prev = 0;
+            for h in 1..=go {
+                let k = prefix_input_width(ind, Some(gi), outd, go, h);
+                assert!(k >= prev, "in={ind}/{gi} out={outd}/{go} h={h}");
+                assert!(k >= 1 && k <= ind);
+                prev = k;
+                // Any rate that activates ≥ h output groups must activate at
+                // least k input units — the cached prefix always suffices.
+                for step in 1..=64 {
+                    let r = SliceRate::new(step as f32 / 64.0);
+                    if active_groups(outd, go, r) >= h {
+                        let a_in = active_units(ind, gi, r);
+                        assert!(
+                            a_in >= k,
+                            "r={r}: a_in={a_in} < k={k} (in={ind}/{gi} out={outd}/{go} h={h})"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -37,7 +37,7 @@
 
 use crate::controller::{SlaController, SlaDecision};
 use crate::workload::WorkloadTrace;
-use ms_core::inference::batched_sliced_forward;
+use ms_core::inference::{batched_sliced_forward, refine_batched_forward};
 use ms_core::slice_rate::SliceRate;
 use ms_nn::layer::Layer;
 use ms_telemetry::flight;
@@ -90,6 +90,9 @@ struct EngineMetrics {
     /// Measured batch service seconds across all rates — the histogram
     /// behind [`EngineCounters::p50_service`]/[`p99_service`].
     service: Histogram,
+    /// Requests lifted to a wider rate by the anytime refinement ladder
+    /// (one increment per request per ladder step).
+    refined: Counter,
 }
 
 impl EngineMetrics {
@@ -155,6 +158,11 @@ impl EngineMetrics {
                 &[("engine", id.as_str()), ("rate", "all")],
                 "measured wall-clock batch service time, all rates",
             ),
+            refined: reg.counter_with(
+                "engine_refined_total",
+                e,
+                "requests lifted to a wider rate by anytime refinement (per ladder step)",
+            ),
         }
     }
 }
@@ -172,6 +180,13 @@ pub struct EngineConfig {
     /// Maximum requests buffered (accumulating + sealed, not yet running)
     /// before `submit` sheds — backpressure instead of unbounded queueing.
     pub max_queue: usize,
+    /// Anytime refinement: after a batch's planned pass completes, workers
+    /// keep lifting it to wider rates through the incremental prefix path
+    /// while the profile predicts the *marginal* cost still fits before the
+    /// batch deadline. Off by default — with it on, the served rate depends
+    /// on measured wall-clock time, so runs are no longer bit-reproducible
+    /// across machines (each step's logits still are).
+    pub refine: bool,
 }
 
 impl Default for EngineConfig {
@@ -180,6 +195,7 @@ impl Default for EngineConfig {
             latency: 0.04,
             headroom: 0.7,
             max_queue: 4096,
+            refine: false,
         }
     }
 }
@@ -229,6 +245,9 @@ pub struct EngineCounters {
     pub shed: u64,
     /// Batches executed.
     pub batches: u64,
+    /// Requests lifted to a wider rate by the anytime refinement ladder
+    /// (one per request per ladder step; 0 unless `EngineConfig::refine`).
+    pub refined: u64,
     /// `(rate, batches run at that rate)`, ascending.
     pub rate_histogram: Vec<(f32, u64)>,
     /// Median measured batch service time (seconds; 0 when no batches
@@ -245,6 +264,10 @@ struct WorkBatch {
     traces: Vec<u64>,
     inputs: Vec<Tensor>,
     rate: SliceRate,
+    /// Wall-clock instant the batch's processing window closes (seal time
+    /// plus the window that produced its planning budget). The refinement
+    /// ladder climbs only while predicted marginal cost fits before this.
+    deadline: Instant,
 }
 
 struct EngineState {
@@ -302,6 +325,8 @@ struct Shared {
     /// to planning budgets the same way the engine-wide SLA does.
     headroom: f64,
     max_queue: usize,
+    /// Anytime refinement ladder enabled (see [`EngineConfig::refine`]).
+    refine: bool,
     metrics: EngineMetrics,
 }
 
@@ -349,6 +374,7 @@ impl Engine {
             budget: cfg.latency / 2.0 * cfg.headroom,
             headroom: cfg.headroom,
             max_queue: cfg.max_queue,
+            refine: cfg.refine,
             metrics,
         });
         let workers = replicas
@@ -510,12 +536,16 @@ impl Engine {
                 flight::sealed_into_batch(tr, seq as u64, rate.get(), fill as f32);
             }
         }
+        // The processing window behind this batch's planning budget: the
+        // engine SLA's T/2, or the tightest member deadline's T_i/2.
+        let deadline = Instant::now() + Duration::from_secs_f64(budget / self.shared.headroom);
         st.ready.push_back(WorkBatch {
             seq,
             ids,
             traces,
             inputs,
             rate,
+            deadline,
         });
         self.shared.metrics.queue_depth.set(st.ready_len as f64);
         drop(st);
@@ -628,6 +658,7 @@ impl Engine {
             served: m.served.get(),
             shed: m.shed.get(),
             batches: m.batches.get(),
+            refined: m.refined.get(),
             rate_histogram: list
                 .iter()
                 .zip(&m.rate_batches)
@@ -726,23 +757,73 @@ fn worker_loop(shared: Arc<Shared>, worker: usize, mut model: Box<dyn Layer + Se
             }
         }
         let t0 = Instant::now();
-        let rows = {
-            let _span = ms_telemetry::span!("engine.batch_forward");
-            batched_sliced_forward(model.as_mut(), &batch.inputs, batch.rate)
-        };
-        let service = t0.elapsed().as_secs_f64();
-        if flight::recording() {
-            for &tr in &batch.traces {
-                flight::compute_done(tr);
+        let mut rate = batch.rate;
+        let mut rows;
+        if shared.refine {
+            // Prefix path: the planned pass establishes each layer's cached
+            // prefix activations so later ladder steps compute only the
+            // delta panels.
+            rows = Vec::new();
+            {
+                let _span = ms_telemetry::span!("engine.batch_forward");
+                refine_batched_forward(model.as_mut(), &batch.inputs, None, rate, &mut rows);
+            }
+            if flight::recording() {
+                for &tr in &batch.traces {
+                    flight::compute_done(tr);
+                }
+            }
+            // Anytime ladder: climb while the profile predicts the marginal
+            // cost of the next step still fits before the batch deadline.
+            // Prediction deltas (not fresh-pass costs) are the right charge
+            // because the prefix path reuses everything below `rate`.
+            let n = batch.inputs.len();
+            let profile = shared.controller.profile();
+            while let Some(next) = profile.list().next_above(rate) {
+                let marginal = profile.predict(n, next) - profile.predict(n, rate);
+                let fits = Instant::now()
+                    .checked_add(Duration::from_secs_f64(marginal.max(0.0)))
+                    .is_some_and(|eta| eta <= batch.deadline);
+                if !fits {
+                    break;
+                }
+                {
+                    let _span = ms_telemetry::span!("engine.batch_refine");
+                    refine_batched_forward(
+                        model.as_mut(),
+                        &batch.inputs,
+                        Some(rate),
+                        next,
+                        &mut rows,
+                    );
+                }
+                shared.metrics.refined.add(n as u64);
+                if flight::recording() {
+                    for &tr in &batch.traces {
+                        flight::refine_step(tr, rate.get(), next.get());
+                    }
+                }
+                rate = next;
+            }
+        } else {
+            rows = {
+                let _span = ms_telemetry::span!("engine.batch_forward");
+                batched_sliced_forward(model.as_mut(), &batch.inputs, batch.rate)
+            };
+            if flight::recording() {
+                for &tr in &batch.traces {
+                    flight::compute_done(tr);
+                }
             }
         }
+        let service = t0.elapsed().as_secs_f64();
         for input in batch.inputs {
             input.recycle();
         }
         shared.metrics.served.add(batch.ids.len() as u64);
         shared.metrics.batches.inc();
         shared.metrics.service.record(service);
-        if let Some(idx) = shared.controller.profile().list().index_of(batch.rate) {
+        if let Some(idx) = shared.controller.profile().list().index_of(rate) {
             shared.metrics.rate_batches[idx].inc();
             shared.metrics.rate_service[idx].record(service);
         }
@@ -758,7 +839,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize, mut model: Box<dyn Layer + Se
                 EngineResponse {
                     id,
                     logits,
-                    rate: batch.rate.get(),
+                    rate: rate.get(),
                     batch_seq: batch.seq,
                     service_time: service,
                     trace_id,
@@ -1003,6 +1084,7 @@ mod tests {
                 latency: 2e-3,
                 headroom: 1.0,
                 max_queue: 10_000,
+                refine: false,
             },
             SlaController::new(profile, policy),
             (0..workers).map(|_| replica(&w)).collect(),
@@ -1069,6 +1151,7 @@ mod tests {
                 latency: 2e-3,
                 headroom: 1.0,
                 max_queue: 4,
+                refine: false,
             },
             SlaController::elastic(profile),
             vec![replica(&w)],
@@ -1203,6 +1286,53 @@ mod tests {
         let (rs, shed) = e.wait_events(std::time::Duration::from_secs(5));
         assert_eq!(rs.len(), 4);
         assert!(shed.is_empty());
+        e.shutdown();
+    }
+
+    #[test]
+    fn refine_lifts_batches_to_full_width_given_slack() {
+        let w = weights();
+        let profile = LatencyProfile::quadratic(
+            SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]),
+            1e-5,
+        );
+        // A 2-second SLA dwarfs the microsecond-scale predicted deltas, so
+        // the ladder always climbs to full width.
+        let e = Engine::start(
+            EngineConfig {
+                latency: 2.0,
+                headroom: 0.5,
+                max_queue: 10_000,
+                refine: true,
+            },
+            SlaController::new(profile, RatePolicy::Fixed(SliceRate::new(0.25))),
+            vec![replica(&w)],
+        );
+        for i in 0..8 {
+            e.submit(Tensor::full([8], i as f32 * 0.1 - 0.4)).unwrap();
+        }
+        e.seal();
+        e.drain();
+        let rs = e.take_responses();
+        assert_eq!(rs.len(), 8);
+        assert!(
+            rs.iter().all(|r| r.rate == 1.0),
+            "served at {}, not lifted to full",
+            rs[0].rate
+        );
+        // Three ladder steps (0.25→0.5→0.75→1.0) for each of 8 requests.
+        assert_eq!(e.counters().refined, 24);
+        // The refined logits are bitwise what a direct prefix pass at full
+        // width produces — refinement changes cost, never the answer.
+        let mut reference = replica(&w);
+        let inputs: Vec<Tensor> = (0..8)
+            .map(|i| Tensor::full([8], i as f32 * 0.1 - 0.4))
+            .collect();
+        let mut want = Vec::new();
+        refine_batched_forward(reference.as_mut(), &inputs, None, SliceRate::FULL, &mut want);
+        for (r, w) in rs.iter().zip(&want) {
+            assert_eq!(r.logits.data(), w.data(), "request {}", r.id);
+        }
         e.shutdown();
     }
 

@@ -76,6 +76,7 @@ fn eight_producers_five_seconds_no_deadlock_no_lost_requests() {
             latency: 4e-3,
             headroom: 0.8,
             max_queue: 2048,
+            refine: false,
         },
         SlaController::elastic(profile),
         (0..WORKERS).map(|_| replica(&weights)).collect(),

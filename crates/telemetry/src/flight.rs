@@ -79,6 +79,10 @@ pub enum EventKind {
     Delivered = 7,
     /// Refused. `a` = [`ShedCause`] code. Terminal.
     Shed = 8,
+    /// An anytime refinement pass lifted the batch to a wider rate. `a` and
+    /// `b` hold the from/to slice rates as f32 bits. Repeats once per
+    /// ladder step between `ComputeDone` and `Delivered`.
+    RefineStep = 9,
 }
 
 impl EventKind {
@@ -92,6 +96,7 @@ impl EventKind {
             6 => EventKind::ComputeDone,
             7 => EventKind::Delivered,
             8 => EventKind::Shed,
+            9 => EventKind::RefineStep,
             _ => return None,
         })
     }
@@ -107,6 +112,7 @@ impl EventKind {
             EventKind::ComputeDone => "compute_done",
             EventKind::Delivered => "delivered",
             EventKind::Shed => "shed",
+            EventKind::RefineStep => "refine_step",
         }
     }
 }
@@ -322,6 +328,19 @@ pub fn shed(trace_id: u64, cause: ShedCause) {
     record(trace_id, EventKind::Shed, cause as u64, 0);
 }
 
+/// Anytime refinement lifted the request's batch from one slice rate to a
+/// wider one — one event per ladder step, between `compute_done` and
+/// `delivered`.
+#[inline]
+pub fn refine_step(trace_id: u64, from: f32, to: f32) {
+    record(
+        trace_id,
+        EventKind::RefineStep,
+        from.to_bits() as u64,
+        to.to_bits() as u64,
+    );
+}
+
 /// Copies every currently-valid slot out of the ring, oldest first.
 /// Slots being rewritten concurrently are skipped (seqlock read side).
 pub fn snapshot() -> Vec<FlightEvent> {
@@ -431,6 +450,16 @@ impl TraceChain {
             Some(EventKind::Shed) => true,
             _ => false,
         }
+    }
+
+    /// Refinement ladder steps recorded on this chain, in order, as
+    /// `(from, to)` slice-rate pairs.
+    pub fn refine_steps(&self) -> Vec<(f32, f32)> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::RefineStep)
+            .map(|e| (f32::from_bits(e.a as u32), f32::from_bits(e.b as u32)))
+            .collect()
     }
 
     /// The request missed the deadline it carried on the wire.

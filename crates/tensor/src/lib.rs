@@ -17,6 +17,7 @@ pub mod error;
 pub mod init;
 pub mod matmul;
 pub mod ops;
+pub mod panels;
 pub mod pool;
 pub mod rng;
 pub mod shape;

@@ -46,17 +46,17 @@ pub enum Trans {
 /// Micro-kernel tile rows: 12 of the 16 AVX2 `ymm` registers hold the
 /// `MR × NR` f32 accumulator (6 rows × two 8-lane vectors), leaving room
 /// for the `B` row vectors and the broadcast `A` element.
-const MR: usize = 6;
+pub(crate) const MR: usize = 6;
 /// Micro-kernel tile columns (two 8-lane f32 vectors).
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 /// Rows of `op(A)` packed per panel (multiple of `MR`; panel ≈ 72 KiB at
 /// `KC=256`, sized for L2).
-const MC: usize = 72;
+pub(crate) const MC: usize = 72;
 /// Shared dimension per panel: the micro-kernel streams `KC·(MR+NR)` packed
 /// floats per tile, sized so a `B` strip stays cache-resident.
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
 /// Columns of `op(B)` packed per panel (multiple of `NR`).
-const NC: usize = 1024;
+pub(crate) const NC: usize = 1024;
 /// Problems with `m·n·k` at or below this use the unblocked kernel: packing
 /// costs `O(mk + kn)` and only pays off once each packed element is reused
 /// across several tiles.
@@ -66,6 +66,15 @@ thread_local! {
     /// Grow-only pack buffers (`op(A)` panel, `op(B)` panel), reused across
     /// calls so steady-state GEMM performs zero heap allocations.
     static PACK_BUFS: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Runs `f` with the thread-local pack buffers (shared with [`gemm`] and the
+/// prepacked-panel entry points in [`crate::panels`]).
+pub(crate) fn with_pack_bufs<R>(f: impl FnOnce(&mut Vec<f32>, &mut Vec<f32>) -> R) -> R {
+    PACK_BUFS.with(|bufs| {
+        let (ref mut apack, ref mut bpack) = *bufs.borrow_mut();
+        f(apack, bpack)
+    })
 }
 
 /// Fused multiply-add `a * b + c` on hardware FMA; plain `a * b + c` when
@@ -213,7 +222,7 @@ fn debug_check(
 /// Packs the `mc×kc` panel of `op(A)` starting at `(ic, pc)` into strips of
 /// `MR` rows, each strip laid out `kc`-major so the micro-kernel reads
 /// `MR` consecutive floats per `p` step. Rows past `mc` are zero padding.
-fn pack_a(
+pub(crate) fn pack_a(
     trans_a: Trans,
     a: &[f32],
     lda: usize,
@@ -226,6 +235,23 @@ fn pack_a(
     let strips = mc.div_ceil(MR);
     buf.clear();
     buf.resize(strips * kc * MR, 0.0);
+    pack_a_into(trans_a, a, lda, ic, mc, pc, kc, buf);
+}
+
+/// [`pack_a`] writing into a caller-provided slice of exactly
+/// `mc.div_ceil(MR) * kc * MR` floats whose padding region is already zero.
+pub(crate) fn pack_a_into(
+    trans_a: Trans,
+    a: &[f32],
+    lda: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    buf: &mut [f32],
+) {
+    let strips = mc.div_ceil(MR);
+    debug_assert_eq!(buf.len(), strips * kc * MR);
     let mut off = 0;
     for s in 0..strips {
         let i_base = ic + s * MR;
@@ -254,7 +280,7 @@ fn pack_a(
 /// Packs the `kc×nc` panel of `op(B)` starting at `(pc, jc)` into strips of
 /// `NR` columns, each strip `kc`-major so the micro-kernel loads one
 /// `NR`-wide row vector per `p` step. Columns past `nc` are zero padding.
-fn pack_b(
+pub(crate) fn pack_b(
     trans_b: Trans,
     b: &[f32],
     ldb: usize,
@@ -267,6 +293,23 @@ fn pack_b(
     let strips = nc.div_ceil(NR);
     buf.clear();
     buf.resize(strips * kc * NR, 0.0);
+    pack_b_into(trans_b, b, ldb, pc, kc, jc, nc, buf);
+}
+
+/// [`pack_b`] writing into a caller-provided slice of exactly
+/// `nc.div_ceil(NR) * kc * NR` floats whose padding region is already zero.
+pub(crate) fn pack_b_into(
+    trans_b: Trans,
+    b: &[f32],
+    ldb: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    buf: &mut [f32],
+) {
+    let strips = nc.div_ceil(NR);
+    debug_assert_eq!(buf.len(), strips * kc * NR);
     let mut off = 0;
     for t in 0..strips {
         let j_base = jc + t * NR;
@@ -292,6 +335,58 @@ fn pack_b(
     }
 }
 
+/// The shared register-tile accumulator: `MR×NR` partial products of packed
+/// `op(A)`/`op(B)` strips over `kc` steps. Constant loop bounds let the
+/// autovectoriser emit two 8-lane FMA chains per row. The result for lane
+/// `(i, j)` is a pure function of the strips and `kc`, independent of which
+/// write-back window a caller later applies — the property the prefix-refine
+/// path's bitwise guarantee rests on.
+#[inline(always)]
+fn micro_accumulate(kc: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (a_col, b_row) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        let a_col: &[f32; MR] = a_col.try_into().unwrap();
+        let b_row: &[f32; NR] = b_row.try_into().unwrap();
+        for i in 0..MR {
+            let aip = a_col[i];
+            for j in 0..NR {
+                acc[i][j] = fmadd(aip, b_row[j], acc[i][j]);
+            }
+        }
+    }
+    acc
+}
+
+/// Range-windowed micro-kernel used by the prepacked-panel entry points:
+/// accumulates the full `MR×NR` tile, then writes back only rows
+/// `[i0, i1)` and columns `[j0, j1)` of the tile, at
+/// `c[c_off + (i - i0) * ldc + (j - j0)]`. Because the accumulator is
+/// window-independent, a lane's value is bitwise identical no matter which
+/// group range requested it.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn micro_kernel_range(
+    kc: usize,
+    alpha: f32,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    c_off: usize,
+    ldc: usize,
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+) {
+    let acc = micro_accumulate(kc, ap, bp);
+    for i in i0..i1 {
+        let row = &mut c[c_off + (i - i0) * ldc..c_off + (i - i0) * ldc + (j1 - j0)];
+        for (jj, cv) in row.iter_mut().enumerate() {
+            *cv = fmadd(alpha, acc[i][j0 + jj], *cv);
+        }
+    }
+}
+
 /// The register-tile kernel: accumulates an `MR×NR` block of `op(A)·op(B)`
 /// from packed strips, then adds `alpha ×` the valid `mr×nr` region into
 /// `C`. The accumulator loop has constant bounds so the autovectoriser
@@ -309,17 +404,7 @@ fn micro_kernel(
     mr: usize,
     nr: usize,
 ) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (a_col, b_row) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
-        let a_col: &[f32; MR] = a_col.try_into().unwrap();
-        let b_row: &[f32; NR] = b_row.try_into().unwrap();
-        for i in 0..MR {
-            let aip = a_col[i];
-            for j in 0..NR {
-                acc[i][j] = fmadd(aip, b_row[j], acc[i][j]);
-            }
-        }
-    }
+    let acc = micro_accumulate(kc, ap, bp);
     if mr == MR && nr == NR {
         // Full tile: constant-bound write-back.
         for (i, acc_row) in acc.iter().enumerate() {

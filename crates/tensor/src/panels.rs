@@ -1,0 +1,577 @@
+//! Persistent pre-packed GEMM panels for slice-aware weights.
+//!
+//! [`crate::matmul::gemm`] packs its operands on every call; for a serving
+//! engine that holds weights fixed and only moves the slice rate, that means
+//! re-gathering the same `op(B)` strips (a strided, cache-hostile walk for
+//! the `Trans::Yes` dense-layer case) thousands of times per second. The
+//! types here pack a weight matrix **once**, in exactly the strip layout the
+//! micro-kernel consumes, and expose ranged GEMM entry points that compute
+//! an arbitrary contiguous column (or row) range against an arbitrary
+//! contiguous `k` range — the shapes a per-group prefix forward needs.
+//!
+//! # Layout
+//!
+//! The packed buffer is segmented by `KC` block along `k`. Block `p` holds
+//! rows `[p·KC, p·KC + kc)` of `op(B)` as `n.div_ceil(NR)` strips of `NR`
+//! columns, each strip `kc`-major ([`PackedB`]); [`PackedA`] is the mirror
+//! image with `MR`-row strips for a persistent left operand. Strip
+//! membership is **absolute**: column `j` always lives in strip `j / NR` at
+//! lane `j % NR`, regardless of which range a caller later requests, so the
+//! value computed for an output element is independent of the requested
+//! range boundaries.
+//!
+//! # Determinism
+//!
+//! For fixed `(m, k0, k1, n0, n1)` the blocking, packing and accumulation
+//! order of [`gemm_packed_b`] / [`gemm_packed_a`] are pure functions of
+//! those bounds (k splits at absolute multiples of `KC`, tiles at absolute
+//! multiples of `NR`/`MR`). Two calls that cover the same element with the
+//! same `k` range produce bitwise-identical contributions — the foundation
+//! of the anytime prefix-refine path in `ms-nn`.
+
+use crate::matmul::{
+    micro_kernel_range, pack_a, pack_a_into, pack_b, pack_b_into, with_pack_bufs, Trans, KC, MC,
+    MR, NC, NR,
+};
+
+/// A persistently packed `k×n` right-hand operand `op(B)`.
+#[derive(Debug, Default, Clone)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    block_offsets: Vec<usize>,
+    buf: Vec<f32>,
+    valid: bool,
+}
+
+/// A persistently packed `m×k` left-hand operand `op(A)`.
+#[derive(Debug, Default, Clone)]
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    block_offsets: Vec<usize>,
+    buf: Vec<f32>,
+    valid: bool,
+}
+
+impl PackedB {
+    /// An empty (invalid) panel set; call [`PackedB::pack`] before use.
+    pub fn new() -> Self {
+        PackedB::default()
+    }
+
+    /// Whether the panels reflect the last packed weight values.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Marks the panels stale (weights may have changed); the next `pack`
+    /// reuses the buffers, so re-validation allocates nothing at steady
+    /// state.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Packed `op(B)` row count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Packed `op(B)` column count `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Packs the full `k×n` `op(B)` from `b` (leading dimension `ldb`,
+    /// transposed per `trans_b`). Grow-only: repacking the same shape reuses
+    /// the buffer.
+    pub fn pack(&mut self, trans_b: Trans, b: &[f32], ldb: usize, k: usize, n: usize) {
+        assert!(k > 0 && n > 0, "cannot pack an empty {k}x{n} operand");
+        let strips = n.div_ceil(NR);
+        let blocks = k.div_ceil(KC);
+        self.block_offsets.clear();
+        let mut total = 0;
+        for p in 0..blocks {
+            let kc = KC.min(k - p * KC);
+            self.block_offsets.push(total);
+            total += strips * kc * NR;
+        }
+        self.buf.clear();
+        self.buf.resize(total, 0.0);
+        for p in 0..blocks {
+            let pc = p * KC;
+            let kc = KC.min(k - pc);
+            let off = self.block_offsets[p];
+            pack_b_into(
+                trans_b,
+                b,
+                ldb,
+                pc,
+                kc,
+                0,
+                n,
+                &mut self.buf[off..off + strips * kc * NR],
+            );
+        }
+        self.k = k;
+        self.n = n;
+        self.valid = true;
+    }
+}
+
+impl PackedA {
+    /// An empty (invalid) panel set; call [`PackedA::pack`] before use.
+    pub fn new() -> Self {
+        PackedA::default()
+    }
+
+    /// Whether the panels reflect the last packed weight values.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Marks the panels stale (weights may have changed).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Packed `op(A)` row count `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Packed `op(A)` column count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Packs the full `m×k` `op(A)` from `a` (leading dimension `lda`,
+    /// transposed per `trans_a`). Grow-only.
+    pub fn pack(&mut self, trans_a: Trans, a: &[f32], lda: usize, m: usize, k: usize) {
+        assert!(m > 0 && k > 0, "cannot pack an empty {m}x{k} operand");
+        let strips = m.div_ceil(MR);
+        let blocks = k.div_ceil(KC);
+        self.block_offsets.clear();
+        let mut total = 0;
+        for p in 0..blocks {
+            let kc = KC.min(k - p * KC);
+            self.block_offsets.push(total);
+            total += strips * kc * MR;
+        }
+        self.buf.clear();
+        self.buf.resize(total, 0.0);
+        for p in 0..blocks {
+            let pc = p * KC;
+            let kc = KC.min(k - pc);
+            let off = self.block_offsets[p];
+            pack_a_into(
+                trans_a,
+                a,
+                lda,
+                0,
+                m,
+                pc,
+                kc,
+                &mut self.buf[off..off + strips * kc * MR],
+            );
+        }
+        self.m = m;
+        self.k = k;
+        self.valid = true;
+    }
+}
+
+/// `C[0..m, n0..n1) = alpha · A[:, k0..k1) · op(B)[k0..k1, n0..n1) + beta · C`
+/// with `op(B)` prepacked.
+///
+/// `a` is indexed by **absolute** `k`: element `(i, p)` lives at
+/// `a[i * lda + p]` for `p ∈ [k0, k1)`. `c` holds only the requested column
+/// window: element `(i, j)` lives at `c[i * ldc + (j - n0)]`. The `A` side
+/// is packed per call into the shared thread-local buffers (it is the
+/// activation, different every call); `B` is read straight from the panels.
+///
+/// The per-call `m·n·k` small-problem dispatch of [`crate::matmul::gemm`] is
+/// deliberately absent: every call takes the packed path, so an output
+/// element's accumulation order depends only on its own `(k0, k1)` range —
+/// never on how large the enclosing call happened to be.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_packed_b(
+    m: usize,
+    k0: usize,
+    k1: usize,
+    n0: usize,
+    n1: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    pb: &PackedB,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    assert!(pb.valid, "gemm_packed_b on invalid panels");
+    assert!(k0 <= k1 && k1 <= pb.k, "k range {k0}..{k1} vs packed {}", pb.k);
+    assert!(n0 <= n1 && n1 <= pb.n, "col range {n0}..{n1} vs packed {}", pb.n);
+    if m == 0 {
+        return;
+    }
+    let ncols = n1 - n0;
+    debug_assert!(ldc >= ncols.max(1) && c.len() >= (m - 1) * ldc + ncols);
+    if beta != 1.0 {
+        for row in c.chunks_mut(ldc).take(m) {
+            for v in &mut row[..ncols] {
+                *v *= beta;
+            }
+        }
+    }
+    if k0 == k1 || ncols == 0 || alpha == 0.0 {
+        return;
+    }
+    debug_assert!(lda >= 1 && a.len() >= (m - 1) * lda + k1);
+
+    let _span = ms_telemetry::span!("gemm.panel_b");
+    let t_lo = n0 / NR;
+    let t_hi = (n1 - 1) / NR;
+    with_pack_bufs(|apack, _| {
+        // k splits at absolute multiples of KC, so a range's block structure
+        // is a function of (k0, k1) alone.
+        let mut pc = k0;
+        while pc < k1 {
+            let block = pc / KC;
+            let bstart = block * KC;
+            let block_kc = KC.min(pb.k - bstart);
+            let kc = (bstart + block_kc).min(k1) - pc;
+            let rib = pc - bstart; // row offset inside the packed block
+            let boff = pb.block_offsets[block];
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                let mc_strips = mc.div_ceil(MR);
+                pack_a(Trans::No, a, lda, ic, mc, pc, kc, apack);
+                for t in t_lo..=t_hi {
+                    let sj0 = n0.max(t * NR) - t * NR;
+                    let sj1 = n1.min(t * NR + NR) - t * NR;
+                    let bp = &pb.buf[boff + t * block_kc * NR + rib * NR..][..kc * NR];
+                    for ir in 0..mc_strips {
+                        let mr = MR.min(mc - ir * MR);
+                        let c_off = (ic + ir * MR) * ldc + t * NR + sj0 - n0;
+                        let ap = &apack[ir * kc * MR..(ir + 1) * kc * MR];
+                        micro_kernel_range(kc, alpha, ap, bp, c, c_off, ldc, 0, mr, sj0, sj1);
+                    }
+                }
+            }
+            pc += kc;
+        }
+    });
+}
+
+/// `C[m0..m1, 0..n) = alpha · op(A)[m0..m1, k0..k1) · B[k0..k1, :] + beta · C`
+/// with `op(A)` prepacked.
+///
+/// `b` is indexed by absolute `k` (`b[p * ldb + j]` for `p ∈ [k0, k1)`); `c`
+/// holds only the requested row window (`c[(i - m0) * ldc + j]`). The `B`
+/// side is packed per call (for convolution it is the fresh im2col matrix).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_packed_a(
+    m0: usize,
+    m1: usize,
+    n: usize,
+    k0: usize,
+    k1: usize,
+    alpha: f32,
+    pa: &PackedA,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    assert!(pa.valid, "gemm_packed_a on invalid panels");
+    assert!(k0 <= k1 && k1 <= pa.k, "k range {k0}..{k1} vs packed {}", pa.k);
+    assert!(m0 <= m1 && m1 <= pa.m, "row range {m0}..{m1} vs packed {}", pa.m);
+    let mrows = m1 - m0;
+    if mrows == 0 {
+        return;
+    }
+    debug_assert!(ldc >= n.max(1) && c.len() >= (mrows - 1) * ldc + n);
+    if beta != 1.0 {
+        for row in c.chunks_mut(ldc).take(mrows) {
+            for v in &mut row[..n] {
+                *v *= beta;
+            }
+        }
+    }
+    if k0 == k1 || n == 0 || alpha == 0.0 {
+        return;
+    }
+    debug_assert!(ldb >= n.max(1) && b.len() >= (k1 - 1) * ldb + n);
+
+    let _span = ms_telemetry::span!("gemm.panel_a");
+    let s_lo = m0 / MR;
+    let s_hi = (m1 - 1) / MR;
+    with_pack_bufs(|_, bpack| {
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            let nc_strips = nc.div_ceil(NR);
+            let mut pc = k0;
+            while pc < k1 {
+                let block = pc / KC;
+                let bstart = block * KC;
+                let block_kc = KC.min(pa.k - bstart);
+                let kc = (bstart + block_kc).min(k1) - pc;
+                let rib = pc - bstart;
+                let boff = pa.block_offsets[block];
+                pack_b(Trans::No, b, ldb, pc, kc, jc, nc, bpack);
+                for s in s_lo..=s_hi {
+                    let si0 = m0.max(s * MR) - s * MR;
+                    let si1 = m1.min(s * MR + MR) - s * MR;
+                    let ap = &pa.buf[boff + s * block_kc * MR + rib * MR..][..kc * MR];
+                    for jr in 0..nc_strips {
+                        let nr = NR.min(nc - jr * NR);
+                        let bp = &bpack[jr * kc * NR..(jr + 1) * kc * NR];
+                        let c_off = (s * MR + si0 - m0) * ldc + jc + jr * NR;
+                        micro_kernel_range(kc, alpha, ap, bp, c, c_off, ldc, si0, si1, 0, nr);
+                    }
+                }
+                pc += kc;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::gemm_reference;
+    use crate::SeededRng;
+
+    fn filled(rng: &mut SeededRng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()
+    }
+
+    fn reference_range_b(
+        m: usize,
+        (k0, k1): (usize, usize),
+        (n0, n1): (usize, usize),
+        alpha: f32,
+        a: &[f32],
+        lda: usize,
+        bt: &[f32], // op(B) stored k×n row-major
+        n_full: usize,
+        beta: f32,
+        c: &mut [f32],
+        ldc: usize,
+    ) {
+        for i in 0..m {
+            for j in n0..n1 {
+                let mut acc = 0.0f64;
+                for p in k0..k1 {
+                    acc += a[i * lda + p] as f64 * bt[p * n_full + j] as f64;
+                }
+                let cv = &mut c[i * ldc + (j - n0)];
+                *cv = (beta as f64 * *cv as f64 + alpha as f64 * acc) as f32;
+            }
+        }
+    }
+
+    /// Ranged panel GEMM agrees with an f64 reference over random ranges,
+    /// both transpose packings, and edge (non-multiple) shapes.
+    #[test]
+    fn packed_b_matches_reference_over_ranges() {
+        let mut rng = SeededRng::new(41);
+        for &(m, k, n) in &[(1usize, 7usize, 5usize), (6, 16, 16), (13, 33, 29), (64, 300, 270)] {
+            // op(B) as k×n (Trans::No) and its transposed storage n×k.
+            let bt = filled(&mut rng, k * n);
+            let b_trans: Vec<f32> = (0..n * k).map(|i| bt[(i % k) * n + i / k]).collect();
+            let a = filled(&mut rng, m * k);
+            for trans in [Trans::No, Trans::Yes] {
+                let mut pb = PackedB::new();
+                match trans {
+                    Trans::No => pb.pack(Trans::No, &bt, n, k, n),
+                    Trans::Yes => pb.pack(Trans::Yes, &b_trans, k, k, n),
+                }
+                for case in 0..8 {
+                    let k0 = rng.uniform(0.0, k as f32) as usize % k;
+                    let k1 = k0 + 1 + (rng.uniform(0.0, (k - k0) as f32) as usize).min(k - k0 - 1);
+                    let n0 = rng.uniform(0.0, n as f32) as usize % n;
+                    let n1 = n0 + 1 + (rng.uniform(0.0, (n - n0) as f32) as usize).min(n - n0 - 1);
+                    let (alpha, beta) = if case % 2 == 0 { (1.0, 0.0) } else { (1.7, 1.0) };
+                    let ldc = (n1 - n0) + (case % 3);
+                    let mut c = filled(&mut rng, m * ldc);
+                    let mut want = c.clone();
+                    gemm_packed_b(m, k0, k1, n0, n1, alpha, &a, k, &pb, beta, &mut c, ldc);
+                    reference_range_b(
+                        m,
+                        (k0, k1),
+                        (n0, n1),
+                        alpha,
+                        &a,
+                        k,
+                        &bt,
+                        n,
+                        beta,
+                        &mut want,
+                        ldc,
+                    );
+                    for (got, want) in c.iter().zip(&want) {
+                        assert!(
+                            (got - want).abs() <= 2e-4 * want.abs().max(1.0),
+                            "m={m} k={k0}..{k1} n={n0}..{n1}: {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Two half-range calls produce bitwise the same bytes as one covering
+    /// call when the split is at any column boundary — the refine guarantee.
+    #[test]
+    fn packed_b_column_split_is_bitwise_invariant() {
+        let mut rng = SeededRng::new(42);
+        let (m, k, n) = (9usize, 70usize, 45usize);
+        let w = filled(&mut rng, n * k); // n×k storage, used Trans::Yes
+        let a = filled(&mut rng, m * k);
+        let mut pb = PackedB::new();
+        pb.pack(Trans::Yes, &w, k, k, n);
+        let mut whole = vec![0.0f32; m * n];
+        gemm_packed_b(m, 0, k, 0, n, 1.3, &a, k, &pb, 0.0, &mut whole, n);
+        for split in [1, 7, 16, 17, 32, 44] {
+            let mut parts = vec![0.0f32; m * n];
+            gemm_packed_b(m, 0, k, 0, split, 1.3, &a, k, &pb, 0.0, &mut parts, n);
+            // Second call writes its own window; stitch via offset slice.
+            let mut tail = vec![0.0f32; m * (n - split)];
+            gemm_packed_b(m, 0, k, split, n, 1.3, &a, k, &pb, 0.0, &mut tail, n - split);
+            for i in 0..m {
+                parts[i * n + split..(i + 1) * n]
+                    .copy_from_slice(&tail[i * (n - split)..(i + 1) * (n - split)]);
+            }
+            assert_eq!(
+                whole.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                parts.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "split at {split} changed bits"
+            );
+        }
+    }
+
+    /// Same k range ⇒ same bits, regardless of where previous calls stopped:
+    /// k splits at absolute KC multiples.
+    #[test]
+    fn packed_b_k_prefix_accumulation_is_canonical() {
+        let mut rng = SeededRng::new(43);
+        let (m, k, n) = (4usize, 2 * KC + 37, 24usize);
+        let w = filled(&mut rng, n * k);
+        let a = filled(&mut rng, m * k);
+        let mut pb = PackedB::new();
+        pb.pack(Trans::Yes, &w, k, k, n);
+        // One shot over [0, k) vs two k-chunks [0, c) + [c, k) accumulated.
+        let mut whole = vec![0.0f32; m * n];
+        gemm_packed_b(m, 0, k, 0, n, 1.0, &a, k, &pb, 0.0, &mut whole, n);
+        for cut in [KC, 2 * KC] {
+            // Cuts at KC boundaries preserve the block structure exactly.
+            let mut two = vec![0.0f32; m * n];
+            gemm_packed_b(m, 0, cut, 0, n, 1.0, &a, k, &pb, 0.0, &mut two, n);
+            gemm_packed_b(m, cut, k, 0, n, 1.0, &a, k, &pb, 1.0, &mut two, n);
+            assert_eq!(
+                whole.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                two.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "k cut at {cut} changed bits"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_a_matches_reference_over_row_ranges() {
+        let mut rng = SeededRng::new(44);
+        for &(m, k, n) in &[(5usize, 9usize, 8usize), (16, 40, 33), (70, 260, 50)] {
+            let a = filled(&mut rng, m * k);
+            let b = filled(&mut rng, k * n);
+            let mut pa = PackedA::new();
+            pa.pack(Trans::No, &a, k, m, k);
+            for _ in 0..6 {
+                let m0 = rng.uniform(0.0, m as f32) as usize % m;
+                let m1 = m0 + 1 + (rng.uniform(0.0, (m - m0) as f32) as usize).min(m - m0 - 1);
+                let k1 = 1 + (rng.uniform(0.0, k as f32) as usize).min(k - 1);
+                let mut c = vec![0.0f32; (m1 - m0) * n];
+                gemm_packed_a(m0, m1, n, 0, k1, 1.0, &pa, &b, n, 0.0, &mut c, n);
+                let mut want = vec![0.0f32; m * n];
+                gemm_reference(
+                    Trans::No,
+                    Trans::No,
+                    m,
+                    n,
+                    k1,
+                    1.0,
+                    &a,
+                    k,
+                    &b,
+                    n,
+                    0.0,
+                    &mut want,
+                    n,
+                );
+                for i in m0..m1 {
+                    for j in 0..n {
+                        let got = c[(i - m0) * n + j];
+                        let w = want[i * n + j];
+                        assert!(
+                            (got - w).abs() <= 2e-4 * w.abs().max(1.0),
+                            "rows {m0}..{m1} k1={k1} at ({i},{j}): {got} vs {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Row-split calls agree bitwise with one covering call (the conv
+    /// per-output-group decomposition).
+    #[test]
+    fn packed_a_row_split_is_bitwise_invariant() {
+        let mut rng = SeededRng::new(45);
+        let (m, k, n) = (31usize, 90usize, 40usize);
+        let a = filled(&mut rng, m * k);
+        let b = filled(&mut rng, k * n);
+        let mut pa = PackedA::new();
+        pa.pack(Trans::No, &a, k, m, k);
+        let mut whole = vec![0.0f32; m * n];
+        gemm_packed_a(0, m, n, 0, k, 1.0, &pa, &b, n, 0.0, &mut whole, n);
+        for split in [1, 5, 6, 12, 30] {
+            let mut parts = vec![0.0f32; m * n];
+            gemm_packed_a(0, split, n, 0, k, 1.0, &pa, &b, n, 0.0, &mut parts, n);
+            gemm_packed_a(
+                split,
+                m,
+                n,
+                0,
+                k,
+                1.0,
+                &pa,
+                &b,
+                n,
+                0.0,
+                &mut parts[split * n..],
+                n,
+            );
+            assert_eq!(
+                whole.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                parts.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "row split at {split} changed bits"
+            );
+        }
+    }
+
+    #[test]
+    fn repack_reuses_capacity() {
+        let mut rng = SeededRng::new(46);
+        let w = filled(&mut rng, 64 * 48);
+        let mut pb = PackedB::new();
+        pb.pack(Trans::Yes, &w, 48, 48, 64);
+        let cap = pb.buf.capacity();
+        pb.invalidate();
+        assert!(!pb.is_valid());
+        pb.pack(Trans::Yes, &w, 48, 48, 64);
+        assert!(pb.is_valid());
+        assert_eq!(pb.buf.capacity(), cap, "repack must not grow the buffer");
+        assert_eq!((pb.k(), pb.n()), (48, 64));
+    }
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Performance tripwire for the packed-GEMM / zero-allocation work (PR 1),
-# the elastic serving engine (PR 2) and the telemetry stack (PR 3).
+# the elastic serving engine (PR 2), the telemetry stack (PR 3) and the
+# anytime prefix-refinement path (PR 6).
 #
 # 1. Release build must succeed.
 # 2. Kernel benches must run (criterion smoke mode, no timing).
@@ -34,6 +35,18 @@
 #    gate failure). The determinism probe in step 4 additionally asserts
 #    the recorder is numerically invisible (identical fingerprints with
 #    recording on and off).
+# 9. The anytime-refinement gates (PR 6): with pre-packed weight panels,
+#    walking the {0.25,0.5,0.75,1.0} rate ladder by prefix refinement must
+#    be >= 2x faster than recomputing every rung at the 256^3 / 4-group
+#    acceptance shape (MS_PREFIX_LADDER_GATE overrides), the network-level
+#    refine MAC bill must telescope to *exactly* one full-width pass (hard
+#    assert, no tolerance), and the refine ladder's wall clock must stay
+#    within 10% of a single direct full pass (MS_PREFIX_GATE_PCT
+#    overrides). `bench_snapshot` runs both A/Bs, writes the numbers to
+#    results/BENCH_prefix_pr6.json and exits non-zero on a gate failure.
+#    The refine hot path must also be allocation-free in steady state
+#    (ms-core/tests/zero_alloc_refine.rs) and `forward_prefix` bodies are
+#    covered by the step-6 allocation tripwire.
 #
 # Usage: scripts/perfcheck.sh   (from the repo root)
 set -euo pipefail
@@ -48,6 +61,7 @@ cargo bench -p ms-bench --bench kernels -- --test
 echo "== zero-allocation instrumented tests =="
 cargo test --release -p ms-nn --test zero_alloc
 cargo test --release -p ms-core --test zero_alloc_batched
+cargo test --release -p ms-core --test zero_alloc_refine
 cargo test --release -p ms-telemetry --test zero_alloc
 cargo test --release -p ms-telemetry --test zero_alloc --features telemetry-spans
 cargo test --release -p ms-telemetry --test zero_alloc_flight
@@ -72,7 +86,7 @@ MS_TELEMETRY_BENCH_OUT=results/BENCH_telemetry_pr3_spans.json \
 echo "== loopback net gate (wire path vs in-process) =="
 cargo run --release -p ms-bench --bin engine_smoke -- --net
 
-echo "== bench snapshots (kernels + net + flight-recorder trace gate) =="
+echo "== bench snapshots (kernels + net + trace gate + prefix-refine gates) =="
 cargo run --release -p ms-bench --bin bench_snapshot > /dev/null
 
 echo "== allocation tripwire (hot layer bodies) =="
@@ -88,10 +102,11 @@ HOT_FILES=(
 )
 fail=0
 for f in "${HOT_FILES[@]}"; do
-    # Scan only `fn forward(`/`fn backward(` bodies (brace-counted); layer
-    # constructors may allocate once, the per-call paths may not.
+    # Scan only `fn forward(`/`fn forward_prefix(`/`fn backward(` bodies
+    # (brace-counted); layer constructors may allocate once, the per-call
+    # paths may not.
     if ! awk -v file="$f" '
-        /fn (forward|backward)\(/ { infn = 1; depth = 0; seen = 0 }
+        /fn (forward|forward_prefix|backward)\(/ { infn = 1; depth = 0; seen = 0 }
         infn {
             if ($0 ~ /Tensor::zeros\(|vec!\[/) {
                 printf "    %s:%d: %s\n", file, FNR, $0

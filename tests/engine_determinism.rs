@@ -82,6 +82,7 @@ fn replay_with_workers(workers: usize, weights: &SharedWeights) -> ReplayReport 
             latency: 0.02,
             headroom: 1.0,
             max_queue: 100_000,
+            refine: false,
         },
         SlaController::elastic(profile),
         replicas,

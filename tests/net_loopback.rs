@@ -131,6 +131,7 @@ fn run_over_wire(
                     latency,
                     headroom: 0.5,
                     max_queue: usize::MAX / 2,
+                    refine: false,
                 },
                 SlaController::new(profile.clone(), policy),
                 vec![Box::new(m) as Box<dyn Layer + Send>],
@@ -352,6 +353,7 @@ fn traced_soak(profile: &LatencyProfile, trace_base: u64) {
                     latency,
                     headroom: 0.5,
                     max_queue: usize::MAX / 2,
+                    refine: false,
                 },
                 SlaController::new(profile.clone(), RatePolicy::Elastic),
                 vec![Box::new(m) as Box<dyn Layer + Send>],

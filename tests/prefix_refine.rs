@@ -1,0 +1,209 @@
+//! Property tests for the anytime-refinement contract: for any network in
+//! the zoo and any pair of rates `r₁ < r₂`, refining a prefix pass from
+//! `r₁` up to `r₂` is **bitwise identical** to a direct prefix pass at
+//! `r₂`. This is the invariant that lets the serving engine climb the
+//! ladder mid-flight without changing a single logit bit.
+//!
+//! Shapes are deliberately awkward (dims not divisible by the group
+//! count) so the canonical-prefix-width bookkeeping is exercised at group
+//! boundaries that land off the obvious multiples.
+
+use modelslicing::models::mlp::{Mlp, MlpConfig};
+use modelslicing::models::mobile::{MobileConfig, MobileNetStyle};
+use modelslicing::nn::activation::Relu;
+use modelslicing::nn::conv2d::{Conv2d, Conv2dConfig};
+use modelslicing::nn::layer::Layer;
+use modelslicing::nn::norm::GroupNorm;
+use modelslicing::nn::rnn::gru::{Gru, GruConfig};
+use modelslicing::nn::rnn::lstm::{Lstm, LstmConfig};
+use modelslicing::nn::sequential::Sequential;
+use modelslicing::nn::slice::SliceRate;
+use modelslicing::tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Uniform input in [-1, 1) with the given dims, deterministic in `seed`.
+fn input(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = SeededRng::new(seed);
+    let n: usize = dims.iter().product();
+    Tensor::from_vec(
+        dims.to_vec(),
+        (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+    )
+    .expect("input tensor")
+}
+
+/// Asserts the refinement contract on one network family: a fresh net
+/// refined `r₁ → r₂` must produce bit-for-bit the logits of a fresh net
+/// driven straight to `r₂`. `build` must be deterministic in its seed.
+fn assert_refine_bitwise(
+    build: impl Fn() -> Box<dyn Layer>,
+    x: &Tensor,
+    r1: SliceRate,
+    r2: SliceRate,
+) -> Result<(), TestCaseError> {
+    let mut direct_net = build();
+    let direct = direct_net.forward_prefix(x, None, r2);
+
+    let mut refined_net = build();
+    let base = refined_net.forward_prefix(x, None, r1);
+    let refined = refined_net.forward_prefix(x, Some(r1), r2);
+
+    prop_assert_eq!(direct.dims(), refined.dims());
+    let direct_bits: Vec<u32> = direct.data().iter().map(|v| v.to_bits()).collect();
+    let refined_bits: Vec<u32> = refined.data().iter().map(|v| v.to_bits()).collect();
+    prop_assert_eq!(direct_bits, refined_bits, "refine {}→{} diverged", r1, r2);
+    base.recycle();
+    refined.recycle();
+    direct.recycle();
+    Ok(())
+}
+
+/// Builds `r₁ < r₂` from a 64-step grid: `lo` keeps the pair well above
+/// rate ~0 and `bump` steps strictly upward, capped at full width.
+fn rate_pair(lo: u32, bump: u32) -> (SliceRate, SliceRate) {
+    let hi = (lo + bump).min(64);
+    (
+        SliceRate::new(lo as f32 / 64.0),
+        SliceRate::new(hi as f32 / 64.0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MLP with prime-ish dims: 13 → 21 → 14 → 7 in 3 groups.
+    #[test]
+    fn mlp_refine_is_bitwise_identical(
+        lo in 8u32..64,
+        bump in 1u32..16,
+        batch in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let (r1, r2) = rate_pair(lo, bump);
+        let cfg = MlpConfig {
+            input_dim: 13,
+            hidden_dims: vec![21, 14],
+            num_classes: 7,
+            groups: 3,
+            dropout: 0.0,
+            input_rescale: true,
+        };
+        let x = input(&[batch, 13], seed);
+        assert_refine_bitwise(
+            || Box::new(Mlp::new(&cfg, &mut SeededRng::new(5))),
+            &x, r1, r2,
+        )?;
+    }
+
+    /// Conv → GroupNorm → ReLU → Conv with 9 channels in 3 groups; the
+    /// head conv is output-pinned, so only the interior is sliced.
+    #[test]
+    fn conv_groupnorm_refine_is_bitwise_identical(
+        lo in 8u32..64,
+        bump in 1u32..16,
+        batch in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (r1, r2) = rate_pair(lo, bump);
+        let build = || -> Box<dyn Layer> {
+            let mut rng = SeededRng::new(7);
+            let mut net = Sequential::new("convnet");
+            net.add(Box::new(Conv2d::new(
+                "c1",
+                Conv2dConfig {
+                    in_ch: 2, out_ch: 9, kernel: 3, stride: 1, pad: 1,
+                    h: 5, w: 5, in_groups: None, out_groups: Some(3),
+                    bias: true,
+                },
+                &mut rng,
+            )));
+            net.add(Box::new(GroupNorm::new("gn", 9, 3)));
+            net.add(Box::new(Relu::new()));
+            net.add(Box::new(Conv2d::new(
+                "head",
+                Conv2dConfig {
+                    in_ch: 9, out_ch: 4, kernel: 3, stride: 1, pad: 1,
+                    h: 5, w: 5, in_groups: Some(3), out_groups: None,
+                    bias: true,
+                },
+                &mut rng,
+            )));
+            Box::new(net)
+        };
+        let x = input(&[batch, 2, 5, 5], seed);
+        assert_refine_bitwise(build, &x, r1, r2)?;
+    }
+
+    /// Depthwise-separable stack (depthwise → GN → pointwise → pool →
+    /// classifier), the §3.5 multi-branch case.
+    #[test]
+    fn mobile_refine_is_bitwise_identical(
+        lo in 8u32..64,
+        bump in 1u32..16,
+        batch in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let (r1, r2) = rate_pair(lo, bump);
+        let cfg = MobileConfig {
+            in_channels: 2,
+            image_size: 6,
+            stages: vec![(1, 6)],
+            num_classes: 5,
+            groups: 3,
+        };
+        let x = input(&[batch, 2, 6, 6], seed);
+        assert_refine_bitwise(
+            || Box::new(MobileNetStyle::new(&cfg, &mut SeededRng::new(9))),
+            &x, r1, r2,
+        )?;
+    }
+
+    /// LSTM with full-width input and 3 hidden groups over 9 units.
+    #[test]
+    fn lstm_refine_is_bitwise_identical(
+        lo in 8u32..64,
+        bump in 1u32..16,
+        batch in 1usize..4,
+        steps in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (r1, r2) = rate_pair(lo, bump);
+        let cfg = LstmConfig {
+            in_dim: 5,
+            hidden_dim: 9,
+            in_groups: None,
+            out_groups: Some(3),
+            input_rescale: true,
+        };
+        let x = input(&[batch, steps, 5], seed);
+        assert_refine_bitwise(
+            || Box::new(Lstm::new("lstm", cfg.clone(), &mut SeededRng::new(13))),
+            &x, r1, r2,
+        )?;
+    }
+
+    /// GRU with the same edge geometry as the LSTM case.
+    #[test]
+    fn gru_refine_is_bitwise_identical(
+        lo in 8u32..64,
+        bump in 1u32..16,
+        batch in 1usize..4,
+        steps in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (r1, r2) = rate_pair(lo, bump);
+        let cfg = GruConfig {
+            in_dim: 5,
+            hidden_dim: 9,
+            in_groups: None,
+            out_groups: Some(3),
+            input_rescale: true,
+        };
+        let x = input(&[batch, steps, 5], seed);
+        assert_refine_bitwise(
+            || Box::new(Gru::new("gru", cfg.clone(), &mut SeededRng::new(13))),
+            &x, r1, r2,
+        )?;
+    }
+}

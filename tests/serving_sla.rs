@@ -20,8 +20,13 @@ use modelslicing::serving::profile::LatencyProfile;
 use modelslicing::serving::simulator::{SimConfig, Simulator};
 use modelslicing::serving::workload::{WorkloadConfig, WorkloadTrace};
 use modelslicing::slicing::slice_rate::{SliceRate, SliceRateList};
+use modelslicing::telemetry::flight;
 use modelslicing::tensor::{SeededRng, Tensor};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// The measured-latency tests below time real forward passes, so no other
 /// test in this binary may compete for the CPU while one runs (the harness
@@ -202,6 +207,7 @@ fn replay_measured(
             // jitter between calibration time and replay time.
             headroom: 0.5,
             max_queue: usize::MAX / 2,
+            refine: false,
         },
         SlaController::new(profile.clone(), policy),
         vec![Box::new(replica) as Box<dyn Layer + Send>],
@@ -293,6 +299,7 @@ fn measured_elastic_stays_on_time_with_multiple_workers() {
             latency,
             headroom: 0.5,
             max_queue: usize::MAX / 2,
+            refine: false,
         },
         SlaController::elastic(profile),
         replicas,
@@ -306,4 +313,293 @@ fn measured_elastic_stays_on_time_with_multiple_workers() {
         report.late,
         report.served
     );
+}
+
+// ---------------------------------------------------------------------------
+// Anytime refinement under calibration drift: live-paced engines.
+//
+// The replay harness scores deadlines on a virtual timeline, but the
+// refinement ladder consults the *wall clock* — so the refine story needs
+// engines paced in real time, with tick lengths far above OS jitter. All
+// batch sizes below are derived from a live-calibrated profile, so the
+// arithmetic is machine-independent: a spike batch is sized to take
+// 1.5× the processing window at full width *on this machine, today*.
+// ---------------------------------------------------------------------------
+
+/// Wider MLP for the live-paced tests: per-sample cost large enough that
+/// profile-derived batch sizes stay small (cheap to stage inside a tick).
+fn wide_mlp_config() -> MlpConfig {
+    MlpConfig {
+        input_dim: INPUT_DIM,
+        hidden_dims: vec![128, 128],
+        num_classes: 8,
+        groups: 4,
+        dropout: 0.0,
+        input_rescale: true,
+    }
+}
+
+fn wide_calibrated_profile() -> LatencyProfile {
+    let mut rng = SeededRng::new(11);
+    let mut net = Mlp::new(&wide_mlp_config(), &mut rng);
+    LatencyProfile::calibrate(
+        &mut net,
+        SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]),
+        &[INPUT_DIM],
+        128,
+        3,
+    )
+}
+
+/// Scales every per-sample time (and the overhead) by `factor` — a stale
+/// profile calibrated when the machine looked `1/factor`× faster than it
+/// measures today.
+fn drifted(profile: &LatencyProfile, factor: f64) -> LatencyProfile {
+    let per_sample = profile
+        .list()
+        .iter()
+        .map(|r| profile.per_sample(r) * factor)
+        .collect();
+    LatencyProfile::new(
+        profile.list().clone(),
+        per_sample,
+        profile.predict(0, SliceRate::FULL) * factor,
+    )
+}
+
+struct LiveOutcome {
+    served: usize,
+    on_time: usize,
+    /// Ladder-step counter (per request per step).
+    refined: u64,
+    /// Highest rate any response was served at.
+    top_rate: f32,
+}
+
+/// Paces `arrivals` through a single-worker engine in real time: one seal
+/// per tick of length `window` seconds, deadlines scored against the wall
+/// clock (`sealed + window` — the same instant the refinement ladder
+/// plans against). A collector thread timestamps responses as they land.
+fn run_live(
+    believed: &LatencyProfile,
+    arrivals: &[usize],
+    window: f64,
+    headroom: f64,
+    refine: bool,
+) -> LiveOutcome {
+    let mut rng = SeededRng::new(17);
+    let mut proto = Mlp::new(&wide_mlp_config(), &mut rng);
+    let weights = SharedWeights::capture(&mut proto);
+    let mut replica = Mlp::new(&wide_mlp_config(), &mut SeededRng::new(18));
+    weights.hydrate(&mut replica);
+    let engine = Engine::start(
+        EngineConfig {
+            latency: window * 2.0,
+            headroom,
+            max_queue: usize::MAX / 2,
+            refine,
+        },
+        SlaController::new(believed.clone(), RatePolicy::Elastic),
+        vec![Box::new(replica) as Box<dyn Layer + Send>],
+    );
+
+    let mut deadline_of: HashMap<u64, Instant> = HashMap::new();
+    let stop = AtomicBool::new(false);
+    let done: Vec<(u64, f32, Instant)> = thread::scope(|s| {
+        let collector = s.spawn(|| {
+            let mut done = Vec::new();
+            loop {
+                let stopping = stop.load(Ordering::Acquire);
+                let now = Instant::now();
+                for r in engine.take_responses() {
+                    done.push((r.id, r.rate, now));
+                }
+                if stopping {
+                    return done;
+                }
+                thread::sleep(Duration::from_micros(500));
+            }
+        });
+        let tick = Duration::from_secs_f64(window);
+        let t0 = Instant::now();
+        for (i, &n) in arrivals.iter().enumerate() {
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                let x = Tensor::full([INPUT_DIM], ((i % 31) as f32) * 0.06 - 0.9);
+                if let Ok(id) = engine.submit(x) {
+                    ids.push(id);
+                }
+            }
+            engine.seal();
+            let deadline = Instant::now() + tick;
+            for id in ids {
+                deadline_of.insert(id, deadline);
+            }
+            let next = t0 + tick * (i as u32 + 1);
+            if let Some(d) = next.checked_duration_since(Instant::now()) {
+                thread::sleep(d);
+            }
+        }
+        engine.drain();
+        stop.store(true, Ordering::Release);
+        collector.join().expect("collector thread")
+    });
+
+    let refined = engine.counters().refined;
+    engine.shutdown();
+    let on_time = done
+        .iter()
+        .filter(|(id, _, at)| deadline_of.get(id).is_some_and(|d| at <= d))
+        .count();
+    let top_rate = done.iter().map(|&(_, r, _)| r).fold(0.0f32, f32::max);
+    LiveOutcome {
+        served: done.len(),
+        on_time,
+        refined,
+        top_rate,
+    }
+}
+
+/// Calm ticks sized at 70 % of full-width capacity, with two flash crowds
+/// whose *true* full-width cost is 1.5× the processing window.
+fn live_trace(truth: &LatencyProfile, window: f64) -> Vec<usize> {
+    let c_full = truth.max_batch(SliceRate::FULL, window / 2.0).max(2);
+    let calm = (c_full * 7 / 10).max(1);
+    let overload = c_full * 3;
+    (0..30)
+        .map(|t| {
+            if (8..12).contains(&t) || (20..24).contains(&t) {
+                overload
+            } else {
+                calm
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn refine_beats_aggressive_planning_under_profile_drift() {
+    let _serial = serial();
+    let truth = wide_calibrated_profile();
+    // Both engines plan against a stale profile that claims the machine is
+    // 2× faster than it is. The aggressive engine trusts it and plans the
+    // whole window; the conservative engine plans an eighth of the window
+    // and relies on the wall-clock refinement ladder to win the width back.
+    let believed = drifted(&truth, 0.5);
+    let window = 0.01; // 10 ms ticks: far above scheduler jitter
+    let trace = live_trace(&truth, window);
+
+    // Headroom 1.0 + optimistic profile: flash-crowd batches are planned at
+    // full width but truly cost 1.5× the window — late by construction, and
+    // the backlog drags the following calm batches past their deadlines too.
+    let aggressive = run_live(&believed, &trace, window, 1.0, false);
+    // Headroom 0.125 + refinement: base passes are planned narrow (safe even
+    // at 2× drift), then each batch climbs the ladder against the *real*
+    // clock, which no profile error can fake.
+    let refining = run_live(&believed, &trace, window, 0.125, true);
+
+    assert!(refining.refined > 0, "refinement ladder never fired");
+    assert!(
+        (refining.top_rate - 1.0).abs() < 1e-6,
+        "refinement never reached full width: top rate {}",
+        refining.top_rate
+    );
+    assert!(
+        refining.on_time > aggressive.on_time,
+        "refine {} on-time of {} vs aggressive {} of {}",
+        refining.on_time,
+        refining.served,
+        aggressive.on_time,
+        aggressive.served
+    );
+}
+
+/// Soak: thousands of traced requests through a refining engine with the
+/// flight recorder on. Every request must come back with logits at *some*
+/// rate, every trace chain must be complete and time-ordered, and recorded
+/// ladder steps must walk strictly upward without gaps.
+#[test]
+#[ignore = "anytime soak; run with --ignored"]
+fn anytime_soak_serves_everyone_with_complete_monotone_traces() {
+    let _serial = serial();
+    let profile = calibrated_profile();
+    let mut rng = SeededRng::new(17);
+    let mut proto = Mlp::new(&mlp_config(), &mut rng);
+    let weights = SharedWeights::capture(&mut proto);
+    let mut replica = Mlp::new(&mlp_config(), &mut SeededRng::new(18));
+    weights.hydrate(&mut replica);
+    let engine = Engine::start(
+        EngineConfig {
+            latency: 0.1, // 50 ms window: every batch has refinement slack
+            headroom: 0.25,
+            max_queue: usize::MAX / 2,
+            refine: true,
+        },
+        // Pin the planner to the base subnet: under this light load an
+        // elastic planner would pick full width outright and leave the
+        // ladder nothing to do. Fixed(0.25) makes every wider rate the
+        // ladder's work, which is what the soak is here to exercise.
+        SlaController::new(profile, RatePolicy::Fixed(SliceRate::new(0.25))),
+        vec![Box::new(replica) as Box<dyn Layer + Send>],
+    );
+
+    flight::reset();
+    flight::set_recording(true);
+    const ROUNDS: usize = 800;
+    const PER_ROUND: usize = 4;
+    let mut traces = Vec::with_capacity(ROUNDS * PER_ROUND);
+    for round in 0..ROUNDS {
+        for k in 0..PER_ROUND {
+            let tr = flight::next_trace_id();
+            // The soak is its own front-end: stamp the wire event the TCP
+            // layer would normally produce.
+            flight::wire_decoded(tr, 100_000);
+            let x = Tensor::full(
+                [INPUT_DIM],
+                (((round * PER_ROUND + k) % 31) as f32) * 0.06 - 0.9,
+            );
+            engine.submit_traced(x, None, tr).expect("soak admits all");
+            traces.push(tr);
+        }
+        engine.seal();
+        if round % 16 == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+    engine.drain();
+    let responses = engine.take_responses();
+    for r in &responses {
+        flight::delivered(r.trace_id);
+        assert!(r.rate > 0.0, "request {} served without a rate", r.id);
+    }
+    assert_eq!(responses.len(), traces.len(), "soak shed requests");
+    let refined_counter = engine.counters().refined;
+    assert!(refined_counter > 0, "soak never exercised the ladder");
+    engine.shutdown();
+
+    let chains = flight::chains();
+    let by_id: HashMap<u64, _> = chains.iter().map(|c| (c.trace_id, c)).collect();
+    let mut refine_events = 0usize;
+    for &tr in &traces {
+        let c = by_id.get(&tr).unwrap_or_else(|| panic!("trace {tr} lost"));
+        assert!(c.is_complete(), "incomplete chain for trace {tr}");
+        assert!(c.is_monotonic(), "out-of-order chain for trace {tr}");
+        let steps = c.refine_steps();
+        for &(from, to) in &steps {
+            assert!(from < to, "trace {tr}: non-ascending step {from}→{to}");
+        }
+        for w in steps.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "trace {tr}: ladder gap {w:?}");
+        }
+        refine_events += steps.len();
+    }
+    // `engine_refined_total` adds one per request per ladder step, and the
+    // worker stamps one `RefineStep` event per trace per step: the flight
+    // recorder and the metrics registry must tell the same story.
+    assert_eq!(
+        refine_events as u64, refined_counter,
+        "flight ladder steps disagree with engine_refined_total"
+    );
+    flight::set_recording(false);
+    flight::reset();
 }
