@@ -174,6 +174,7 @@ pub fn traced_wire_demo(logs_dir: &str, requests: usize) -> (PathBuf, usize) {
         Router::new(vec![engine(&weights)]),
         ServerConfig {
             seal_interval: Some(Duration::from_millis(2)),
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");

@@ -105,6 +105,7 @@ pub fn wire_vs_inprocess(requests: usize, reps: usize) -> NetAb {
         Router::new(vec![engine(&weights)]),
         ServerConfig {
             seal_interval: Some(Duration::from_millis(5)),
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");

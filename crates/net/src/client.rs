@@ -5,6 +5,11 @@
 //! background reader thread collects responses while the caller keeps
 //! submitting — which is what saturates a batching server: the engine
 //! accumulates a whole `T/2` window of requests instead of one.
+//!
+//! Both clients are deliberately plain blocking sockets even though the
+//! server side is a readiness reactor (DESIGN.md §14): the wire is
+//! unchanged, and a blocking peer is the strictest exerciser of the
+//! server's partial-read/partial-write handling.
 
 use crate::protocol::{
     read_frame, read_frame_traced, write_frame, write_frame_traced, Frame, HealthReply,

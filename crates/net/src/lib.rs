@@ -1,32 +1,44 @@
 //! # ms-net — serving model slicing over the network
 //!
 //! The network front-end for the elastic inference engine: a
-//! length-prefixed, checksummed binary wire protocol, a thread-per-
-//! connection TCP server, blocking and pipelined clients, and a
-//! deadline-aware router that shards requests across engine replicas by
-//! health score. Std-only — sockets and threads from the standard
-//! library, no async runtime, no external dependencies.
+//! length-prefixed, checksummed binary wire protocol, an epoll readiness
+//! reactor serving tens of thousands of concurrent connections, blocking
+//! and pipelined clients, and a deadline-aware router that shards
+//! requests across engine replicas by health score. Std-only — sockets
+//! and threads from the standard library plus thin libc FFI for
+//! `epoll`/`eventfd` (see [`sys`]); no async runtime, no external
+//! dependencies.
 //!
 //! The stack, bottom to top:
 //!
+//! - [`sys`] — minimal level-triggered readiness polling: `epoll` on
+//!   Linux, POSIX `poll` elsewhere, plus an `eventfd`/pipe [`sys::Waker`]
+//!   for cross-thread wakeups and a `RLIMIT_NOFILE` helper for
+//!   high-connection-count runs.
 //! - [`protocol`] — versioned frames ([`Frame`]) with an FNV-1a checksum
 //!   over header and payload; decoding rejects malformed bytes with a
 //!   [`WireError`], never a panic. Since v2 a frame can carry an 8-byte
 //!   flight-recorder trace id; untraced frames still encode byte-for-byte
-//!   as v1, and v1 decoders' frames still decode.
+//!   as v1, and v1 decoders' frames still decode. [`FrameDecoder`] is the
+//!   incremental entry point for non-blocking streams: feed it whatever
+//!   bytes arrived, get complete frames out; it never over-reads and
+//!   accepts exactly the byte strings the buffer decoder accepts.
 //! - [`router`] — [`Router`] places each request on the healthiest of N
 //!   [`Engine`](ms_serving::engine::Engine) replicas
 //!   (`score = queue_depth + W·p99/window`), failing over on
 //!   backpressure and excluding draining replicas outright.
-//! - [`server`] — [`Server`] translates frames into router placements,
-//!   per-request wire deadlines into [`SlaController`]
-//!   (ms_serving) budget overrides, and engine completions back into
+//! - [`server`] — [`Server`] runs a small reactor pool: per-connection
+//!   read/write state machines over non-blocking sockets, bounded output
+//!   queues with backpressure shedding, a slow-loris read deadline, and
+//!   per-request wire deadlines forwarded as [`SlaController`]
+//!   (ms_serving) budget overrides. Engine completions come back as
 //!   responses matched by correlation id. `Drain` runs the graceful
 //!   shutdown state machine: refuse new work, flush every in-flight
 //!   request, ack, stop.
 //! - [`client`] — [`Client`] (strict request/response) and
 //!   [`PipelinedClient`] (background reader; keeps the server's batching
-//!   window full).
+//!   window full). Both stay blocking: simple client code, reactor-grade
+//!   server.
 //!
 //! ## Loopback in five lines
 //!
@@ -45,11 +57,12 @@ pub mod client;
 pub mod protocol;
 pub mod router;
 pub mod server;
+pub mod sys;
 
 pub use client::{Client, PipelinedClient};
 pub use protocol::{
-    Frame, HealthReply, InferOutcome, InferRequest, InferResponse, NetError, ReplicaHealth,
-    WireError, WireShedReason,
+    Frame, FrameDecoder, HealthReply, InferOutcome, InferRequest, InferResponse, NetError,
+    ReplicaHealth, WireError, WireShedReason,
 };
 pub use protocol::{read_frame_traced, write_frame_traced};
 pub use router::{RouteError, Router, RouterConfig};

@@ -703,6 +703,144 @@ pub fn read_frame_traced(r: &mut impl Read) -> Result<(Frame, u64, usize), NetEr
     Ok((frame, trace_id, total))
 }
 
+// ---------------------------------------------------------------------------
+// Incremental decoding (reactor front-end)
+// ---------------------------------------------------------------------------
+
+/// Incremental frame decoder for non-blocking streams.
+///
+/// The reactor hands this whatever bytes `read` produced — one byte or
+/// sixty-four kilobytes — and gets back complete frames as they finish.
+/// The decoder accumulates exactly one frame at a time and **never
+/// over-reads**: [`FrameDecoder::feed`] consumes at most the bytes the
+/// current frame still needs, so the caller's offset arithmetic stays
+/// trivial and pipelined frames are never swallowed into a stale buffer.
+///
+/// Header fields (magic, version, declared length) are validated the
+/// moment the 16th byte arrives — before any payload-sized allocation —
+/// so a hostile peer cannot make the server reserve more than the
+/// connection's configured cap. Full-frame validation (checksum, payload
+/// structure) is delegated to [`Frame::decode_traced`], which makes the
+/// incremental path accept *exactly* the byte strings the buffer decoder
+/// accepts — the property the chaos proptests pin down.
+///
+/// Any error poisons the decoder (stream framing is unrecoverable after
+/// corruption); subsequent `feed` calls return the same error.
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Total frame bytes currently known to be needed: `HEADER_LEN`
+    /// until the header completes, then header + extension + payload.
+    need: usize,
+    header_done: bool,
+    max_len: u32,
+    poisoned: Option<WireError>,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder accepting payloads up to the protocol cap.
+    pub fn new() -> Self {
+        Self::with_max_len(MAX_PAYLOAD)
+    }
+
+    /// A decoder with a tighter per-connection payload cap (clamped to
+    /// [`MAX_PAYLOAD`]). Frames declaring more are rejected as
+    /// [`WireError::Oversized`] from the header alone.
+    pub fn with_max_len(max_len: u32) -> Self {
+        FrameDecoder {
+            buf: Vec::with_capacity(HEADER_LEN),
+            need: HEADER_LEN,
+            header_done: false,
+            max_len: max_len.min(MAX_PAYLOAD),
+            poisoned: None,
+        }
+    }
+
+    /// True while a partially received frame sits in the buffer — the
+    /// reactor's slow-loris reaper keys off this.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Bytes still needed to complete the current frame (or the next
+    /// header when between frames).
+    pub fn want(&self) -> usize {
+        self.need - self.buf.len()
+    }
+
+    /// Feeds `chunk` to the decoder. Returns how many bytes were
+    /// consumed (≤ `chunk.len()`, never past the end of the current
+    /// frame) and at most one completed frame as
+    /// `(frame, trace_id, frame_bytes)`. Call again with the unconsumed
+    /// tail to continue. Total over arbitrary input; errors poison the
+    /// decoder.
+    #[allow(clippy::type_complexity)]
+    pub fn feed(
+        &mut self,
+        chunk: &[u8],
+    ) -> Result<(usize, Option<(Frame, u64, usize)>), WireError> {
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
+        let mut consumed = 0usize;
+        loop {
+            let take = (self.need - self.buf.len()).min(chunk.len() - consumed);
+            self.buf.extend_from_slice(&chunk[consumed..consumed + take]);
+            consumed += take;
+            if self.buf.len() < self.need {
+                return Ok((consumed, None));
+            }
+            if !self.header_done {
+                // Exactly HEADER_LEN bytes buffered: validate the fixed
+                // header before reserving payload space.
+                debug_assert_eq!(self.buf.len(), HEADER_LEN);
+                let b = &self.buf;
+                let magic = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+                if magic != MAGIC {
+                    return Err(self.poison(WireError::BadMagic));
+                }
+                let version = u16::from_le_bytes([b[4], b[5]]);
+                if version != LEGACY_VERSION && version != VERSION {
+                    return Err(self.poison(WireError::UnsupportedVersion(version)));
+                }
+                let length = u32::from_le_bytes([b[8], b[9], b[10], b[11]]);
+                if length > self.max_len {
+                    return Err(self.poison(WireError::Oversized(length)));
+                }
+                let ext = if version >= 2 { TRACE_EXT_LEN } else { 0 };
+                self.header_done = true;
+                self.need = HEADER_LEN + ext + length as usize;
+                self.buf.reserve(self.need - HEADER_LEN);
+                continue; // an empty-payload v1 frame is already complete
+            }
+            // Whole frame buffered: full validation + parse.
+            let frame_bytes = self.buf.len();
+            let result = Frame::decode_traced(&self.buf);
+            self.buf.clear();
+            // Don't let one huge frame pin its allocation forever.
+            if self.buf.capacity() > (1 << 20) {
+                self.buf = Vec::with_capacity(HEADER_LEN);
+            }
+            self.need = HEADER_LEN;
+            self.header_done = false;
+            return match result {
+                Ok((frame, trace_id)) => Ok((consumed, Some((frame, trace_id, frame_bytes)))),
+                Err(e) => Err(self.poison(e)),
+            };
+        }
+    }
+
+    fn poison(&mut self, e: WireError) -> WireError {
+        self.poisoned = Some(e);
+        e
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -938,6 +1076,121 @@ mod tests {
                 }
             }
             other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_reassembles_byte_at_a_time() {
+        let frames = sample_frames();
+        let mut wire = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            f.encode_traced(if i % 2 == 0 { 0 } else { 0xAB00 + i as u64 }, &mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            let (n, out) = dec.feed(&[b]).expect("valid stream");
+            assert_eq!(n, 1);
+            if let Some((frame, trace, bytes)) = out {
+                got.push((frame, trace, bytes));
+            }
+        }
+        assert_eq!(got.len(), frames.len());
+        for (i, (frame, trace, _)) in got.iter().enumerate() {
+            assert_eq!(frame, &frames[i]);
+            let want_trace = if i % 2 == 0 { 0 } else { 0xAB00 + i as u64 };
+            assert_eq!(*trace, want_trace);
+        }
+        assert!(!dec.mid_frame());
+        assert_eq!(dec.want(), HEADER_LEN);
+    }
+
+    #[test]
+    fn incremental_decoder_never_consumes_past_one_frame() {
+        // Two frames in one chunk: the first feed must stop exactly at
+        // the first frame boundary.
+        let a = Frame::Drain.to_bytes();
+        let b = Frame::DrainAck { delivered: 5 }.to_bytes();
+        let mut wire = a.clone();
+        wire.extend_from_slice(&b);
+        let mut dec = FrameDecoder::new();
+        let (n, out) = dec.feed(&wire).unwrap();
+        assert_eq!(n, a.len(), "consumed into the second frame");
+        assert!(matches!(out, Some((Frame::Drain, 0, _))));
+        let (n2, out2) = dec.feed(&wire[n..]).unwrap();
+        assert_eq!(n2, b.len());
+        assert!(matches!(out2, Some((Frame::DrainAck { delivered: 5 }, 0, _))));
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_oversize_from_header_alone() {
+        let mut bytes = Frame::Drain.to_bytes();
+        bytes[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        // Feed only the header: the declared length must be rejected
+        // before any payload byte arrives or is allocated for.
+        let err = dec.feed(&bytes[..HEADER_LEN]).unwrap_err();
+        assert_eq!(err, WireError::Oversized(MAX_PAYLOAD + 1));
+        // Poisoned: same error forever after.
+        assert_eq!(dec.feed(&[0]).unwrap_err(), err);
+    }
+
+    #[test]
+    fn incremental_decoder_honors_tighter_cap() {
+        let f = Frame::MetricsReply("x".repeat(4096));
+        let bytes = f.to_bytes();
+        let mut strict = FrameDecoder::with_max_len(1024);
+        assert!(matches!(
+            strict.feed(&bytes),
+            Err(WireError::Oversized(4096))
+        ));
+        let mut lax = FrameDecoder::with_max_len(8192);
+        let (n, out) = lax.feed(&bytes).unwrap();
+        assert_eq!(n, bytes.len());
+        assert!(matches!(out, Some((Frame::MetricsReply(_), 0, _))));
+    }
+
+    #[test]
+    fn incremental_decoder_agrees_with_buffer_decoder_on_corruption() {
+        let bytes = sample_frames()[1].to_bytes_traced(7);
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            let buffered = Frame::decode_traced(&corrupt);
+            let mut dec = FrameDecoder::new();
+            let mut incremental = Ok(None);
+            let mut off = 0;
+            while off < corrupt.len() {
+                match dec.feed(&corrupt[off..]) {
+                    Ok((n, out)) => {
+                        off += n;
+                        if out.is_some() {
+                            incremental = Ok(out);
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        incremental = Err(e);
+                        break;
+                    }
+                }
+            }
+            match (buffered, incremental) {
+                (Ok((bf, bt)), Ok(Some((inf, int, _)))) => {
+                    assert_eq!(bf, inf, "byte {i}");
+                    assert_eq!(bt, int, "byte {i}");
+                }
+                (Err(_), Err(_)) => {} // both reject
+                // A corrupted length field that *grows* the frame leaves
+                // the streaming decoder legitimately waiting for bytes
+                // that never come — the buffer decoder calls the same
+                // situation Truncated. The stall must be visible via
+                // mid_frame() (the slow-loris reaper's signal).
+                (Err(WireError::Truncated), Ok(None)) => {
+                    assert!(dec.mid_frame(), "byte {i}: silent stall");
+                }
+                (b, i_) => panic!("byte {i}: buffered {b:?} vs incremental {i_:?}"),
+            }
         }
     }
 }

@@ -1,28 +1,56 @@
-//! The TCP front-end: thread-per-connection framing over the router.
+//! The TCP front-end: an epoll readiness reactor over the router.
 //!
 //! # Threading model
 //!
-//! - **Accept loop** (one thread): non-blocking `accept` polled every few
-//!   milliseconds so it can observe the stop flag; each connection gets a
-//!   reader thread and a writer thread.
-//! - **Reader per connection**: blocking `read_frame` loop. An
-//!   `InferRequest` becomes a router placement plus an entry in the owning
-//!   replica's *pending* table (engine id → connection + correlation id);
-//!   control frames are answered inline. A malformed frame closes the
-//!   connection — after corruption the stream offset can no longer be
-//!   trusted, so resynchronization is the client's job (reconnect).
-//! - **Writer per connection**: drains an in-process channel of outbound
-//!   frames, flushing whenever the channel momentarily empties. Responses
-//!   and the `DrainAck` ride the same ordered channel, which is what makes
-//!   "every in-flight response precedes the ack" hold per connection.
+//! - **Reactor pool** (a few threads, [`ServerConfig::reactors`]): each
+//!   reactor owns an epoll instance (see [`crate::sys`]) and a disjoint
+//!   set of connections, assigned round-robin at accept time. Reactor 0
+//!   additionally owns the non-blocking listener. Everything readiness-
+//!   driven happens here: accepting, incremental frame decoding
+//!   ([`crate::protocol::FrameDecoder`]), request placement, inline
+//!   control replies, partial-write resumption and connection teardown.
 //! - **Sealer per replica**: seals the replica's open batch every
-//!   [`Engine::window`] (or the configured override) — the timer thread the
-//!   engine docs promise for live serving.
+//!   [`Engine::window`] (or the configured override) — the timer thread
+//!   the engine docs promise for live serving.
 //! - **Dispatcher per replica**: blocks on [`Engine::wait_events`],
 //!   translates completions into `InferResponse` frames (logits or
-//!   admission-shed) and hands each to the owning connection's writer.
+//!   admission-shed) and enqueues each on the owning connection's output
+//!   queue, waking that connection's reactor.
 //!
-//! A completion can race the reader between `route()` returning and the
+//! # Per-connection state machine
+//!
+//! ```text
+//!            ┌──────── readable ────────┐
+//!            ▼                          │
+//! Open ──▶ Reading ──frame──▶ handle ───┘
+//!   │         │ EOF/err                │ Drain/misuse
+//!   │         ▼                        ▼
+//!   │     FlushClose ◀────────────  ReadShut
+//!   │         │ queue empty            │ (writes continue)
+//!   ▼         ▼                        │
+//! reaped    Closed ◀───────────────────┘ stop + flushed
+//! ```
+//!
+//! Reads accumulate into a [`FrameDecoder`] that never over-reads; a
+//! malformed frame closes the connection — after corruption the stream
+//! offset can no longer be trusted, so resynchronization is the client's
+//! job (reconnect). Writes go through a bounded per-connection output
+//! queue ([`ServerConfig::max_conn_backlog`]): producers (dispatchers,
+//! inline control replies) append encoded frames and wake the reactor;
+//! the reactor writes until `WouldBlock`, arms `EPOLLOUT` for the
+//! remainder, and resumes mid-frame on the next writability event. A
+//! peer that stops reading grows its queue to the cap and is then shed —
+//! its queue is cleared, the socket closed, server memory reclaimed.
+//!
+//! Two defenses reap misbehaving peers: a **slow-loris deadline**
+//! ([`ServerConfig::read_deadline`]) closes connections stalled mid-frame
+//! (idle connections *between* frames are fine), and a per-connection
+//! **frame cap** ([`ServerConfig::max_frame_len`]) rejects oversized
+//! declarations from the header alone.
+//!
+//! # Rendezvous
+//!
+//! A completion can race the reactor between `route()` returning and the
 //! pending-table insert (the engine may seal, run and report the request
 //! first). The dispatcher parks such events in an *orphan* table keyed by
 //! the same engine id; whichever side arrives second completes delivery,
@@ -40,32 +68,61 @@
 //! connections) while the drain gate repeatedly seals all replicas and
 //! dispatchers keep flushing what was already accepted. Only when the
 //! in-flight count hits zero — every placed request answered, served or
-//! shed — is the `DrainAck` sent and the listener torn down. Zero
-//! in-flight requests are dropped.
+//! shed — is the `DrainAck` *enqueued*, and only then is the stop flag
+//! raised. Reactors leaving the event loop flush every non-empty output
+//! queue before closing its socket, which is what makes "every in-flight
+//! response precedes the ack" hold per connection. Zero in-flight
+//! requests are dropped.
 
 use crate::protocol::{
-    read_frame_traced, write_frame_traced, Frame, HealthReply, InferOutcome, InferRequest,
-    InferResponse, NetError, ReplicaHealth, WireShedReason,
+    Frame, FrameDecoder, HealthReply, InferOutcome, InferRequest, InferResponse, ReplicaHealth,
+    WireShedReason, MAX_PAYLOAD,
 };
 use crate::router::{RouteError, Router};
+use crate::sys::{Event, Poller, Waker};
 use ms_serving::engine::{Engine, ShedReason};
 use ms_telemetry::flight;
 use ms_tensor::Tensor;
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// Batching tick; `None` seals each replica at its own engine window
     /// (`T/2`), the paper's accumulation interval.
     pub seal_interval: Option<Duration>,
+    /// Reactor threads; `0` picks `min(available_parallelism, 4)`.
+    pub reactors: usize,
+    /// Slow-loris defense: a connection stalled *mid-frame* (bytes of an
+    /// incomplete frame buffered, nothing new arriving) for this long is
+    /// closed. Idle connections between frames are never reaped.
+    pub read_deadline: Duration,
+    /// Bounded output queue: a connection whose peer stops reading may
+    /// accumulate at most this many undelivered response bytes before it
+    /// is shed (queue cleared, socket closed).
+    pub max_conn_backlog: usize,
+    /// Per-connection payload cap; frames declaring more are rejected
+    /// from the header alone (clamped to the protocol's 64 MiB cap).
+    pub max_frame_len: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            seal_interval: None,
+            reactors: 0,
+            read_deadline: Duration::from_secs(10),
+            max_conn_backlog: 64 << 20,
+            max_frame_len: MAX_PAYLOAD,
+        }
+    }
 }
 
 /// Wire-layer metrics (registered once per server on the global registry).
@@ -80,6 +137,8 @@ struct NetMetrics {
     requests: ms_telemetry::Counter,
     responses_ok: ms_telemetry::Counter,
     responses_shed: ms_telemetry::Counter,
+    reaped: ms_telemetry::Counter,
+    backpressure_closed: ms_telemetry::Counter,
     /// Route-to-delivery latency of served requests (server-side).
     request_seconds: ms_telemetry::Histogram,
 }
@@ -106,6 +165,16 @@ impl NetMetrics {
             requests: reg.counter_with("net_requests_total", l, "inference requests received"),
             responses_ok: reg.counter_with("net_responses_ok_total", l, "logit responses sent"),
             responses_shed: reg.counter_with("net_responses_shed_total", l, "shed responses sent"),
+            reaped: reg.counter_with(
+                "net_reaped_total",
+                l,
+                "connections reaped by the slow-loris read deadline",
+            ),
+            backpressure_closed: reg.counter_with(
+                "net_backpressure_closed_total",
+                l,
+                "connections shed at the output backlog cap",
+            ),
             request_seconds: reg.histogram_with(
                 "net_request_seconds",
                 l,
@@ -115,15 +184,108 @@ impl NetMetrics {
     }
 }
 
-enum ConnMsg {
-    /// An outbound frame plus the trace context it carries on the wire
-    /// (0 = untraced → the writer emits a legacy v1 frame when possible).
-    Frame(Frame, u64),
-    Close,
+/// Bounded per-connection output queue. Producers (dispatchers, inline
+/// replies) push whole encoded frames; the owning reactor writes them
+/// out, resuming partial writes at `head`.
+#[derive(Default)]
+struct OutBuf {
+    queue: VecDeque<Vec<u8>>,
+    /// Bytes of `queue[0]` already written to the socket.
+    head: usize,
+    /// Total unwritten bytes across the queue (backlog accounting).
+    bytes: usize,
+    /// Set on close/shed: producers drop frames instead of queueing.
+    dead: bool,
 }
 
+impl OutBuf {
+    fn clear_dead(&mut self) {
+        self.dead = true;
+        self.queue.clear();
+        self.bytes = 0;
+        self.head = 0;
+    }
+}
+
+enum WriteResult {
+    /// The queue is empty; everything reached the kernel.
+    Drained,
+    /// The socket buffer filled; leftover bytes need `EPOLLOUT`.
+    Blocked,
+    /// The socket is broken.
+    Failed,
+}
+
+/// Writes queued output to the (non-blocking) socket until the queue
+/// empties or the socket blocks, resuming the front frame at the
+/// recorded `head` offset. The caller holds the [`OutBuf`] lock — that
+/// lock is what serializes producer inline writes with reactor resumes.
+fn write_queue(metrics: &NetMetrics, ob: &mut OutBuf, stream: &TcpStream) -> WriteResult {
+    let mut sock = stream;
+    loop {
+        let Some(front) = ob.queue.front() else {
+            return WriteResult::Drained;
+        };
+        let front_len = front.len();
+        match sock.write(&front[ob.head..]) {
+            Ok(n) => {
+                ob.head += n;
+                ob.bytes -= n;
+                metrics.bytes_tx.add(n as u64);
+                if ob.head == front_len {
+                    ob.head = 0;
+                    ob.queue.pop_front();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return WriteResult::Blocked,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return WriteResult::Failed,
+        }
+    }
+}
+
+/// Cross-thread instruction to one reactor.
+enum Cmd {
+    /// Adopt a connection accepted by reactor 0.
+    Register(u64, Arc<TcpStream>, Arc<Mutex<OutBuf>>),
+    /// A producer left bytes in an output queue the socket wouldn't take
+    /// (`EPOLLOUT` must be armed to resume them).
+    Flush(u64),
+    /// Shed the connection immediately (backlog cap exceeded).
+    Kill(u64),
+}
+
+struct ReactorHandle {
+    cmds: Mutex<Vec<Cmd>>,
+    waker: Waker,
+}
+
+impl ReactorHandle {
+    fn send(&self, cmd: Cmd) {
+        let was_empty = {
+            let mut g = self.cmds.lock().expect("cmds lock");
+            let was = g.is_empty();
+            g.push(cmd);
+            was
+        };
+        // A non-empty queue means a wake is already pending: the reactor
+        // takes the whole vec at once.
+        if was_empty {
+            self.waker.wake();
+        }
+    }
+}
+
+/// What the rest of the server knows about a connection: which reactor
+/// owns it, where its outbound frames queue, and the (non-blocking)
+/// socket itself for opportunistic inline writes. All writes — producer
+/// inline or reactor resume — happen under the [`OutBuf`] lock, so the
+/// byte stream stays FIFO no matter who drains the queue.
+#[derive(Clone)]
 struct ConnHandle {
-    tx: Sender<ConnMsg>,
+    reactor: usize,
+    out: Arc<Mutex<OutBuf>>,
+    stream: Arc<TcpStream>,
 }
 
 struct Pending {
@@ -145,7 +307,7 @@ enum Outcome {
     Shed,
 }
 
-/// Per-replica rendezvous between the reader (who knows the connection)
+/// Per-replica rendezvous between the reactor (who knows the connection)
 /// and the dispatcher (who has the result). See the module docs.
 #[derive(Default)]
 struct ReplicaTable {
@@ -160,25 +322,71 @@ struct Shared {
     draining: AtomicBool,
     stop: AtomicBool,
     /// Requests placed on an engine whose response has not yet been handed
-    /// to a writer. The drain gate waits for this to reach zero.
+    /// to a connection's output queue. The drain gate waits for zero.
     in_flight: AtomicU64,
     delivered: AtomicU64,
+    reaped: AtomicU64,
+    backpressure_closed: AtomicU64,
     tables: Vec<Mutex<ReplicaTable>>,
     conns: Mutex<HashMap<u64, ConnHandle>>,
-    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    reactors: Vec<ReactorHandle>,
     metrics: NetMetrics,
 }
 
 impl Shared {
+    fn wake_all(&self) {
+        for r in &self.reactors {
+            r.waker.wake();
+        }
+    }
+
+    /// Encodes `frame`, appends it to `conn`'s output queue, and
+    /// opportunistically writes the queue straight to the (non-blocking)
+    /// socket — the common case never touches the reactor. Bytes the
+    /// socket won't take stay queued and a `Flush` command asks the
+    /// owning reactor to arm `EPOLLOUT` and resume them. Enforces the
+    /// backlog cap: a connection over the cap is shed on the spot (dead
+    /// queue, `Kill` to its reactor) — the producer never blocks and
+    /// server memory stays bounded no matter how slow the peer reads.
     fn send_to(&self, conn: u64, frame: Frame, trace: u64) {
-        let tx = {
+        let handle = {
             let conns = self.conns.lock().expect("conns lock");
-            conns.get(&conn).map(|h| h.tx.clone())
+            conns.get(&conn).cloned()
         };
-        if let Some(tx) = tx {
-            // A dead connection just drops its responses; in-flight
-            // accounting is settled by the caller either way.
-            let _ = tx.send(ConnMsg::Frame(frame, trace));
+        // A dead connection just drops its responses; in-flight
+        // accounting is settled by the caller either way.
+        let Some(h) = handle else { return };
+        let bytes = frame.to_bytes_traced(trace);
+        let mut action = None;
+        {
+            let mut ob = h.out.lock().expect("outbuf lock");
+            if ob.dead {
+                return;
+            }
+            if ob.bytes + bytes.len() > self.cfg.max_conn_backlog {
+                ob.clear_dead();
+                action = Some(Cmd::Kill(conn));
+            } else {
+                ob.bytes += bytes.len();
+                ob.queue.push_back(bytes);
+                self.metrics.frames_tx.inc();
+                match write_queue(&self.metrics, &mut ob, &h.stream) {
+                    // Write error: mark dead; the reactor observes the
+                    // broken socket (HUP/read error) and closes it.
+                    WriteResult::Failed => ob.clear_dead(),
+                    WriteResult::Blocked => action = Some(Cmd::Flush(conn)),
+                    WriteResult::Drained => {}
+                }
+            }
+        }
+        match action {
+            Some(kill @ Cmd::Kill(_)) => {
+                self.backpressure_closed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.backpressure_closed.inc();
+                self.reactors[h.reactor].send(kill);
+            }
+            Some(flush) => self.reactors[h.reactor].send(flush),
+            None => {}
         }
     }
 
@@ -192,12 +400,12 @@ impl Shared {
     }
 
     /// Final leg shared by both rendezvous orders: builds the response
-    /// frame, hands it to the connection's writer, settles accounting.
+    /// frame, enqueues it on the connection, settles accounting.
     ///
     /// Flight terminal: a served request gets its `Delivered` stamp here
-    /// (response handed to the writer); an admission-shed one was already
-    /// stamped `Shed` by the engine at seal time, so delivering the shed
-    /// *frame* adds nothing.
+    /// (response handed to the wire layer); an admission-shed one was
+    /// already stamped `Shed` by the engine at seal time, so delivering
+    /// the shed *frame* adds nothing.
     fn deliver(&self, p: Pending, out: Outcome) {
         let served = matches!(out, Outcome::Served { .. });
         let frame = match out {
@@ -223,7 +431,7 @@ impl Shared {
     }
 
     /// Dispatcher side of the rendezvous: match the engine event to its
-    /// pending request, or park it for the reader to claim.
+    /// pending request, or park it for the reactor to claim.
     fn dispatch_event(&self, replica: usize, id: u64, out: Outcome) {
         let matched = {
             let mut t = self.tables[replica].lock().expect("table lock");
@@ -263,10 +471,12 @@ impl Shared {
         })
     }
 
-    /// The drain state machine: refuse new work, flush every in-flight
-    /// request, then tear the server down. Returns the lifetime delivered
-    /// count (the `DrainAck` payload).
-    fn drain_and_stop(&self) -> u64 {
+    /// The drain gate: refuse new work and flush every in-flight request.
+    /// Returns the lifetime delivered count (the `DrainAck` payload) but
+    /// does *not* raise the stop flag — the caller decides what happens
+    /// after (the wire path enqueues the ack first so the reactors'
+    /// flush-before-close carries it out).
+    fn drain_flush(&self) -> u64 {
         self.draining.store(true, Ordering::Release);
         // Seal on every pass so the flush does not depend on sealer
         // cadence (a long-window config would otherwise stall here).
@@ -274,18 +484,16 @@ impl Shared {
             self.router.seal_all();
             std::thread::sleep(Duration::from_millis(1));
         }
-        let delivered = self.delivered.load(Ordering::Acquire);
-        self.stop.store(true, Ordering::Release);
-        delivered
+        self.delivered.load(Ordering::Acquire)
     }
 
-    /// Asks every connection's writer to flush and close its socket, which
-    /// in turn unblocks the paired reader.
-    fn close_all_conns(&self) {
-        let conns = self.conns.lock().expect("conns lock");
-        for h in conns.values() {
-            let _ = h.tx.send(ConnMsg::Close);
-        }
+    /// The full drain state machine: flush in-flight, then tear the
+    /// server down.
+    fn drain_and_stop(&self) -> u64 {
+        let delivered = self.drain_flush();
+        self.stop.store(true, Ordering::Release);
+        self.wake_all();
+        delivered
     }
 }
 
@@ -299,7 +507,7 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop plus one sealer and one dispatcher thread per replica.
+    /// reactor pool plus one sealer and one dispatcher thread per replica.
     pub fn start(
         addr: impl ToSocketAddrs,
         router: Router,
@@ -309,6 +517,22 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let n = router.replicas();
+        let n_reactors = if cfg.reactors > 0 {
+            cfg.reactors
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .clamp(1, 4)
+        };
+        let reactors = (0..n_reactors)
+            .map(|_| {
+                Ok(ReactorHandle {
+                    cmds: Mutex::new(Vec::new()),
+                    waker: Waker::new()?,
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
         let shared = Arc::new(Shared {
             router,
             cfg,
@@ -317,19 +541,23 @@ impl Server {
             stop: AtomicBool::new(false),
             in_flight: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+            backpressure_closed: AtomicU64::new(0),
             tables: (0..n).map(|_| Mutex::new(ReplicaTable::default())).collect(),
             conns: Mutex::new(HashMap::new()),
-            conn_threads: Mutex::new(Vec::new()),
+            reactors,
             metrics: NetMetrics::new(),
         });
         let mut threads = Vec::new();
-        {
+        let mut listener = Some(listener);
+        for i in 0..n_reactors {
             let shared = Arc::clone(&shared);
+            let l = if i == 0 { listener.take() } else { None };
             threads.push(
                 std::thread::Builder::new()
-                    .name("ms-net-accept".into())
-                    .spawn(move || accept_loop(shared, listener))
-                    .expect("spawn accept"),
+                    .name(format!("ms-net-reactor-{i}"))
+                    .spawn(move || reactor_loop(shared, i, l))
+                    .expect("spawn reactor"),
             );
         }
         for i in 0..n {
@@ -375,6 +603,21 @@ impl Server {
         self.shared.delivered.load(Ordering::Acquire)
     }
 
+    /// Currently open connections across all reactors.
+    pub fn connections(&self) -> u64 {
+        self.shared.conns.lock().expect("conns lock").len() as u64
+    }
+
+    /// Connections reaped by the slow-loris read deadline so far.
+    pub fn reaped_connections(&self) -> u64 {
+        self.shared.reaped.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed at the output backlog cap so far.
+    pub fn backpressure_closed(&self) -> u64 {
+        self.shared.backpressure_closed.load(Ordering::Relaxed)
+    }
+
     /// Programmatic drain: same state machine the `Drain` frame runs, then
     /// a full teardown. Returns the delivered count.
     pub fn drain(mut self) -> u64 {
@@ -383,23 +626,17 @@ impl Server {
         delivered
     }
 
-    /// Hard stop: no flush guarantee beyond the dispatchers' final sweep.
-    /// Use [`Server::drain`] for the graceful path.
+    /// Hard stop: queued responses are still flushed on the way out, but
+    /// no in-flight guarantee beyond the dispatchers' final sweep. Use
+    /// [`Server::drain`] for the graceful path.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::Release);
         self.join_all();
     }
 
     fn join_all(&mut self) {
-        self.shared.close_all_conns();
+        self.shared.wake_all();
         for h in self.threads.drain(..) {
-            let _ = h.join();
-        }
-        let conn_threads: Vec<JoinHandle<()>> = {
-            let mut g = self.shared.conn_threads.lock().expect("threads lock");
-            g.drain(..).collect()
-        };
-        for h in conn_threads {
             let _ = h.join();
         }
     }
@@ -414,7 +651,10 @@ impl Drop for Server {
     }
 }
 
-static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
+/// Reactor poller tokens 0 and 1 are reserved; connection ids start above.
+const TOKEN_WAKER: u64 = 0;
+const TOKEN_LISTENER: u64 = 1;
+static CONN_SEQ: AtomicU64 = AtomicU64::new(2);
 
 /// Build identity string for the `Health` frame: crate version plus the
 /// compile-time knobs an operator needs to interpret the numbers.
@@ -427,114 +667,436 @@ fn build_string() -> String {
     )
 }
 
-fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
-    while !shared.stop.load(Ordering::Acquire) {
+/// One connection's reactor-side state.
+struct Conn {
+    stream: Arc<TcpStream>,
+    fd: RawFd,
+    decoder: FrameDecoder,
+    out: Arc<Mutex<OutBuf>>,
+    last_read: Instant,
+    /// No more inbound frames are processed (Drain received, misuse, or
+    /// peer EOF); writes continue until flushed.
+    read_shut: bool,
+    /// Close the socket as soon as the output queue empties.
+    close_after_flush: bool,
+    /// Whether `EPOLLOUT` is currently armed.
+    want_write: bool,
+}
+
+/// What `handle_frame` wants done with the connection afterwards.
+enum FrameAction {
+    Continue,
+    /// Stop reading (Drain in progress); keep the write side open.
+    ReadShut,
+    /// Flush queued replies, then close (protocol misuse).
+    Close,
+}
+
+fn reactor_loop(shared: Arc<Shared>, idx: usize, mut listener: Option<TcpListener>) {
+    let mut poller = Poller::new().expect("create poller");
+    poller
+        .add(shared.reactors[idx].waker.fd(), TOKEN_WAKER, true, false)
+        .expect("register waker");
+    if let Some(l) = &listener {
+        poller
+            .add(l.as_raw_fd(), TOKEN_LISTENER, true, false)
+            .expect("register listener");
+    }
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut read_buf = vec![0u8; 64 * 1024];
+    let mut last_reap = Instant::now();
+    let mut stop_state: Option<(Instant, Instant)> = None; // (since, last_progress)
+
+    loop {
+        events.clear();
+        let timeout = if stop_state.is_some() {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(25)
+        };
+        if poller.wait(&mut events, timeout).is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Cross-thread commands first: registrations and flush requests
+        // raced the wake, and Kill must beat further queue growth.
+        let cmds: Vec<Cmd> = {
+            let mut g = shared.reactors[idx].cmds.lock().expect("cmds lock");
+            std::mem::take(&mut *g)
+        };
+        for cmd in cmds {
+            match cmd {
+                Cmd::Register(id, stream, out) => {
+                    if shared.stop.load(Ordering::Acquire) {
+                        drop_unregistered(&shared, id, &stream);
+                        continue;
+                    }
+                    let fd = stream.as_raw_fd();
+                    if poller.add(fd, id, true, false).is_err() {
+                        drop_unregistered(&shared, id, &stream);
+                        continue;
+                    }
+                    conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            fd,
+                            decoder: FrameDecoder::with_max_len(shared.cfg.max_frame_len),
+                            out,
+                            last_read: Instant::now(),
+                            read_shut: false,
+                            close_after_flush: false,
+                            want_write: false,
+                        },
+                    );
+                    // Responses may have queued up before we adopted it.
+                    flush_conn(&shared, &mut poller, &mut conns, id);
+                }
+                Cmd::Flush(id) => flush_conn(&shared, &mut poller, &mut conns, id),
+                Cmd::Kill(id) => close_conn(&shared, &mut poller, &mut conns, id),
+            }
+        }
+
+        let ready: Vec<Event> = events.drain(..).collect();
+        for ev in ready {
+            match ev.token {
+                TOKEN_WAKER => shared.reactors[idx].waker.drain(),
+                TOKEN_LISTENER => {
+                    if let Some(l) = &listener {
+                        accept_ready(&shared, &mut poller, &mut conns, l, idx);
+                    }
+                }
+                id => {
+                    if ev.readable {
+                        read_ready(&shared, &mut poller, &mut conns, id, &mut read_buf);
+                    }
+                    if ev.writable {
+                        flush_conn(&shared, &mut poller, &mut conns, id);
+                    }
+                }
+            }
+        }
+
+        // Slow-loris reap: connections stalled mid-frame past the read
+        // deadline are closed; idle-between-frames connections are not.
+        if last_reap.elapsed() >= Duration::from_millis(50) {
+            last_reap = Instant::now();
+            let deadline = shared.cfg.read_deadline;
+            let stalled: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| {
+                    !c.read_shut && c.decoder.mid_frame() && c.last_read.elapsed() > deadline
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in stalled {
+                shared.reaped.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.reaped.inc();
+                close_conn(&shared, &mut poller, &mut conns, id);
+            }
+        }
+
+        // Stop path: refuse accepts, flush every queue, close as they
+        // empty, bail out when done (or when progress stalls — a peer
+        // that never reads cannot pin the shutdown).
+        if shared.stop.load(Ordering::Acquire) {
+            let now = Instant::now();
+            if stop_state.is_none() {
+                if let Some(l) = listener.take() {
+                    let _ = poller.del(l.as_raw_fd());
+                }
+                stop_state = Some((now, now));
+            }
+            let backlog = |conns: &HashMap<u64, Conn>| {
+                conns.len()
+                    + conns
+                        .values()
+                        .map(|c| c.out.lock().expect("outbuf lock").bytes)
+                        .sum::<usize>()
+            };
+            let before = backlog(&conns);
+            let ids: Vec<u64> = conns.keys().copied().collect();
+            for id in ids {
+                if let Some(c) = conns.get_mut(&id) {
+                    c.close_after_flush = true;
+                }
+                flush_conn(&shared, &mut poller, &mut conns, id);
+            }
+            if conns.is_empty() {
+                return;
+            }
+            let after = backlog(&conns);
+            let (since, last_progress) = stop_state.as_mut().expect("stop state set above");
+            if after < before {
+                *last_progress = now;
+            }
+            if now.duration_since(*last_progress) > Duration::from_secs(1)
+                || now.duration_since(*since) > Duration::from_secs(5)
+            {
+                let ids: Vec<u64> = conns.keys().copied().collect();
+                for id in ids {
+                    close_conn(&shared, &mut poller, &mut conns, id);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// A connection registered in `shared.conns` but never adopted by a
+/// reactor (stop raced the handoff): undo the registration.
+fn drop_unregistered(shared: &Arc<Shared>, id: u64, stream: &TcpStream) {
+    shared.conns.lock().expect("conns lock").remove(&id);
+    let _ = stream.shutdown(Shutdown::Both);
+    shared.metrics.connections.add(-1.0);
+}
+
+fn accept_ready(
+    shared: &Arc<Shared>,
+    poller: &mut Poller,
+    conns: &mut HashMap<u64, Conn>,
+    listener: &TcpListener,
+    idx: usize,
+) {
+    loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if shared.draining.load(Ordering::Acquire) {
+                if shared.draining.load(Ordering::Acquire)
+                    || shared.stop.load(Ordering::Acquire)
+                {
                     // Drain refuses new connections outright.
                     let _ = stream.shutdown(Shutdown::Both);
                     continue;
                 }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
                 let _ = stream.set_nodelay(true);
-                spawn_connection(&shared, stream);
+                let stream = Arc::new(stream);
+                let id = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
+                let out = Arc::new(Mutex::new(OutBuf::default()));
+                let target = (id % shared.reactors.len() as u64) as usize;
+                shared.conns.lock().expect("conns lock").insert(
+                    id,
+                    ConnHandle {
+                        reactor: target,
+                        out: Arc::clone(&out),
+                        stream: Arc::clone(&stream),
+                    },
+                );
+                shared.metrics.accepted.inc();
+                shared.metrics.connections.add(1.0);
+                if target == idx {
+                    let fd = stream.as_raw_fd();
+                    if poller.add(fd, id, true, false).is_err() {
+                        drop_unregistered(shared, id, &stream);
+                        continue;
+                    }
+                    conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            fd,
+                            decoder: FrameDecoder::with_max_len(shared.cfg.max_frame_len),
+                            out,
+                            last_read: Instant::now(),
+                            read_shut: false,
+                            close_after_flush: false,
+                            want_write: false,
+                        },
+                    );
+                } else {
+                    shared.reactors[target].send(Cmd::Register(id, stream, out));
+                }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
         }
     }
 }
 
-fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let conn = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
-    let (tx, rx) = mpsc::channel::<ConnMsg>();
-    let write_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    shared
-        .conns
-        .lock()
-        .expect("conns lock")
-        .insert(conn, ConnHandle { tx });
-    shared.metrics.accepted.inc();
-    shared.metrics.connections.add(1.0);
-    let mut handles = Vec::with_capacity(2);
-    {
-        let shared = Arc::clone(shared);
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("ms-net-read-{conn}"))
-                .spawn(move || reader_loop(shared, conn, stream))
-                .expect("spawn reader"),
-        );
-    }
-    {
-        let shared = Arc::clone(shared);
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("ms-net-write-{conn}"))
-                .spawn(move || writer_loop(shared, write_stream, rx))
-                .expect("spawn writer"),
-        );
-    }
-    shared
-        .conn_threads
-        .lock()
-        .expect("threads lock")
-        .extend(handles);
-}
-
-fn reader_loop(shared: Arc<Shared>, conn: u64, stream: TcpStream) {
-    let mut reader = BufReader::new(stream);
-    loop {
-        match read_frame_traced(&mut reader) {
-            Ok((frame, mut trace, bytes)) => {
-                shared.metrics.frames_rx.inc();
-                shared.metrics.bytes_rx.add(bytes as u64);
-                // Trace context starts here: honor a client-supplied id, or
-                // mint one for untraced inference requests while recording.
-                if let Frame::InferRequest(ref req) = frame {
-                    if trace == 0 && flight::recording() {
-                        trace = flight::next_trace_id();
-                    }
-                    flight::wire_decoded(trace, req.deadline_micros);
-                }
-                if !handle_frame(&shared, conn, frame, trace) {
-                    break;
-                }
-            }
-            Err(NetError::Wire(_)) => {
-                shared.metrics.decode_errors.inc();
+/// Services a readable connection: read until `WouldBlock` (bounded per
+/// pass for fairness), feed the incremental decoder, handle each
+/// completed frame.
+fn read_ready(
+    shared: &Arc<Shared>,
+    poller: &mut Poller,
+    conns: &mut HashMap<u64, Conn>,
+    id: u64,
+    read_buf: &mut [u8],
+) {
+    // 16 × 64 KiB per pass: one chatty peer cannot starve its reactor.
+    const MAX_READS_PER_PASS: usize = 16;
+    let mut eof = false;
+    let mut fatal = false;
+    for _ in 0..MAX_READS_PER_PASS {
+        let Some(c) = conns.get_mut(&id) else { return };
+        if c.read_shut {
+            return;
+        }
+        let mut sock = &*c.stream;
+        let n = match sock.read(read_buf) {
+            Ok(0) => {
+                eof = true;
                 break;
             }
-            Err(NetError::Io(_)) => break, // EOF or socket closed
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                fatal = true;
+                break;
+            }
+        };
+        c.last_read = Instant::now();
+        shared.metrics.bytes_rx.add(n as u64);
+        let mut off = 0;
+        while off < n {
+            let c = match conns.get_mut(&id) {
+                Some(c) => c,
+                None => return, // closed mid-pass (e.g. backlog Kill raced)
+            };
+            if c.read_shut {
+                return;
+            }
+            match c.decoder.feed(&read_buf[off..n]) {
+                Ok((consumed, completed)) => {
+                    off += consumed;
+                    let Some((frame, mut trace, _bytes)) = completed else {
+                        continue;
+                    };
+                    shared.metrics.frames_rx.inc();
+                    // Trace context starts here: honor a client-supplied
+                    // id, or mint one for untraced inference requests
+                    // while recording.
+                    if let Frame::InferRequest(ref req) = frame {
+                        if trace == 0 && flight::recording() {
+                            trace = flight::next_trace_id();
+                        }
+                        flight::wire_decoded(trace, req.deadline_micros);
+                    }
+                    match handle_frame(shared, id, frame, trace) {
+                        FrameAction::Continue => {}
+                        FrameAction::ReadShut => {
+                            shut_read(poller, conns, id);
+                            return;
+                        }
+                        FrameAction::Close => {
+                            if let Some(c) = conns.get_mut(&id) {
+                                c.close_after_flush = true;
+                            }
+                            shut_read(poller, conns, id);
+                            flush_conn(shared, poller, conns, id);
+                            return;
+                        }
+                    }
+                }
+                Err(_) => {
+                    shared.metrics.decode_errors.inc();
+                    close_conn(shared, poller, conns, id);
+                    return;
+                }
+            }
+        }
+        if n < read_buf.len() {
+            break; // socket likely drained; level-triggering re-reports
         }
     }
-    // Teardown: unregister, close the writer, release the socket.
-    let handle = shared.conns.lock().expect("conns lock").remove(&conn);
-    if let Some(h) = handle {
-        let _ = h.tx.send(ConnMsg::Close);
+    if fatal {
+        close_conn(shared, poller, conns, id);
+        return;
     }
+    if eof {
+        // Peer half-closed (or hung up). Responses already queued still
+        // go out; the socket closes once the queue empties. Read
+        // interest must go away — EOF keeps an fd level-readable forever.
+        let empty = match conns.get(&id) {
+            Some(c) => c.out.lock().expect("outbuf lock").bytes == 0,
+            None => return,
+        };
+        if empty {
+            close_conn(shared, poller, conns, id);
+        } else {
+            if let Some(c) = conns.get_mut(&id) {
+                c.close_after_flush = true;
+            }
+            shut_read(poller, conns, id);
+        }
+    }
+}
+
+/// Stops reading a connection (Drain, misuse, or peer EOF): marks it and
+/// drops read interest so a level-triggered poller stops reporting it.
+fn shut_read(poller: &mut Poller, conns: &mut HashMap<u64, Conn>, id: u64) {
+    if let Some(c) = conns.get_mut(&id) {
+        c.read_shut = true;
+        let _ = poller.modify(c.fd, id, false, c.want_write);
+    }
+}
+
+/// Writes a connection's queued output until `WouldBlock` or empty,
+/// arming/disarming `EPOLLOUT` to match, resuming partial frames at the
+/// recorded offset. Closes the connection on write failure or when a
+/// requested close-after-flush completes.
+fn flush_conn(
+    shared: &Arc<Shared>,
+    poller: &mut Poller,
+    conns: &mut HashMap<u64, Conn>,
+    id: u64,
+) {
+    let mut do_close = false;
+    {
+        let Some(c) = conns.get_mut(&id) else { return };
+        let (failed, empty) = {
+            let mut ob = c.out.lock().expect("outbuf lock");
+            let r = write_queue(&shared.metrics, &mut ob, &c.stream);
+            (matches!(r, WriteResult::Failed), ob.queue.is_empty())
+        };
+        if failed || (empty && c.close_after_flush) {
+            do_close = true;
+        } else if !empty && !c.want_write {
+            c.want_write = true;
+            let _ = poller.modify(c.fd, id, !c.read_shut, true);
+        } else if empty && c.want_write {
+            c.want_write = false;
+            let _ = poller.modify(c.fd, id, !c.read_shut, false);
+        }
+    }
+    if do_close {
+        close_conn(shared, poller, conns, id);
+    }
+}
+
+fn close_conn(
+    shared: &Arc<Shared>,
+    poller: &mut Poller,
+    conns: &mut HashMap<u64, Conn>,
+    id: u64,
+) {
+    let Some(c) = conns.remove(&id) else { return };
+    let _ = poller.del(c.fd);
+    c.out.lock().expect("outbuf lock").clear_dead();
+    shared.conns.lock().expect("conns lock").remove(&id);
+    let _ = c.stream.shutdown(Shutdown::Both);
     shared.metrics.connections.add(-1.0);
 }
 
-/// Handles one inbound frame; returns `false` when the connection should
-/// close (protocol misuse, or a `Drain` that completed).
-fn handle_frame(shared: &Arc<Shared>, conn: u64, frame: Frame, trace: u64) -> bool {
+/// Handles one inbound frame; the returned action tells the reactor what
+/// to do with the connection.
+fn handle_frame(shared: &Arc<Shared>, conn: u64, frame: Frame, trace: u64) -> FrameAction {
     match frame {
         Frame::InferRequest(req) => {
             shared.metrics.requests.inc();
             if let Some(f) = place_request(shared, conn, req, trace) {
                 shared.send_to(conn, f, trace);
             }
-            true
+            FrameAction::Continue
         }
         Frame::HealthRequest => {
             shared.send_to(conn, shared.health_reply(), 0);
-            true
+            FrameAction::Continue
         }
         Frame::MetricsRequest => {
             // Fold finished chains into the stage histograms first, so the
@@ -542,19 +1104,31 @@ fn handle_frame(shared: &Arc<Shared>, conn: u64, frame: Frame, trace: u64) -> bo
             flight::harvest();
             let text = ms_telemetry::global().render_prometheus();
             shared.send_to(conn, Frame::MetricsReply(text), 0);
-            true
+            FrameAction::Continue
         }
         Frame::TraceDumpRequest => {
             flight::harvest();
             let json = flight::chrome_trace_json(&flight::retained());
             shared.send_to(conn, Frame::TraceDumpReply(json), 0);
-            true
+            FrameAction::Continue
         }
         Frame::Drain => {
-            let delivered = shared.drain_and_stop();
-            shared.send_to(conn, Frame::DrainAck { delivered }, 0);
-            shared.close_all_conns();
-            false
+            // The drain gate blocks until every in-flight request is
+            // answered — far too long to stall a reactor servicing other
+            // connections' reads and writes. A one-shot thread runs the
+            // gate, enqueues the ack (after all responses, FIFO per
+            // connection), and only then raises stop.
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name("ms-net-drain".into())
+                .spawn(move || {
+                    let delivered = shared.drain_flush();
+                    shared.send_to(conn, Frame::DrainAck { delivered }, 0);
+                    shared.stop.store(true, Ordering::Release);
+                    shared.wake_all();
+                })
+                .expect("spawn drain");
+            FrameAction::ReadShut
         }
         // Server-to-client frames arriving at the server are protocol
         // misuse; drop the connection.
@@ -564,7 +1138,7 @@ fn handle_frame(shared: &Arc<Shared>, conn: u64, frame: Frame, trace: u64) -> bo
         | Frame::TraceDumpReply(_)
         | Frame::DrainAck { .. } => {
             shared.metrics.decode_errors.inc();
-            false
+            FrameAction::Close
         }
     }
 }
@@ -599,7 +1173,7 @@ fn place_request(shared: &Arc<Shared>, conn: u64, req: InferRequest, trace: u64)
     shared.in_flight.fetch_add(1, Ordering::AcqRel);
     match shared.router.route(input, deadline, trace) {
         Ok((replica, id)) => {
-            // Reader side of the rendezvous: claim a parked outcome if the
+            // Reactor side of the rendezvous: claim a parked outcome if the
             // dispatcher got here first, otherwise file the pending entry.
             let p = Pending {
                 conn,
@@ -637,37 +1211,6 @@ fn place_request(shared: &Arc<Shared>, conn: u64, req: InferRequest, trace: u64)
             Some(shared.shed_frame(req.correlation_id, reason))
         }
     }
-}
-
-fn writer_loop(shared: Arc<Shared>, stream: TcpStream, rx: Receiver<ConnMsg>) {
-    use std::io::Write as _;
-    let mut w = BufWriter::new(stream.try_clone().expect("clone write stream"));
-    'outer: loop {
-        let first = match rx.recv() {
-            Ok(m) => m,
-            Err(_) => break,
-        };
-        let mut msg = Some(first);
-        while let Some(m) = msg.take() {
-            match m {
-                ConnMsg::Frame(f, trace) => match write_frame_traced(&mut w, &f, trace) {
-                    Ok(n) => {
-                        shared.metrics.frames_tx.inc();
-                        shared.metrics.bytes_tx.add(n as u64);
-                    }
-                    Err(_) => break 'outer,
-                },
-                ConnMsg::Close => break 'outer,
-            }
-            msg = rx.try_recv().ok();
-        }
-        // Channel momentarily empty: push everything to the socket.
-        if w.flush().is_err() {
-            break;
-        }
-    }
-    let _ = w.flush();
-    let _ = stream.shutdown(Shutdown::Both);
 }
 
 fn sealer_loop(shared: Arc<Shared>, replica: usize) {

@@ -73,17 +73,16 @@ fn engine(weights: &SharedWeights, workers: usize) -> Engine {
     )
 }
 
-fn start_server(replicas: usize) -> (Server, SharedWeights) {
+fn start_server_with(replicas: usize, cfg: ServerConfig) -> (Server, SharedWeights) {
     let mut proto = net(7);
     let weights = SharedWeights::capture(proto.as_mut());
     let engines = (0..replicas).map(|_| engine(&weights, 1)).collect();
-    let server = Server::start(
-        "127.0.0.1:0",
-        Router::new(engines),
-        ServerConfig::default(),
-    )
-    .expect("bind loopback");
+    let server = Server::start("127.0.0.1:0", Router::new(engines), cfg).expect("bind loopback");
     (server, weights)
+}
+
+fn start_server(replicas: usize) -> (Server, SharedWeights) {
+    start_server_with(replicas, ServerConfig::default())
 }
 
 fn input_for(id: u64) -> Tensor {
@@ -235,6 +234,120 @@ fn drain_flushes_every_in_flight_request_then_acks() {
         seen[r.correlation_id as usize] = true;
     }
     assert!(seen.iter().all(|&s| s), "lost correlation ids across drain");
+}
+
+#[test]
+fn slow_loris_half_frame_is_reaped_but_healthy_and_idle_conns_survive() {
+    use ms_net::protocol::{Frame, InferRequest};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    let (server, _w) = start_server_with(
+        1,
+        ServerConfig {
+            read_deadline: Duration::from_millis(150),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // An idle connection: connected, zero bytes sent. Between frames is
+    // not mid-frame — the reaper must leave it alone.
+    let mut idle = Client::connect(addr).expect("connect idle");
+
+    // The attacker: half an otherwise-valid frame, then silence.
+    let frame = Frame::InferRequest(InferRequest {
+        correlation_id: 666,
+        deadline_micros: 0,
+        dims: vec![IN_DIM as u32],
+        data: vec![0.5; IN_DIM],
+    })
+    .to_bytes();
+    let mut loris = TcpStream::connect(addr).expect("connect loris");
+    loris.write_all(&frame[..frame.len() / 2]).expect("half frame");
+    loris.flush().expect("flush half frame");
+
+    // A healthy client keeps getting service the whole time the stalled
+    // connection ages toward its deadline.
+    let mut healthy = Client::connect(addr).expect("connect healthy");
+    let start = Instant::now();
+    let mut served = 0u64;
+    while start.elapsed() < Duration::from_millis(600) {
+        let r = healthy.infer(served, 0, &input_for(served)).expect("healthy infer");
+        assert!(matches!(r.outcome, InferOutcome::Logits { .. }));
+        served += 1;
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(served > 0);
+
+    // The stalled half-frame connection was reaped...
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while server.reaped_connections() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(server.reaped_connections(), 1, "loris connection not reaped");
+
+    // ...and the attacker observes the hangup.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .expect("read timeout");
+    let mut scratch = [0u8; 64];
+    match loris.read(&mut scratch) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("reaped socket produced {n} bytes"),
+    }
+
+    // The idle connection is still perfectly serviceable.
+    let r = idle.infer(9_999, 0, &input_for(3)).expect("idle infer after reap window");
+    assert!(matches!(r.outcome, InferOutcome::Logits { .. }));
+    assert_eq!(server.reaped_connections(), 1, "idle connection was reaped");
+    server.shutdown();
+}
+
+#[test]
+fn reader_that_never_drains_is_shed_at_the_output_cap() {
+    use ms_net::protocol::Frame;
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    let (server, _w) = start_server_with(
+        1,
+        ServerConfig {
+            max_conn_backlog: 32 << 10, // 32 KiB: reachable fast on loopback
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // Flood metrics requests and never read a byte back: each reply is
+    // kilobytes of exposition text, so once the kernel socket buffers
+    // fill, the server-side output queue must hit the cap and the
+    // connection must be shed — not grow without bound.
+    let mut glutton = TcpStream::connect(addr).expect("connect glutton");
+    glutton
+        .set_write_timeout(Some(Duration::from_millis(200)))
+        .expect("write timeout");
+    let req = Frame::MetricsRequest.to_bytes();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.backpressure_closed() == 0 && Instant::now() < deadline {
+        // Write errors (reset by the shed) and timeouts (kernel buffer
+        // full while the queue drains toward the cap) are both expected.
+        if glutton.write_all(&req).is_err() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    assert!(
+        server.backpressure_closed() >= 1,
+        "undrained reader was never shed at the output cap"
+    );
+
+    // Healthy traffic is unaffected by the shed connection.
+    let mut healthy = Client::connect(addr).expect("connect healthy");
+    let r = healthy.infer(1, 0, &input_for(1)).expect("healthy infer");
+    assert!(matches!(r.outcome, InferOutcome::Logits { .. }));
+    server.shutdown();
 }
 
 #[test]

@@ -100,6 +100,7 @@ fn sixteen_clients_lose_nothing_and_match_replay_bitwise() {
         Router::new(engines),
         ServerConfig {
             seal_interval: Some(Duration::from_millis(1)),
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");

@@ -47,6 +47,17 @@
 #    The refine hot path must also be allocation-free in steady state
 #    (ms-core/tests/zero_alloc_refine.rs) and `forward_prefix` bodies are
 #    covered by the step-6 allocation tripwire.
+# 10. The reactor front-end gates (PR 7): the fault-injecting codec
+#    harness (crates/net/tests/chaos_codec.rs) must prove the incremental
+#    FrameDecoder agrees byte-for-byte with the buffer decoder under
+#    fragmentation, bit flips, and mid-frame EOF; the reactor loopback
+#    suite (slow-loris reap, output-backlog shedding, drain ordering) and
+#    the 16-client soak must pass; and `bench_snapshot` A/Bs the reactor's
+#    wire overhead against the recorded thread-per-connection PR 4
+#    baseline, writing results/BENCH_reactor_pr7.json (MS_NET_GATE_PCT
+#    overrides the gate). The 10k-connection soak is manual — see
+#    tests/net_loopback.rs: cargo test --release --test net_loopback --
+#    --ignored ten_thousand.
 #
 # Usage: scripts/perfcheck.sh   (from the repo root)
 set -euo pipefail
@@ -86,7 +97,12 @@ MS_TELEMETRY_BENCH_OUT=results/BENCH_telemetry_pr3_spans.json \
 echo "== loopback net gate (wire path vs in-process) =="
 cargo run --release -p ms-bench --bin engine_smoke -- --net
 
-echo "== bench snapshots (kernels + net + trace gate + prefix-refine gates) =="
+echo "== reactor front-end: chaos codec harness + loopback suite + soak =="
+cargo test --release -p ms-net --test chaos_codec
+cargo test --release -p ms-net --test loopback_smoke
+cargo test --release -p ms-net --test soak -- --ignored
+
+echo "== bench snapshots (kernels + net + reactor A/B + trace gate + prefix-refine gates) =="
 cargo run --release -p ms-bench --bin bench_snapshot > /dev/null
 
 echo "== allocation tripwire (hot layer bodies) =="

@@ -564,3 +564,388 @@ fn compare_policies(profile: &LatencyProfile) {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// 10k-connection reactor soak
+// ---------------------------------------------------------------------------
+
+/// The tiny sliced MLP for the connection-scale soak: at these widths
+/// every batch of ≤ 32 rows stays on the per-row small-GEMM path, so a
+/// request's logits are independent of its batch companions and bitwise
+/// replay is a fair demand (same argument as `crates/net/tests/soak.rs`).
+fn small_mlp_config() -> MlpConfig {
+    MlpConfig {
+        input_dim: 8,
+        hidden_dims: vec![32],
+        num_classes: 4,
+        groups: 4,
+        dropout: 0.0,
+        input_rescale: true,
+    }
+}
+
+fn small_profile() -> LatencyProfile {
+    LatencyProfile::quadratic(SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]), 1e-5)
+}
+
+fn small_input(id: u64) -> Tensor {
+    Tensor::full([8], ((id % 251) as f32) * 0.008 - 1.0)
+}
+
+fn small_engine(cfg: &MlpConfig, weights: &SharedWeights, policy: RatePolicy) -> Engine {
+    let mut m = Mlp::new(cfg, &mut SeededRng::new(400));
+    weights.hydrate(&mut m);
+    Engine::start(
+        EngineConfig {
+            // Wide window and deep queue: this soak is about connection
+            // scale and delivery accounting, not SLAs — nothing may shed.
+            latency: 0.05,
+            headroom: 1.0,
+            max_queue: 1_000_000,
+            refine: false,
+        },
+        SlaController::new(small_profile(), policy),
+        vec![Box::new(m)],
+    )
+}
+
+/// The out-of-process client fleet for the 10k soak below — not a test
+/// in its own right (an immediate no-op unless `MS_SOAK10K_ADDR` is
+/// set). fd limits are per-process and this container caps
+/// `RLIMIT_NOFILE` at 20k with `CAP_SYS_RESOURCE` dropped, while 10k
+/// blocking clients cost 20k fds on their own (each `Client` holds two
+/// via `try_clone`) on top of the server's 10k accepted sockets — so
+/// the soak re-execs this binary twice, each child holding half the
+/// client fleet, leaving the server half of every pair to the parent.
+///
+/// Each child's threads open their blocking clients (a barrier holds
+/// until the whole child fleet is connected before any request flows),
+/// round-robin requests over every connection, and stream
+/// `id rate_bits logit_bits…` lines to `MS_SOAK10K_OUT` for the parent
+/// to verify against an in-process replay.
+#[test]
+#[ignore = "helper process for the 10k soak; no-op unless MS_SOAK10K_ADDR is set"]
+fn soak10k_client_fleet_helper() {
+    use modelslicing::net::{sys, Client};
+    use std::io::BufWriter as IoBufWriter;
+    use std::sync::{Arc, Barrier};
+
+    let Ok(addr) = std::env::var("MS_SOAK10K_ADDR") else {
+        return;
+    };
+    let out_path = std::env::var("MS_SOAK10K_OUT").expect("MS_SOAK10K_OUT");
+    let threads: usize = std::env::var("MS_SOAK10K_THREADS")
+        .expect("MS_SOAK10K_THREADS")
+        .parse()
+        .expect("thread count");
+    let per_thread: usize = std::env::var("MS_SOAK10K_CONNS_PER_THREAD")
+        .expect("MS_SOAK10K_CONNS_PER_THREAD")
+        .parse()
+        .expect("conns per thread");
+    let reqs_per_conn: usize = std::env::var("MS_SOAK10K_REQS_PER_CONN")
+        .expect("MS_SOAK10K_REQS_PER_CONN")
+        .parse()
+        .expect("reqs per conn");
+    let thread_base: usize = std::env::var("MS_SOAK10K_THREAD_BASE")
+        .expect("MS_SOAK10K_THREAD_BASE")
+        .parse()
+        .expect("thread base");
+    // A blocking `Client` costs two fds (`try_clone` splits the stream
+    // into buffered read/write halves), hence the factor of 2.
+    let nofile = sys::raise_nofile_limit(65_536).expect("raise RLIMIT_NOFILE");
+    assert!(
+        nofile as usize >= threads * per_thread * 2 + 200,
+        "client fleet needs {} fds, RLIMIT_NOFILE is {nofile}",
+        threads * per_thread * 2
+    );
+
+    let barrier = Arc::new(Barrier::new(threads));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut conns: Vec<Client> = (0..per_thread)
+                    .map(|_| Client::connect(&*addr).expect("connect"))
+                    .collect();
+                barrier.wait(); // all fleet connections open before any request
+
+                let mut got: Vec<(u64, f32, Vec<f32>)> =
+                    Vec::with_capacity(per_thread * reqs_per_conn);
+                for seq in 0..reqs_per_conn {
+                    for (k, conn) in conns.iter_mut().enumerate() {
+                        let id = (((thread_base + t) * per_thread + k) as u64) * 100 + seq as u64;
+                        let deadline_micros = if seq % 2 == 0 { 0 } else { 500_000 };
+                        let r = conn
+                            .infer(id, deadline_micros, &small_input(id))
+                            .expect("infer");
+                        assert_eq!(r.correlation_id, id, "response for the wrong request");
+                        match r.outcome {
+                            InferOutcome::Logits { data, .. } => got.push((id, r.rate_used, data)),
+                            InferOutcome::Shed(reason) => {
+                                panic!("unexpected shed {reason:?} for id {id}")
+                            }
+                        }
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+
+    let mut out = IoBufWriter::new(std::fs::File::create(&out_path).expect("create out file"));
+    for w in workers {
+        for (id, rate, logits) in w.join().expect("fleet thread") {
+            write!(out, "{id} {}", rate.to_bits()).expect("write result");
+            for l in &logits {
+                write!(out, " {}", l.to_bits()).expect("write result");
+            }
+            writeln!(out).expect("write result");
+        }
+    }
+    out.into_inner().expect("flush results").sync_all().expect("sync results");
+}
+
+/// 10,000 concurrent connections against the reactor: the client fleet
+/// runs in a re-exec of this binary (see `soak10k_client_fleet_helper`
+/// for why fd limits force two processes), all 10k held open at once —
+/// asserted via the live connection gauge — while churn clients in this
+/// process connect, fire requests, and vanish without reading, some
+/// hanging up with unread response bytes (an RST on Linux, which may
+/// retroactively discard their request). Then a graceful drain with a
+/// 200-request burst still in flight.
+///
+/// Asserted: zero lost correlation ids across 20k healthy requests,
+/// every healthy response bitwise-identical to an in-process `replay()`
+/// at the same rate, every burst response flushed before the `DrainAck`,
+/// and the ack's delivery count bracketed by exact churn accounting.
+#[test]
+#[ignore = "10k-connection soak; run with cargo test --release --test net_loopback -- --ignored"]
+fn ten_thousand_connections_zero_loss_bitwise_replay_and_drain_under_churn() {
+    use modelslicing::net::{sys, Client};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const CHILDREN: usize = 2; // fd budget: see soak10k_client_fleet_helper
+    const THREADS_PER_CHILD: usize = 8;
+    const THREADS: usize = CHILDREN * THREADS_PER_CHILD;
+    const CONNS_PER_THREAD: usize = 625; // 16 × 625 = 10,000 connections
+    const REQS_PER_CONN: usize = 2;
+    const CHURN_THREADS: usize = 8;
+    const CHURN_ITERS: usize = 40;
+    const BURST: u64 = 200;
+    const FLEET: u64 = (THREADS * CONNS_PER_THREAD) as u64;
+
+    let _guard = serial();
+    // This process holds the server half of every fleet socket (~10k fds);
+    // the fleet child holds the client half under its own limit.
+    let nofile = sys::raise_nofile_limit(65_536).expect("raise RLIMIT_NOFILE");
+    assert!(
+        nofile >= FLEET + 1_000,
+        "server side of {FLEET} connections needs fds; RLIMIT_NOFILE is {nofile}"
+    );
+
+    let cfg = small_mlp_config();
+    let mut proto = Mlp::new(&cfg, &mut SeededRng::new(7));
+    let weights = SharedWeights::capture(&mut proto);
+    let engines = (0..REPLICAS)
+        .map(|_| small_engine(&cfg, &weights, RatePolicy::Elastic))
+        .collect();
+    let server = Server::start(
+        "127.0.0.1:0",
+        Router::new(engines),
+        ServerConfig {
+            seal_interval: Some(Duration::from_millis(1)),
+            reactors: 2, // exercise cross-reactor round-robin at scale
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Phases 1–2 run in the fleet child: connect all 10k, then round-robin
+    // blocking requests over every connection (≤ 16 healthy requests
+    // outstanding, so server batches stay on the small-GEMM path even
+    // with churn rows).
+    // A fleet child that outlives a parent panic would pin its half of
+    // every socket open forever; reap on every exit path.
+    struct KillOnDrop(std::process::Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+
+    std::fs::create_dir_all("results/logs").expect("results dir");
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut out_paths = Vec::new();
+    let mut fleet: Vec<KillOnDrop> = (0..CHILDREN)
+        .map(|child| {
+            let out_path =
+                format!("results/logs/soak10k_fleet_{}_{child}.txt", std::process::id());
+            let spawned = std::process::Command::new(&exe)
+                .args(["soak10k_client_fleet_helper", "--exact", "--ignored", "--nocapture"])
+                .env("MS_SOAK10K_ADDR", addr.to_string())
+                .env("MS_SOAK10K_OUT", &out_path)
+                .env("MS_SOAK10K_THREADS", THREADS_PER_CHILD.to_string())
+                .env("MS_SOAK10K_CONNS_PER_THREAD", CONNS_PER_THREAD.to_string())
+                .env("MS_SOAK10K_REQS_PER_CONN", REQS_PER_CONN.to_string())
+                .env("MS_SOAK10K_THREAD_BASE", (child * THREADS_PER_CHILD).to_string())
+                .spawn()
+                .expect("spawn client fleet");
+            out_paths.push(out_path);
+            KillOnDrop(spawned)
+        })
+        .collect();
+
+    // The fleet holds every connection open until its request phase ends,
+    // so the gauge reaching 10k proves all of them concurrently open.
+    let connect_deadline = Instant::now() + Duration::from_secs(120);
+    while server.connections() < FLEET {
+        assert!(
+            Instant::now() < connect_deadline,
+            "fleet stalled at {} of {FLEET} connections",
+            server.connections()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Churn: clients that connect, send, and disconnect mid-trace. Rude
+    // hangups (drop with the response unread) may RST before the server
+    // reads the request, so delivery is *bracketed*: every completed
+    // round trip is a floor, every successful write a ceiling.
+    let churn_written = Arc::new(AtomicU64::new(0));
+    let churn_read = Arc::new(AtomicU64::new(0));
+    let churners: Vec<_> = (0..CHURN_THREADS)
+        .map(|ct| {
+            let written = Arc::clone(&churn_written);
+            let read = Arc::clone(&churn_read);
+            std::thread::spawn(move || {
+                for it in 0..CHURN_ITERS {
+                    let id = 0x8000_0000_0000_0000u64 | ((ct as u64) << 32) | it as u64;
+                    if it % 2 == 0 {
+                        // Polite: full round trip, then hang up cleanly.
+                        let mut c = Client::connect(addr).expect("churn connect");
+                        let r = c.infer(id, 0, &small_input(id)).expect("churn infer");
+                        assert_eq!(r.correlation_id, id);
+                        written.fetch_add(1, Ordering::Relaxed);
+                        read.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        // Rude: write the request, give the server a moment,
+                        // vanish with the response unread.
+                        let mut s = TcpStream::connect(addr).expect("churn connect");
+                        let val = ((id % 251) as f32) * 0.008 - 1.0;
+                        let req = Frame::InferRequest(InferRequest {
+                            correlation_id: id,
+                            deadline_micros: 0,
+                            dims: vec![8],
+                            data: vec![val; 8],
+                        });
+                        if write_frame(&mut s, &req).is_ok() {
+                            written.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        drop(s);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut by_id: HashMap<u64, (f32, Vec<f32>)> = HashMap::new();
+    for (child, out_path) in fleet.iter_mut().zip(&out_paths) {
+        let status = child.0.wait().expect("await client fleet");
+        assert!(status.success(), "client fleet failed: {status}");
+        for line in std::fs::read_to_string(out_path).expect("fleet results").lines() {
+            let mut cols = line.split_ascii_whitespace();
+            let id: u64 = cols.next().expect("id").parse().expect("id");
+            let rate = f32::from_bits(cols.next().expect("rate").parse().expect("rate"));
+            let logits: Vec<f32> = cols
+                .map(|c| f32::from_bits(c.parse().expect("logit bits")))
+                .collect();
+            assert!(
+                by_id.insert(id, (rate, logits)).is_none(),
+                "duplicate response for id {id}"
+            );
+        }
+        std::fs::remove_file(out_path).ok();
+    }
+    let healthy_total = FLEET * REQS_PER_CONN as u64;
+    assert_eq!(by_id.len() as u64, healthy_total, "lost correlation ids");
+    for c in churners {
+        c.join().expect("churn thread");
+    }
+
+    // Phase 3: graceful drain with a burst still in flight. Every burst
+    // response must be flushed before the ack (readable without waiting).
+    let mut tail = PipelinedClient::connect(addr).expect("connect tail");
+    for i in 0..BURST {
+        tail.send(0xC000_0000_0000_0000 + i, 0, &small_input(i))
+            .expect("burst send");
+    }
+    tail.flush().expect("burst flush");
+    let ack = tail
+        .drain_server(Duration::from_secs(30))
+        .expect("drain ack");
+    let mut seen = vec![false; BURST as usize];
+    for _ in 0..BURST {
+        let r = tail
+            .recv_timeout(Duration::from_secs(1))
+            .expect("burst response flushed before ack");
+        let k = (r.correlation_id - 0xC000_0000_0000_0000) as usize;
+        assert!(!seen[k], "duplicate burst response");
+        seen[k] = true;
+        assert!(matches!(r.outcome, InferOutcome::Logits { .. }));
+    }
+    assert!(seen.iter().all(|&s| s), "lost correlation ids in the drain burst");
+
+    let floor = healthy_total + BURST + churn_read.load(Ordering::Relaxed);
+    let ceiling = healthy_total + BURST + churn_written.load(Ordering::Relaxed);
+    assert!(
+        ack >= floor && ack <= ceiling,
+        "drain ack {ack} outside churn-accounting bracket [{floor}, {ceiling}]"
+    );
+    server.shutdown();
+
+    // Phase 4: bitwise replay. Group healthy responses by the rate the
+    // server actually used, replay each group in ≤ 16-row ticks through a
+    // fresh in-process engine fixed at that rate, compare bit patterns.
+    let mut groups: HashMap<u32, Vec<u64>> = HashMap::new();
+    for (&id, &(rate, _)) in &by_id {
+        groups.entry(rate.to_bits()).or_default().push(id);
+    }
+    let rates = small_profile().list().clone();
+    for (rate_bits, mut ids) in groups {
+        let rate = f32::from_bits(rate_bits);
+        let sr = rates
+            .iter()
+            .find(|sr| sr.get() == rate)
+            .unwrap_or_else(|| panic!("server used rate {rate} not in the profile list"));
+        ids.sort_unstable();
+        let reference = small_engine(&cfg, &weights, RatePolicy::Fixed(sr));
+        let arrivals: Vec<usize> = ids.chunks(16).map(|c| c.len()).collect();
+        let trace = WorkloadTrace {
+            rates: arrivals.iter().map(|&n| n as f64).collect(),
+            arrivals,
+        };
+        let ids_for_replay = ids.clone();
+        let report = reference.replay(&trace, move |replay_id| {
+            small_input(ids_for_replay[replay_id as usize])
+        });
+        reference.shutdown();
+        assert_eq!(report.served, ids.len());
+        for resp in &report.responses {
+            assert_eq!(resp.rate, rate);
+            let wire = &by_id[&ids[resp.id as usize]].1;
+            let wire_bits: Vec<u32> = wire.iter().map(|x| x.to_bits()).collect();
+            let ref_bits: Vec<u32> = resp.logits.data().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(
+                wire_bits, ref_bits,
+                "logits differ from in-process replay for id {} at rate {rate}",
+                ids[resp.id as usize]
+            );
+        }
+    }
+}
