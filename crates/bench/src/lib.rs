@@ -8,6 +8,7 @@ use ms_tensor::SeededRng;
 pub mod flightbench;
 pub mod netbench;
 pub mod prefixbench;
+pub mod slobench;
 
 /// The standard bench-scale VGG (matches the experiment setting).
 pub fn bench_vgg() -> Vgg {

@@ -1,0 +1,181 @@
+//! Time-series sampler cost A/B for the PR 8 gate.
+//!
+//! The A/B drives the same in-process engine submit→seal→drain path as
+//! the flight-recorder gate, with the telemetry `Sampler` thread either
+//! running (snapshotting every global-registry series and evaluating an
+//! SLO burn-rate engine after each tick) or stopped. The sampler
+//! interval is deliberately aggressive — well above the server's 1 s
+//! default — so each timed rep absorbs several full registry snapshots;
+//! the gate therefore bounds a worst case, not the production cadence.
+//! Per-request metric updates (counter bumps, the
+//! service histogram) happen identically in both modes: the gate prices
+//! only the background sampling and SLO evaluation.
+
+use ms_core::slice_rate::{SliceRate, SliceRateList};
+use ms_models::mlp::{Mlp, MlpConfig};
+use ms_nn::layer::Layer;
+use ms_nn::shared::SharedWeights;
+use ms_serving::controller::{RatePolicy, SlaController};
+use ms_serving::engine::{Engine, EngineConfig};
+use ms_serving::profile::LatencyProfile;
+use ms_tensor::{SeededRng, Tensor};
+use ms_telemetry::slo::{SeriesRef, SloEngine, SloSpec};
+use ms_telemetry::{Sampler, TimeStore, TsConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const INPUT_DIM: usize = 64;
+const SEAL_EVERY: u64 = 32;
+
+pub struct SamplerAb {
+    pub requests: usize,
+    pub pairs: usize,
+    /// Sampler tick interval used for the "on" reps, in milliseconds.
+    pub interval_ms: f64,
+    /// Best request throughput with the sampler stopped.
+    pub rps_sampler_off: f64,
+    /// Best request throughput with the sampler running.
+    pub rps_sampler_on: f64,
+    /// Median over interleaved pairs of `100·(wall_on − wall_off)/wall_off`,
+    /// clamped at 0 (background sampling cannot speed the engine up).
+    pub overhead_pct: f64,
+}
+
+fn mlp_config() -> MlpConfig {
+    MlpConfig {
+        input_dim: INPUT_DIM,
+        hidden_dims: vec![1024, 1024],
+        num_classes: 8,
+        groups: 4,
+        dropout: 0.0,
+        input_rescale: true,
+    }
+}
+
+fn engine(weights: &SharedWeights) -> Engine {
+    let mut m = Mlp::new(&mlp_config(), &mut SeededRng::new(51));
+    weights.hydrate(&mut m);
+    Engine::start(
+        EngineConfig {
+            // Throughput A/B: wide window, full admission, one worker.
+            latency: 1.0,
+            headroom: 1.0,
+            max_queue: usize::MAX / 2,
+            refine: false,
+        },
+        SlaController::new(
+            LatencyProfile::quadratic(SliceRateList::from_rates(&[0.25, 0.5, 0.75, 1.0]), 1e-5),
+            RatePolicy::Fixed(SliceRate::FULL),
+        ),
+        vec![Box::new(m) as Box<dyn Layer + Send>],
+    )
+}
+
+fn input_for(id: u64) -> Tensor {
+    Tensor::full([INPUT_DIM], ((id % 29) as f32) * 0.05 - 0.7)
+}
+
+/// One timed submit→seal→drain pass of `requests` requests, bumping the
+/// bench's own SLO total counter per request (in both modes, so the bump
+/// itself cancels out of the comparison).
+fn run_once(engine: &Engine, total: &ms_telemetry::Counter, requests: usize) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..requests as u64 {
+        total.inc();
+        engine
+            .submit(input_for(i))
+            .expect("A/B engine must admit every request");
+        if (i + 1) % SEAL_EVERY == 0 {
+            engine.seal();
+        }
+    }
+    engine.seal();
+    engine.drain();
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let got = engine.take_responses().len();
+    assert_eq!(got, requests, "A/B engine lost responses");
+    wall
+}
+
+/// Interleaved sampler-on/off pairs on one shared engine; overhead is the
+/// median paired relative difference, so drift slower than a rep cancels
+/// inside each pair and scheduler hiccups land in the tail.
+pub fn sampler_on_vs_off(requests: usize, pairs: usize, interval: Duration) -> SamplerAb {
+    let mut proto = Mlp::new(&mlp_config(), &mut SeededRng::new(50));
+    let weights = SharedWeights::capture(&mut proto);
+    let engine = engine(&weights);
+
+    // The sampler snapshots the *global* registry — the same one the
+    // engine's own metrics live in — so the "on" reps pay the realistic
+    // cost of walking every series this process has registered.
+    let reg = ms_telemetry::global();
+    let labels: &[(&str, &str)] = &[("bench", "slo")];
+    let total = reg.counter_with("slob_requests_total", labels, "A/B requests offered");
+    let _miss = reg.counter_with("slob_miss_total", labels, "A/B deadline misses (never)");
+    let store = Arc::new(TimeStore::new(TsConfig::default()));
+    let slo = Arc::new(SloEngine::new(vec![SloSpec::new(
+        "bench",
+        SeriesRef::new("slob_miss_total", labels),
+        SeriesRef::new("slob_requests_total", labels),
+        0.99,
+    )]));
+
+    // Warm-up: worker placement, pool and allocator ramp over the first
+    // bursts, and one sampled pass lets the store allocate its rings on
+    // the sampler thread; none of that may be billed to either mode.
+    {
+        let hook_slo = Arc::clone(&slo);
+        let _warm = Sampler::start_with_hook(Arc::clone(&store), interval, move |st, t| {
+            hook_slo.evaluate(st, t)
+        });
+        for _ in 0..2 {
+            run_once(&engine, &total, requests);
+        }
+    }
+
+    let mut diffs: Vec<f64> = Vec::with_capacity(pairs);
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    for i in 0..pairs {
+        // Alternate order within pairs so per-slot position effects cancel.
+        let modes: [bool; 2] = if i % 2 == 0 { [true, false] } else { [false, true] };
+        let mut wall_on = 0.0f64;
+        let mut wall_off = 0.0f64;
+        for on in modes {
+            let sampler = on.then(|| {
+                let hook_slo = Arc::clone(&slo);
+                Sampler::start_with_hook(Arc::clone(&store), interval, move |st, t| {
+                    hook_slo.evaluate(st, t)
+                })
+            });
+            let wall = run_once(&engine, &total, requests);
+            drop(sampler); // stop + join before the off rep starts
+            let rps = requests as f64 / wall;
+            if on {
+                wall_on = wall;
+                best_on = best_on.max(rps);
+            } else {
+                wall_off = wall;
+                best_off = best_off.max(rps);
+            }
+        }
+        diffs.push(100.0 * (wall_on - wall_off) / wall_off);
+    }
+    engine.shutdown();
+
+    diffs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mid = diffs.len() / 2;
+    let median = if diffs.len() % 2 == 0 {
+        0.5 * (diffs[mid - 1] + diffs[mid])
+    } else {
+        diffs[mid]
+    };
+    SamplerAb {
+        requests,
+        pairs,
+        interval_ms: interval.as_secs_f64() * 1e3,
+        rps_sampler_off: best_off,
+        rps_sampler_on: best_on,
+        overhead_pct: median.max(0.0),
+    }
+}

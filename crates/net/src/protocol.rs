@@ -234,6 +234,30 @@ pub struct ReplicaHealth {
     pub rate: f32,
 }
 
+/// Live SLO status carried by a [`HealthReply`] from servers that run the
+/// telemetry sampler. On the wire this is an *optional tail* after the
+/// replica list: a reply without it encodes byte-identically to the
+/// pre-SLO layout, and a decoder that finds no bytes left after the
+/// replicas yields `None` — so old peers in either direction keep
+/// working without a version bump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloHealth {
+    /// Deadline-SLO burn rate over the fast (seconds-scale) window, in
+    /// error-budget multiples (1.0 = burning exactly at budget).
+    pub deadline_fast_burn: f64,
+    /// Deadline-SLO burn rate over the slow (minutes-scale) window.
+    pub deadline_slow_burn: f64,
+    /// Shed-SLO burn rate over the fast window.
+    pub shed_fast_burn: f64,
+    /// Shed-SLO burn rate over the slow window.
+    pub shed_slow_burn: f64,
+    /// Alerts currently firing across all of the server's SLOs.
+    pub firing_alerts: u32,
+    /// p99 of end-to-end request latency over the sampler's most recent
+    /// window, seconds (0.0 when the window held no requests).
+    pub window_p99_s: f64,
+}
+
 /// Reply to a [`Frame::HealthRequest`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthReply {
@@ -247,6 +271,9 @@ pub struct HealthReply {
     pub build: String,
     /// Per-replica health, in router order.
     pub replicas: Vec<ReplicaHealth>,
+    /// Live SLO status — optional wire tail; `None` from peers that
+    /// predate it or have sampling disabled.
+    pub slo: Option<SloHealth>,
 }
 
 /// Every message the protocol can carry.
@@ -333,6 +360,12 @@ impl<'a> Reader<'a> {
 
     fn f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Whether any payload bytes remain — used to detect optional tails
+    /// (fields appended after the original layout by newer encoders).
+    fn has_remaining(&self) -> bool {
+        self.pos < self.buf.len()
     }
 
     /// The payload must be fully consumed — trailing bytes are corruption.
@@ -454,6 +487,17 @@ impl Frame {
                     out.extend_from_slice(&e.served.to_le_bytes());
                     out.extend_from_slice(&e.shed.to_le_bytes());
                     out.extend_from_slice(&e.rate.to_bits().to_le_bytes());
+                }
+                // Optional SLO tail: absent replies stay byte-identical
+                // to the pre-SLO layout (decoders treat leftover bytes
+                // after the replicas as this block).
+                if let Some(s) = &h.slo {
+                    out.extend_from_slice(&s.deadline_fast_burn.to_bits().to_le_bytes());
+                    out.extend_from_slice(&s.deadline_slow_burn.to_bits().to_le_bytes());
+                    out.extend_from_slice(&s.shed_fast_burn.to_bits().to_le_bytes());
+                    out.extend_from_slice(&s.shed_slow_burn.to_bits().to_le_bytes());
+                    out.extend_from_slice(&s.firing_alerts.to_le_bytes());
+                    out.extend_from_slice(&s.window_p99_s.to_bits().to_le_bytes());
                 }
             }
             Frame::MetricsReply(text) | Frame::TraceDumpReply(text) => {
@@ -622,11 +666,27 @@ impl Frame {
                         rate: if version >= 2 { r.f32()? } else { 0.0 },
                     });
                 }
+                // Bytes left after the replicas are the optional SLO
+                // tail; their absence (all legacy frames, and v2 frames
+                // from samplers-off servers) decodes as `None`.
+                let slo = if r.has_remaining() {
+                    Some(SloHealth {
+                        deadline_fast_burn: r.f64()?,
+                        deadline_slow_burn: r.f64()?,
+                        shed_fast_burn: r.f64()?,
+                        shed_slow_burn: r.f64()?,
+                        firing_alerts: r.u32()?,
+                        window_p99_s: r.f64()?,
+                    })
+                } else {
+                    None
+                };
                 Frame::HealthReply(HealthReply {
                     draining,
                     uptime_seconds,
                     build,
                     replicas,
+                    slo,
                 })
             }
             ty::METRICS_REQUEST => Frame::MetricsRequest,
@@ -879,6 +939,28 @@ mod tests {
                     shed: 3,
                     rate: 0.75,
                 }],
+                slo: None,
+            }),
+            Frame::HealthReply(HealthReply {
+                draining: false,
+                uptime_seconds: 901.5,
+                build: "ms-net 0.1.0 (release)".to_string(),
+                replicas: vec![ReplicaHealth {
+                    draining: false,
+                    queue_depth: 2.0,
+                    p99_service_s: 0.0009,
+                    served: 77_000,
+                    shed: 12,
+                    rate: 1.0,
+                }],
+                slo: Some(SloHealth {
+                    deadline_fast_burn: 2.25,
+                    deadline_slow_burn: 0.5,
+                    shed_fast_burn: 0.0,
+                    shed_slow_burn: 0.125,
+                    firing_alerts: 1,
+                    window_p99_s: 0.0041,
+                }),
             }),
             Frame::MetricsRequest,
             Frame::MetricsReply("# TYPE x counter\nx 1\n".to_string()),
@@ -959,9 +1041,60 @@ mod tests {
                 assert_eq!((r.queue_depth, r.p99_service_s), (3.0, 0.002));
                 assert_eq!((r.served, r.shed), (500, 7));
                 assert_eq!(r.rate, 0.0);
+                assert_eq!(h.slo, None);
             }
             other => panic!("wrong frame {other:?}"),
         }
+    }
+
+    #[test]
+    fn slo_tail_is_optional_and_absent_tail_matches_old_layout() {
+        // A reply with the SLO block decodes back to Some; stripping the
+        // tail (and re-stamping length + checksum) yields exactly what a
+        // pre-SLO encoder would have produced, and decodes with `None`.
+        let with = HealthReply {
+            draining: false,
+            uptime_seconds: 30.0,
+            build: "b".to_string(),
+            replicas: vec![ReplicaHealth {
+                draining: false,
+                queue_depth: 1.0,
+                p99_service_s: 0.002,
+                served: 10,
+                shed: 0,
+                rate: 0.5,
+            }],
+            slo: Some(SloHealth {
+                deadline_fast_burn: 1.5,
+                deadline_slow_burn: 0.25,
+                shed_fast_burn: 0.0,
+                shed_slow_burn: 0.0,
+                firing_alerts: 0,
+                window_p99_s: 0.0019,
+            }),
+        };
+        let mut without = with.clone();
+        without.slo = None;
+
+        let bytes_with = Frame::HealthReply(with.clone()).to_bytes();
+        assert_eq!(Frame::decode(&bytes_with).unwrap(), Frame::HealthReply(with));
+
+        // 4×f64 burns + u32 firing + f64 p99 = 44 bytes of tail.
+        const TAIL: usize = 44;
+        let bytes_without = Frame::HealthReply(without.clone()).to_bytes();
+        assert_eq!(bytes_with.len(), bytes_without.len() + TAIL);
+        let mut stripped = bytes_with;
+        stripped.truncate(stripped.len() - TAIL);
+        let payload_len = (stripped.len() - HEADER_LEN - TRACE_EXT_LEN) as u32;
+        stripped[8..12].copy_from_slice(&payload_len.to_le_bytes());
+        let sum = fnv1a(FNV_OFFSET, &stripped[4..12]);
+        let sum = fnv1a(sum, &stripped[HEADER_LEN..]);
+        stripped[12..16].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(stripped, bytes_without, "absent tail must be the old layout");
+        assert_eq!(
+            Frame::decode(&stripped).unwrap(),
+            Frame::HealthReply(without)
+        );
     }
 
     #[test]

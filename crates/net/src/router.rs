@@ -11,14 +11,25 @@
 //! ```
 //!
 //! Queue depth is the replica's buffered request count (a single atomic
-//! gauge read); the second term converts the replica's recent p99 batch
-//! service time into "windows of lateness" so a replica that has started
-//! missing its budget repels traffic even when its queue happens to be
-//! momentarily short. The p99 is refreshed from the telemetry histogram
-//! every [`RouterConfig::p99_refresh_every`] placements per replica —
-//! reading a log-bucketed percentile walks ~800 buckets, far too much for
-//! the per-request path, while a 64-request-stale p99 is indistinguishable
-//! from a fresh one at serving rates.
+//! gauge read); the second term converts the replica's **recent** p99
+//! batch service time into "windows of lateness" so a replica that has
+//! started missing its budget repels traffic even when its queue happens
+//! to be momentarily short. "Recent" is load-bearing: the p99 comes from
+//! a `WindowedHistogram` that differences bucket snapshots of the
+//! replica's service histogram every
+//! [`RouterConfig::p99_refresh_every`] placements, so it reflects only
+//! the batches served *since the previous refresh* — a replica that was
+//! slow an hour ago but is fast now scores healthy again within one
+//! refresh window. (The first cut of this router read the
+//! lifetime-cumulative `Histogram::percentile`, which can never forget a
+//! bad era; `tests/router_windowed.rs` pins the recovery behaviour.)
+//! A refresh window containing no finished batches halves the cached p99
+//! instead of zeroing it: "no recent evidence" decays toward healthy
+//! without the score snapping and flapping placement between replicas.
+//! Refreshing also amortizes cost exactly as before — walking ~800
+//! buckets is far too much for the per-request path, while a
+//! 64-request-stale p99 is indistinguishable from a fresh one at serving
+//! rates.
 //!
 //! Degradation order mirrors the paper's: spreading load across replicas
 //! keeps per-batch `n` low, which lets each elastic controller *widen* its
@@ -29,8 +40,9 @@
 
 use ms_serving::engine::{Engine, ShedReason};
 use ms_tensor::Tensor;
+use ms_telemetry::WindowedHistogram;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Router tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -62,7 +74,11 @@ pub enum RouteError {
 struct Replica {
     engine: Arc<Engine>,
     draining: AtomicBool,
-    /// Cached `p99_service` seconds as f64 bits.
+    /// Windowed-delta p99 tracker over the engine's service histogram;
+    /// locked only on the amortized refresh path.
+    windowed_p99: Mutex<WindowedHistogram>,
+    /// Cached *windowed* p99 seconds as f64 bits, lock-free for the
+    /// per-placement score reads between refreshes.
     cached_p99: AtomicU64,
     /// Placements since the last p99 refresh.
     since_refresh: AtomicU64,
@@ -101,9 +117,11 @@ impl Router {
                 let ridx = i.to_string();
                 let labels: &[(&str, &str)] =
                     &[("router", rid.as_str()), ("replica", ridx.as_str())];
+                let windowed_p99 = Mutex::new(WindowedHistogram::new(e.service_histogram()));
                 Replica {
                     engine: Arc::new(e),
                     draining: AtomicBool::new(false),
+                    windowed_p99,
                     cached_p99: AtomicU64::new(0f64.to_bits()),
                     since_refresh: AtomicU64::new(0),
                     routed: reg.counter_with(
@@ -157,13 +175,24 @@ impl Router {
     }
 
     /// The current health score of replica `i` (lower is healthier),
-    /// refreshing its cached p99 if due.
+    /// refreshing its cached windowed-delta p99 if due. A refresh closes
+    /// the window opened by the previous one: batches served in between
+    /// set the p99; an empty window halves the cached value (decay toward
+    /// healthy, no snap). `try_lock` keeps concurrent scorers lock-free —
+    /// whoever loses the race reads the cache refreshed by the winner.
     pub fn health_score(&self, i: usize) -> f64 {
         let rep = &self.replicas[i];
         let due = rep.since_refresh.fetch_add(1, Ordering::Relaxed);
         if due % self.cfg.p99_refresh_every == 0 {
-            let p99 = rep.engine.counters().p99_service;
-            rep.cached_p99.store(p99.to_bits(), Ordering::Relaxed);
+            if let Ok(mut w) = rep.windowed_p99.try_lock() {
+                let (count, p99) = w.refresh();
+                let next = if count > 0 {
+                    p99
+                } else {
+                    0.5 * f64::from_bits(rep.cached_p99.load(Ordering::Relaxed))
+                };
+                rep.cached_p99.store(next.to_bits(), Ordering::Relaxed);
+            }
         }
         let p99 = f64::from_bits(rep.cached_p99.load(Ordering::Relaxed));
         let window = rep.engine.window().max(1e-12);

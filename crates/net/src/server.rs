@@ -111,6 +111,20 @@ pub struct ServerConfig {
     /// Per-connection payload cap; frames declaring more are rejected
     /// from the header alone (clamped to the protocol's 64 MiB cap).
     pub max_frame_len: u32,
+    /// Live SLO tracking: when true the server runs a telemetry sampler
+    /// thread that snapshots the registry every [`Self::sample_interval`],
+    /// evaluates the deadline and shed SLOs (Google-SRE multi-window
+    /// burn-rate alerts with hysteresis), and fills the optional SLO block
+    /// of every `HealthReply`.
+    pub slo_sampling: bool,
+    /// Registry snapshot cadence of the sampler thread.
+    pub sample_interval: Duration,
+    /// Deadline SLO objective: target fraction of served responses
+    /// delivered within their effective deadline (the request's own wire
+    /// deadline, or twice the engine window for requests without one).
+    pub deadline_objective: f64,
+    /// Shed SLO objective: target fraction of requests *not* shed.
+    pub shed_objective: f64,
 }
 
 impl Default for ServerConfig {
@@ -121,12 +135,19 @@ impl Default for ServerConfig {
             read_deadline: Duration::from_secs(10),
             max_conn_backlog: 64 << 20,
             max_frame_len: MAX_PAYLOAD,
+            slo_sampling: true,
+            sample_interval: Duration::from_secs(1),
+            deadline_objective: 0.99,
+            shed_objective: 0.99,
         }
     }
 }
 
 /// Wire-layer metrics (registered once per server on the global registry).
 struct NetMetrics {
+    /// The `server` label value — SLO specs and windowed-histogram
+    /// queries must address exactly the series registered here.
+    server_id: String,
     connections: ms_telemetry::Gauge,
     accepted: ms_telemetry::Counter,
     frames_rx: ms_telemetry::Counter,
@@ -139,6 +160,10 @@ struct NetMetrics {
     responses_shed: ms_telemetry::Counter,
     reaped: ms_telemetry::Counter,
     backpressure_closed: ms_telemetry::Counter,
+    /// Served responses classified against their effective deadline
+    /// (the deadline-SLO event stream: total and misses).
+    deadline_total: ms_telemetry::Counter,
+    deadline_miss: ms_telemetry::Counter,
     /// Route-to-delivery latency of served requests (server-side).
     request_seconds: ms_telemetry::Histogram,
 }
@@ -151,7 +176,18 @@ impl NetMetrics {
         let id = SERVER_SEQ.fetch_add(1, Ordering::Relaxed).to_string();
         let l: &[(&str, &str)] = &[("server", id.as_str())];
         NetMetrics {
+            server_id: id.clone(),
             connections: reg.gauge_with("net_connections", l, "currently open connections"),
+            deadline_total: reg.counter_with(
+                "net_deadline_total",
+                l,
+                "served responses classified against their effective deadline",
+            ),
+            deadline_miss: reg.counter_with(
+                "net_deadline_miss_total",
+                l,
+                "served responses delivered after their effective deadline",
+            ),
             accepted: reg.counter_with("net_connections_total", l, "connections accepted"),
             frames_rx: reg.counter_with("net_frames_rx_total", l, "frames received"),
             frames_tx: reg.counter_with("net_frames_tx_total", l, "frames sent"),
@@ -292,6 +328,11 @@ struct Pending {
     conn: u64,
     correlation_id: u64,
     t0: Instant,
+    /// Effective deadline (seconds) this request is judged against for
+    /// the deadline SLO: the wire deadline when the client sent one,
+    /// otherwise twice the placed replica's engine window (a served batch
+    /// should clear two accumulation intervals).
+    deadline: f64,
     /// Flight-recorder trace context (0 = untraced).
     trace: u64,
 }
@@ -331,6 +372,18 @@ struct Shared {
     conns: Mutex<HashMap<u64, ConnHandle>>,
     reactors: Vec<ReactorHandle>,
     metrics: NetMetrics,
+    /// Live SLO telemetry (`None` when [`ServerConfig::slo_sampling`] is
+    /// off): registry snapshots plus the burn-rate alert engine the
+    /// sampler thread evaluates on every tick.
+    slo: Option<SloTelemetry>,
+}
+
+/// The sampler-fed half of the server's observability: a [`TimeStore`]
+/// snapshotting the global registry and the [`SloEngine`] evaluated over
+/// it. Both are shared with the sampler thread's hook.
+struct SloTelemetry {
+    store: Arc<ms_telemetry::TimeStore>,
+    engine: Arc<ms_telemetry::SloEngine>,
 }
 
 impl Shared {
@@ -411,9 +464,14 @@ impl Shared {
         let frame = match out {
             Outcome::Served { rate, dims, data } => {
                 self.metrics.responses_ok.inc();
-                self.metrics
-                    .request_seconds
-                    .record_traced(p.t0.elapsed().as_secs_f64(), p.trace);
+                let elapsed = p.t0.elapsed().as_secs_f64();
+                self.metrics.request_seconds.record_traced(elapsed, p.trace);
+                // Deadline-SLO event: every served response is classified
+                // hit or miss against its effective deadline.
+                self.metrics.deadline_total.inc();
+                if elapsed > p.deadline {
+                    self.metrics.deadline_miss.inc();
+                }
                 Frame::InferResponse(InferResponse {
                     correlation_id: p.correlation_id,
                     rate_used: rate,
@@ -448,6 +506,33 @@ impl Shared {
         }
     }
 
+    /// The optional SLO block of a `HealthReply`: per-SLO long-window
+    /// burn rates, the firing-alert count, and the windowed p99 of the
+    /// request-latency histogram (over up to the last minute of retained
+    /// snapshots). `None` when sampling is off.
+    fn slo_health(&self) -> Option<crate::protocol::SloHealth> {
+        let slo = self.slo.as_ref()?;
+        let (deadline_fast_burn, deadline_slow_burn) =
+            slo.engine.slo_burns("deadline").unwrap_or((0.0, 0.0));
+        let (shed_fast_burn, shed_slow_burn) =
+            slo.engine.slo_burns("shed").unwrap_or((0.0, 0.0));
+        let firing_alerts = slo.engine.status().firing;
+        let l: &[(&str, &str)] = &[("server", self.metrics.server_id.as_str())];
+        let window_p99_s = slo
+            .store
+            .hist_window("net_request_seconds", l, 60.0)
+            .map(|w| w.p99)
+            .unwrap_or(0.0);
+        Some(crate::protocol::SloHealth {
+            deadline_fast_burn,
+            deadline_slow_burn,
+            shed_fast_burn,
+            shed_slow_burn,
+            firing_alerts,
+            window_p99_s,
+        })
+    }
+
     fn health_reply(&self) -> Frame {
         let replicas = (0..self.router.replicas())
             .map(|i| {
@@ -468,6 +553,7 @@ impl Shared {
             uptime_seconds: self.started.elapsed().as_secs_f64(),
             build: build_string(),
             replicas,
+            slo: self.slo_health(),
         })
     }
 
@@ -503,6 +589,9 @@ pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     threads: Vec<JoinHandle<()>>,
+    /// Telemetry sampler thread; kept for its Drop (stop + join). `None`
+    /// when SLO sampling is disabled.
+    _sampler: Option<ms_telemetry::Sampler>,
 }
 
 impl Server {
@@ -533,6 +622,40 @@ impl Server {
                 })
             })
             .collect::<io::Result<Vec<_>>>()?;
+        let metrics = NetMetrics::new();
+        let slo = cfg.slo_sampling.then(|| {
+            let sid = metrics.server_id.clone();
+            let l: &[(&str, &str)] = &[("server", sid.as_str())];
+            use ms_telemetry::slo::SeriesRef;
+            let specs = vec![
+                ms_telemetry::SloSpec::new(
+                    "deadline",
+                    SeriesRef::new("net_deadline_miss_total", l),
+                    SeriesRef::new("net_deadline_total", l),
+                    cfg.deadline_objective,
+                ),
+                ms_telemetry::SloSpec::new(
+                    "shed",
+                    SeriesRef::new("net_responses_shed_total", l),
+                    SeriesRef::new("net_requests_total", l),
+                    cfg.shed_objective,
+                ),
+            ];
+            SloTelemetry {
+                store: Arc::new(ms_telemetry::TimeStore::new(
+                    ms_telemetry::TsConfig::default(),
+                )),
+                engine: Arc::new(ms_telemetry::SloEngine::new(specs)),
+            }
+        });
+        let sampler = slo.as_ref().map(|s| {
+            let engine = Arc::clone(&s.engine);
+            ms_telemetry::Sampler::start_with_hook(
+                Arc::clone(&s.store),
+                cfg.sample_interval,
+                move |store, t| engine.evaluate(store, t),
+            )
+        });
         let shared = Arc::new(Shared {
             router,
             cfg,
@@ -546,7 +669,8 @@ impl Server {
             tables: (0..n).map(|_| Mutex::new(ReplicaTable::default())).collect(),
             conns: Mutex::new(HashMap::new()),
             reactors,
-            metrics: NetMetrics::new(),
+            metrics,
+            slo,
         });
         let mut threads = Vec::new();
         let mut listener = Some(listener);
@@ -580,6 +704,7 @@ impl Server {
             shared,
             local_addr,
             threads,
+            _sampler: sampler,
         })
     }
 
@@ -1179,6 +1304,8 @@ fn place_request(shared: &Arc<Shared>, conn: u64, req: InferRequest, trace: u64)
                 conn,
                 correlation_id: req.correlation_id,
                 t0: Instant::now(),
+                deadline: deadline
+                    .unwrap_or_else(|| 2.0 * shared.router.engine(replica).window()),
                 trace,
             };
             let claimed = {

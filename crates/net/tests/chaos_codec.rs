@@ -13,7 +13,7 @@
 
 use ms_net::protocol::{
     write_frame_traced, Frame, FrameDecoder, HealthReply, InferOutcome, InferRequest,
-    InferResponse, ReplicaHealth, WireError, WireShedReason, HEADER_LEN,
+    InferResponse, ReplicaHealth, SloHealth, WireError, WireShedReason, HEADER_LEN,
 };
 use proptest::prelude::*;
 use std::io::{self, Read, Write};
@@ -97,11 +97,24 @@ fn build_frame(variant: usize, seed: u64) -> Frame {
             let build: String = (0..blen)
                 .map(|_| char::from_u32(32 + (m.next() % 95) as u32).unwrap())
                 .collect();
+            let slo = if m.next() % 2 == 0 {
+                Some(SloHealth {
+                    deadline_fast_burn: (m.next() % 1000) as f64 * 0.01,
+                    deadline_slow_burn: (m.next() % 1000) as f64 * 0.01,
+                    shed_fast_burn: (m.next() % 1000) as f64 * 0.01,
+                    shed_slow_burn: (m.next() % 1000) as f64 * 0.01,
+                    firing_alerts: (m.next() % 5) as u32,
+                    window_p99_s: (m.next() % 1_000_000_000) as f64 * 1e-9,
+                })
+            } else {
+                None
+            };
             Frame::HealthReply(HealthReply {
                 draining: m.next() % 2 == 0,
                 uptime_seconds: (m.next() % 1_000_000_000) as f64 * 1e-3,
                 build,
                 replicas,
+                slo,
             })
         }
         5 => Frame::MetricsRequest,

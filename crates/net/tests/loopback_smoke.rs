@@ -170,6 +170,55 @@ fn metrics_frame_serves_prometheus_text() {
     server.shutdown();
 }
 
+/// The live SLO block: a sampling server answers health with `Some` —
+/// burn rates finite, the windowed p99 reflecting recent traffic — and a
+/// sampler-off server stays byte-compatible with `None`.
+#[test]
+fn health_frame_carries_live_slo_block() {
+    ms_telemetry::set_enabled(true);
+    let (server, _w) = start_server_with(
+        1,
+        ServerConfig {
+            sample_interval: Duration::from_millis(25),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for id in 0..40 {
+        let r = client.infer(id, 50_000, &input_for(id)).expect("infer");
+        assert!(matches!(r.outcome, InferOutcome::Logits { .. }));
+    }
+    // Let the sampler take at least two snapshots so windows exist.
+    std::thread::sleep(Duration::from_millis(120));
+    let h = client.health().expect("health");
+    let slo = h.slo.expect("sampling server must fill the SLO block");
+    for burn in [
+        slo.deadline_fast_burn,
+        slo.deadline_slow_burn,
+        slo.shed_fast_burn,
+        slo.shed_slow_burn,
+    ] {
+        assert!(burn.is_finite() && burn >= 0.0, "burn {burn}");
+    }
+    assert!(
+        slo.window_p99_s > 0.0,
+        "windowed p99 must see the served requests"
+    );
+    server.shutdown();
+
+    let (server, _w) = start_server_with(
+        1,
+        ServerConfig {
+            slo_sampling: false,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let h = client.health().expect("health");
+    assert_eq!(h.slo, None, "sampling off must encode the old layout");
+    server.shutdown();
+}
+
 #[test]
 fn health_frame_reports_each_replica() {
     let (server, _w) = start_server(3);

@@ -9,7 +9,7 @@
 
 use ms_net::protocol::{
     read_frame, read_frame_traced, Frame, HealthReply, InferOutcome, InferRequest, InferResponse,
-    ReplicaHealth, WireShedReason, HEADER_LEN, LEGACY_VERSION, MAGIC, MAX_PAYLOAD,
+    ReplicaHealth, SloHealth, WireShedReason, HEADER_LEN, LEGACY_VERSION, MAGIC, MAX_PAYLOAD,
 };
 use proptest::prelude::*;
 
@@ -91,11 +91,27 @@ fn build_frame(variant: usize, seed: u64) -> Frame {
             let build: String = (0..blen)
                 .map(|_| char::from_u32(32 + (m.next() % 95) as u32).unwrap())
                 .collect();
+            // Half the generated replies carry the optional SLO tail, so
+            // every property (round-trip, truncation, bit-flip, stream
+            // agreement) covers both layouts.
+            let slo = if m.next() % 2 == 0 {
+                Some(SloHealth {
+                    deadline_fast_burn: (m.next() % 10_000) as f64 * 1e-2,
+                    deadline_slow_burn: (m.next() % 10_000) as f64 * 1e-2,
+                    shed_fast_burn: (m.next() % 10_000) as f64 * 1e-2,
+                    shed_slow_burn: (m.next() % 10_000) as f64 * 1e-2,
+                    firing_alerts: (m.next() % 8) as u32,
+                    window_p99_s: (m.next() % 1_000_000_000) as f64 * 1e-9,
+                })
+            } else {
+                None
+            };
             Frame::HealthReply(HealthReply {
                 draining: m.next() % 2 == 0,
                 uptime_seconds: (m.next() % 1_000_000_000) as f64 * 1e-3,
                 build,
                 replicas,
+                slo,
             })
         }
         5 => Frame::MetricsRequest,
@@ -274,4 +290,56 @@ proptest! {
         prop_assert_eq!(got_trace, trace);
         prop_assert_eq!(decoded.to_bytes_traced(trace), bytes);
     }
+
+    /// The SLO block is a true optional tail: for any HealthReply carrying
+    /// one, stripping exactly the tail bytes (and re-stamping length +
+    /// checksum, as a pre-SLO encoder would have written the frame) decodes
+    /// to the same reply with `slo == None` — old clients and new clients
+    /// agree on every byte that precedes the tail.
+    #[test]
+    fn slo_tail_strips_to_old_layout(seed in any::<u64>()) {
+        let frame = build_frame(4, seed);
+        let (reply, has_slo) = match &frame {
+            Frame::HealthReply(h) => (h.clone(), h.slo.is_some()),
+            _ => unreachable!("variant 4 is HealthReply"),
+        };
+        if !has_slo {
+            // The no-tail layout round-trips to None directly.
+            let decoded = Frame::decode(&frame.to_bytes()).unwrap();
+            match decoded {
+                Frame::HealthReply(h) => prop_assert!(h.slo.is_none()),
+                _ => unreachable!(),
+            }
+            return Ok(());
+        }
+        const TAIL: usize = 44; // 4×f64 burns + u32 firing + f64 p99
+        const TRACE_EXT: usize = 8; // HealthReply always rides the v2 header
+        let mut bytes = frame.to_bytes();
+        bytes.truncate(bytes.len() - TAIL);
+        let payload_len = (bytes.len() - HEADER_LEN - TRACE_EXT) as u32;
+        bytes[8..12].copy_from_slice(&payload_len.to_le_bytes());
+        let declared = fnv1a_pair(&bytes);
+        bytes[12..16].copy_from_slice(&declared.to_le_bytes());
+        // Compare on canonical bytes (NaN-carrying replicas survive).
+        let mut expect = reply;
+        expect.slo = None;
+        let decoded = Frame::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded.to_bytes(), Frame::HealthReply(expect).to_bytes());
+    }
+}
+
+/// FNV-1a over the checksummed regions (bytes [4..12) then everything past
+/// the fixed header) — mirrors the encoder so tests can re-stamp frames
+/// they have surgically edited.
+fn fnv1a_pair(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    let mut eat = |chunk: &[u8]| {
+        for &b in chunk {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    };
+    eat(&bytes[4..12]);
+    eat(&bytes[HEADER_LEN..]);
+    h
 }

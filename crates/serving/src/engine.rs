@@ -675,6 +675,18 @@ impl Engine {
         self.shared.metrics.queue_depth.get()
     }
 
+    /// Handle to the all-rates service-time histogram (the series behind
+    /// [`EngineCounters::p50_service`]/[`p99_service`]). Consumers that
+    /// need *windowed* rather than lifetime-cumulative percentiles — the
+    /// router's health score, the server's SLO block — wrap this in a
+    /// `ms_telemetry::WindowedHistogram` and difference bucket snapshots
+    /// at their own cadence.
+    ///
+    /// [`p99_service`]: EngineCounters::p99_service
+    pub fn service_histogram(&self) -> ms_telemetry::Histogram {
+        self.shared.metrics.service.clone()
+    }
+
     /// Slice rate picked by the controller for the most recently sealed
     /// batch (0 until the first seal).
     pub fn last_rate(&self) -> f32 {

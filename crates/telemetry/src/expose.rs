@@ -273,16 +273,102 @@ impl Registry {
     }
 }
 
+/// Atomic file replacement: write the full contents to a dot-prefixed
+/// temp file in the same directory, then `rename` over the target. A
+/// concurrent reader sees either the complete old snapshot or the
+/// complete new one — never a torn prefix of a dump in progress (rename
+/// within one directory is atomic on POSIX). The temp name carries the
+/// process id so two processes flushing into one directory cannot
+/// clobber each other's staging file.
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let file = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "dump path has no file name"))?;
+    let tmp = dir.join(format!(".{}.tmp.{}", file.to_string_lossy(), std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    let renamed = std::fs::rename(&tmp, path);
+    if renamed.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    renamed
+}
+
 /// Writes `<dir>/<prefix>.prom` and `<dir>/<prefix>.json` snapshots of the
-/// global registry, creating `dir` if needed. Returns the two paths.
+/// global registry, creating `dir` if needed. Returns the two paths. Each
+/// file is replaced atomically (temp file + rename), so a scrape racing a
+/// dump never reads torn output.
 pub fn dump(dir: &Path, prefix: &str) -> io::Result<(PathBuf, PathBuf)> {
     std::fs::create_dir_all(dir)?;
     let reg = crate::global();
     let prom = dir.join(format!("{prefix}.prom"));
     let json = dir.join(format!("{prefix}.json"));
-    std::fs::write(&prom, reg.render_prometheus())?;
-    std::fs::write(&json, reg.render_json())?;
+    write_atomic(&prom, &reg.render_prometheus())?;
+    write_atomic(&json, &reg.render_json())?;
     Ok((prom, json))
+}
+
+/// Renders a [`TimeStore`]'s retained history as plottable JSON: one
+/// entry per series with its kind, labels and points array — counters as
+/// `[t, value, rate]`, gauges as `[t, value]`, histograms as per-tick
+/// deltas `[t, count, p50, p99]`. Cold path; allocate freely.
+pub fn render_history_json(store: &crate::timeseries::TimeStore) -> String {
+    use crate::timeseries::SeriesHistory;
+    let series = store.series_histories();
+    let mut out = String::from("{\n  \"series\": [\n");
+    for (i, s) in series.iter().enumerate() {
+        let (kind, name, labels) = match s {
+            SeriesHistory::Counter { name, labels, .. } => ("counter", name, labels),
+            SeriesHistory::Gauge { name, labels, .. } => ("gauge", name, labels),
+            SeriesHistory::Histogram { name, labels, .. } => ("histogram", name, labels),
+        };
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"kind\": \"{kind}\", \"labels\": {}, \"points\": [",
+            json_escape(name),
+            json_labels(labels),
+        );
+        match s {
+            SeriesHistory::Counter { points, .. } => {
+                for (j, (t, v, rate)) in points.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "[{}, {}, {}]{}",
+                        json_num(*t),
+                        json_num(*v),
+                        json_num(*rate),
+                        if j + 1 == points.len() { "" } else { ", " }
+                    );
+                }
+            }
+            SeriesHistory::Gauge { points, .. } => {
+                for (j, (t, v)) in points.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "[{}, {}]{}",
+                        json_num(*t),
+                        json_num(*v),
+                        if j + 1 == points.len() { "" } else { ", " }
+                    );
+                }
+            }
+            SeriesHistory::Histogram { points, .. } => {
+                for (j, (t, n, p50, p99)) in points.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "[{}, {n}, {}, {}]{}",
+                        json_num(*t),
+                        json_num(*p50),
+                        json_num(*p99),
+                        if j + 1 == points.len() { "" } else { ", " }
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "]}}{}", if i + 1 == series.len() { "" } else { "," });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Background thread that [`dump`]s the global registry every `interval`
@@ -384,6 +470,93 @@ mod tests {
             json.matches('}').count(),
             "unbalanced braces"
         );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    /// Satellite-3 regression: a scrape racing the dump loop must never
+    /// read torn output. Before the temp-file + rename fix, `dump` wrote
+    /// straight into the target and readers routinely caught half-written
+    /// JSON. The reader thread hammers the file while the writer dumps a
+    /// registry big enough that a direct write is observably non-atomic;
+    /// every successful read must be a complete, brace-balanced document.
+    #[test]
+    fn scrape_racing_dump_never_reads_torn_json() {
+        let dir = std::env::temp_dir().join(format!("ms_atomic_dump_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Bulk up the global registry so renders are many kilobytes.
+        for i in 0..200 {
+            crate::global()
+                .counter_with("expose_torn_total", &[("shard", &format!("{i}"))], "")
+                .add(i);
+        }
+        let json_path = dir.join("race.json");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_r = Arc::clone(&stop);
+        let path_r = json_path.clone();
+        let reader = std::thread::spawn(move || {
+            let mut reads = 0u32;
+            while !stop_r.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Ok(s) = std::fs::read_to_string(&path_r) {
+                    if !s.is_empty() {
+                        reads += 1;
+                        assert!(
+                            s.ends_with("}\n") && s.matches('{').count() == s.matches('}').count(),
+                            "torn read: {} bytes, ends {:?}",
+                            s.len(),
+                            &s[s.len().saturating_sub(16)..]
+                        );
+                    }
+                }
+            }
+            reads
+        });
+        for _ in 0..50 {
+            dump(&dir, "race").unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let reads = reader.join().unwrap();
+        assert!(reads > 0, "reader never observed the file");
+        // No staging litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn history_json_renders_all_kinds_plottably() {
+        use crate::timeseries::{TimeStore, TsConfig};
+        crate::set_enabled(true);
+        let reg: &'static Registry = Box::leak(Box::new(Registry::new()));
+        let store = TimeStore::with_registry(
+            reg,
+            TsConfig {
+                capacity: 8,
+                hist_capacity: 4,
+            },
+        );
+        let c = reg.counter_with("hist_json_total", &[("server", "s0")], "");
+        let g = reg.gauge("hist_json_depth", "");
+        let h = reg.histogram("hist_json_seconds", "");
+        store.tick_at(0.0);
+        c.add(40);
+        g.set(3.0);
+        h.record(0.25);
+        store.tick_at(2.0);
+        let json = render_history_json(&store);
+        assert!(json.contains("\"name\": \"hist_json_total\""));
+        assert!(json.contains("\"kind\": \"counter\""));
+        assert!(json.contains("\"server\": \"s0\""));
+        // Counter point: t=2, value 40, rate 20/s.
+        assert!(json.contains("[2, 40, 20]"), "{json}");
+        assert!(json.contains("\"kind\": \"gauge\""));
+        assert!(json.contains("[2, 3]"));
+        assert!(json.contains("\"kind\": \"histogram\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 

@@ -201,26 +201,21 @@ impl Histogram {
     /// bucket width for in-range samples.
     pub fn percentile(&self, q: f64) -> f64 {
         let mut counts = [0u64; NBUCKETS];
-        let mut n = 0u64;
-        for (slot, b) in counts.iter_mut().zip(self.0.buckets.iter()) {
+        self.snapshot_counts_into(&mut counts);
+        percentile_from_counts(&counts, q)
+    }
+
+    /// Copies a relaxed snapshot of the per-bucket counts into `out`
+    /// (length [`NBUCKETS`]) without allocating. This is the primitive the
+    /// time-series sampler differences: `snapshot(t₂) − snapshot(t₁)` is
+    /// the bucket distribution of exactly the samples recorded in
+    /// `(t₁, t₂]`, from which [`percentile_from_counts`] yields *windowed*
+    /// percentiles instead of lifetime-cumulative ones.
+    pub fn snapshot_counts_into(&self, out: &mut [u64]) {
+        assert_eq!(out.len(), NBUCKETS, "snapshot buffer must hold NBUCKETS");
+        for (slot, b) in out.iter_mut().zip(self.0.buckets.iter()) {
             *slot = b.load(Ordering::Relaxed);
-            n += *slot;
         }
-        if n == 0 {
-            return 0.0;
-        }
-        let rank = ((n - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
-        let mut cum = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            cum += c;
-            if cum > rank {
-                let (lo, hi) = bucket_bounds(i);
-                // The overflow bucket has no finite upper bound; its lower
-                // bound is the least-wrong finite answer.
-                return if hi.is_finite() { hi } else { lo };
-            }
-        }
-        unreachable!("rank below total count");
     }
 
     /// `(upper_bound, cumulative_count)` for every non-empty bucket, in
@@ -238,6 +233,31 @@ impl Histogram {
         }
         out
     }
+}
+
+/// Nearest-rank percentile over an explicit bucket-count array (length
+/// [`NBUCKETS`]) — the same resolution contract as
+/// [`Histogram::percentile`], but usable on a *delta* of two snapshots
+/// taken with [`Histogram::snapshot_counts_into`]. Returns 0 when the
+/// counts sum to zero. Allocation-free.
+pub fn percentile_from_counts(counts: &[u64], q: f64) -> f64 {
+    assert_eq!(counts.len(), NBUCKETS, "counts must hold NBUCKETS entries");
+    let n: u64 = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let rank = ((n - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        if cum > rank {
+            let (lo, hi) = bucket_bounds(i);
+            // The overflow bucket has no finite upper bound; its lower
+            // bound is the least-wrong finite answer.
+            return if hi.is_finite() { hi } else { lo };
+        }
+    }
+    unreachable!("rank below total count");
 }
 
 #[cfg(test)]
@@ -288,6 +308,34 @@ mod tests {
     #[test]
     fn empty_percentile_is_zero() {
         assert_eq!(Histogram::detached("t").percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_window() {
+        let h = Histogram::detached("t");
+        // Epoch 1: slow samples around 1s.
+        for _ in 0..100 {
+            h.record(1.0);
+        }
+        let mut before = [0u64; NBUCKETS];
+        h.snapshot_counts_into(&mut before);
+        // Epoch 2: fast samples around 1ms.
+        for _ in 0..100 {
+            h.record(1e-3);
+        }
+        let mut after = [0u64; NBUCKETS];
+        h.snapshot_counts_into(&mut after);
+
+        let mut delta = [0u64; NBUCKETS];
+        for i in 0..NBUCKETS {
+            delta[i] = after[i] - before[i];
+        }
+        // Lifetime p99 still sees epoch 1; the windowed delta does not.
+        assert!(h.percentile(0.99) > 0.9);
+        let windowed = percentile_from_counts(&delta, 0.99);
+        assert!(windowed < 2e-3, "windowed p99 {windowed}");
+        assert_eq!(delta.iter().sum::<u64>(), 100);
+        assert_eq!(percentile_from_counts(&[0u64; NBUCKETS], 0.5), 0.0);
     }
 
     #[test]

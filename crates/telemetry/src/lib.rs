@@ -25,6 +25,16 @@
 //!   fixed-capacity atomic ring, reassembled post-hoc into per-stage
 //!   latency attribution, tail-sampled chains and Chrome `trace_event`
 //!   JSON. Off by default ([`flight::set_recording`]).
+//! - [`timeseries`] — a fixed-capacity in-process time-series store
+//!   sampled from the registry by a background [`timeseries::Sampler`]:
+//!   ring-buffer histories per series, windowed counter rates by snapshot
+//!   differencing, and *windowed-delta* histogram percentiles (true
+//!   per-window p50/p99, not lifetime-cumulative). Warm ticks allocate
+//!   nothing.
+//! - [`slo`] — Google-SRE-style multi-window burn-rate tracking over the
+//!   time-series store, with a hysteresis alert state machine
+//!   (`firing`/`resolved`) exposed as gauges, transition counters and a
+//!   bounded event ring.
 //!
 //! Snapshots can also be pulled over the network: the `ms-net` TCP server
 //! answers a `Metrics` frame with [`Registry::render_prometheus`] output
@@ -43,11 +53,15 @@ pub mod expose;
 pub mod flight;
 pub mod histogram;
 pub mod registry;
+pub mod slo;
 pub mod spans;
+pub mod timeseries;
 
 pub use expose::Flusher;
 pub use histogram::Histogram;
 pub use registry::{global, Counter, Gauge, Registry};
+pub use slo::{SloEngine, SloSpec, SloStatus};
+pub use timeseries::{Sampler, TimeStore, TsConfig, WindowedHistogram};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -111,6 +111,11 @@ impl Counter {
     pub fn name(&self) -> &str {
         &self.0.desc.name
     }
+
+    /// Label pairs.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.0.desc.labels
+    }
 }
 
 pub(crate) struct GaugeCell {
@@ -160,6 +165,11 @@ impl Gauge {
     /// Metric name.
     pub fn name(&self) -> &str {
         &self.0.desc.name
+    }
+
+    /// Label pairs.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.0.desc.labels
     }
 }
 
@@ -244,6 +254,26 @@ impl Registry {
     /// Gets or registers an unlabeled histogram.
     pub fn histogram(&self, name: &str, help: &str) -> Histogram {
         self.histogram_with(name, &[], help)
+    }
+
+    /// Clones every handle registered after the per-kind watermarks —
+    /// the incremental discovery step of the time-series sampler. Indices
+    /// are stable (the per-kind vectors only ever append), so a caller
+    /// tracking `(counters, gauges, histograms)` lengths sees each series
+    /// exactly once, and the registry mutex is held only for the clone of
+    /// the new tail, never across a sampling pass.
+    pub(crate) fn handles_since(
+        &self,
+        counters_seen: usize,
+        gauges_seen: usize,
+        histograms_seen: usize,
+    ) -> (Vec<Counter>, Vec<Gauge>, Vec<Histogram>) {
+        let inner = self.inner.lock().expect("registry lock");
+        (
+            inner.counters[counters_seen..].to_vec(),
+            inner.gauges[gauges_seen..].to_vec(),
+            inner.histograms[histograms_seen..].to_vec(),
+        )
     }
 
     /// Gets or registers a histogram with labels.

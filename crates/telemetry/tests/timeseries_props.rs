@@ -1,0 +1,179 @@
+//! Property tests for the in-process time-series store: windowed counter
+//! rates and histogram-delta percentiles against brute-force recomputes
+//! that mirror the documented anchor rule — anchor = most recent retained
+//! sample with `t ≤ t_end − window`, clamped to the oldest retained
+//! sample; rates divide by the *actual* elapsed span, never the nominal
+//! window.
+//!
+//! Small ring capacities are used deliberately so every case exercises
+//! wraparound (eviction of the oldest points) as well as the short-history
+//! clamp.
+
+use ms_telemetry::{Registry, TimeStore, TsConfig};
+use proptest::prelude::*;
+
+/// splitmix64 — expands one seed into a deterministic tick/sample
+/// schedule (the vendored proptest has no strategy combinators).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn leaked_registry() -> &'static Registry {
+    Box::leak(Box::new(Registry::new()))
+}
+
+const CAPACITY: usize = 8;
+const HIST_CAPACITY: usize = 4;
+
+fn store(reg: &'static Registry) -> TimeStore {
+    TimeStore::with_registry(
+        reg,
+        TsConfig {
+            capacity: CAPACITY,
+            hist_capacity: HIST_CAPACITY,
+        },
+    )
+}
+
+/// The documented anchor rule over an explicit retained-points vector:
+/// index of the most recent point (excluding the newest) with
+/// `t ≤ cutoff`, defaulting to the oldest.
+fn anchor_index(times: &[f64], cutoff: f64) -> usize {
+    let mut a = 0;
+    for (i, &t) in times[..times.len() - 1].iter().enumerate() {
+        if t <= cutoff {
+            a = i;
+        } else {
+            break;
+        }
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Windowed counter delta and rate equal the brute-force recompute
+    /// over exactly the retained ring contents, for any tick schedule,
+    /// any increments, and any window — including windows wider than the
+    /// retained history and rings that have wrapped.
+    #[test]
+    fn counter_windows_match_brute_force(
+        seed in any::<u64>(),
+        ticks in 2usize..20,
+        window in 0.0f64..30.0,
+    ) {
+        let mut m = Mix(seed);
+        let reg = leaked_registry();
+        let c = reg.counter_with("tsp_events_total", &[("case", "a")], "prop counter");
+        let ts = store(reg);
+
+        // Drive irregular ticks with bursts in between; mirror what the
+        // ring retains as (t, cumulative) pairs.
+        let mut t = 0.0;
+        let mut retained: Vec<(f64, f64)> = Vec::new();
+        for _ in 0..ticks {
+            let burst = m.next() % 50;
+            c.add(burst);
+            t += 0.1 + 4.9 * m.unit();
+            ts.tick_at(t);
+            retained.push((t, c.get() as f64));
+            if retained.len() > CAPACITY {
+                retained.remove(0);
+            }
+        }
+
+        let times: Vec<f64> = retained.iter().map(|&(t, _)| t).collect();
+        let (t_end, v_end) = *retained.last().unwrap();
+        let a = anchor_index(&times, t_end - window);
+        let (t_a, v_a) = retained[a];
+        let want_delta = v_end - v_a;
+        let want_rate = if t_end > t_a { want_delta / (t_end - t_a) } else { 0.0 };
+
+        let got_delta = ts.counter_delta("tsp_events_total", &[("case", "a")], window);
+        let got_rate = ts.counter_rate("tsp_events_total", &[("case", "a")], window);
+        prop_assert_eq!(got_delta, Some(want_delta));
+        prop_assert_eq!(got_rate, Some(want_rate));
+    }
+
+    /// Windowed-delta histogram stats equal a brute-force recompute: a
+    /// fresh histogram fed only the samples recorded inside the window
+    /// (same bucketing) must report identical count/p50/p99.
+    #[test]
+    fn hist_windows_match_brute_force(
+        seed in any::<u64>(),
+        ticks in 2usize..10,
+        window in 0.0f64..30.0,
+    ) {
+        let mut m = Mix(seed);
+        let reg = leaked_registry();
+        let h = reg.histogram_with("tsp_latency_seconds", &[("case", "h")], "prop histogram");
+        let ts = store(reg);
+
+        // Samples recorded before the first snapshot are baseline — they
+        // can never appear in any window, so the oracle starts attributing
+        // only after this tick.
+        ts.tick_at(0.0);
+        let mut t = 0.0;
+        // Snapshot times and the samples attributed to each snapshot
+        // (recorded since the previous one), oldest first.
+        let mut eras: Vec<(f64, Vec<f64>)> = vec![(0.0, Vec::new())];
+        for _ in 0..ticks {
+            let n = (m.next() % 20) as usize;
+            let mut batch = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Log-uniform-ish over ~7 decades, same territory as
+                // service latencies.
+                let v = 1e-6 * 10f64.powf(7.0 * m.unit());
+                h.record(v);
+                batch.push(v);
+            }
+            t += 0.1 + 4.9 * m.unit();
+            ts.tick_at(t);
+            eras.push((t, batch));
+            if eras.len() > HIST_CAPACITY {
+                eras.remove(0);
+            }
+        }
+
+        let times: Vec<f64> = eras.iter().map(|&(t, _)| t).collect();
+        let t_end = *times.last().unwrap();
+        let a = anchor_index(&times, t_end - window);
+        // Samples in (t_anchor, t_end]: everything attributed to
+        // snapshots after the anchor.
+        let oracle = ms_telemetry::Histogram::detached("tsp_oracle");
+        let mut want_count = 0u64;
+        for (_, batch) in &eras[a + 1..] {
+            for &v in batch {
+                oracle.record(v);
+                want_count += 1;
+            }
+        }
+
+        let got = ts
+            .hist_window("tsp_latency_seconds", &[("case", "h")], window)
+            .expect("two snapshots exist");
+        prop_assert_eq!(got.count, want_count);
+        prop_assert!((got.elapsed - (t_end - times[a])).abs() < 1e-12);
+        if want_count > 0 {
+            prop_assert_eq!(got.p50, oracle.percentile(0.50));
+            prop_assert_eq!(got.p99, oracle.percentile(0.99));
+        } else {
+            prop_assert_eq!(got.p50, 0.0);
+            prop_assert_eq!(got.p99, 0.0);
+        }
+    }
+}

@@ -58,6 +58,16 @@
 #    overrides the gate). The 10k-connection soak is manual — see
 #    tests/net_loopback.rs: cargo test --release --test net_loopback --
 #    --ignored ten_thousand.
+# 11. The time-series/SLO gates (PR 8): the warm sampler tick, every
+#    windowed query, and a transition-free SLO evaluation must be
+#    allocation-free (ms-telemetry/tests/zero_alloc_timeseries.rs); the
+#    windowed counter-rate and histogram-delta math must match brute-force
+#    recomputes (ms-telemetry/tests/timeseries_props.rs); and
+#    `bench_snapshot` A/Bs engine throughput with the background Sampler
+#    running at a 25 ms cadence (40x the server's 1 s default) plus
+#    per-tick SLO burn-rate evaluation vs stopped, writing
+#    results/BENCH_slo_pr8.json and exiting non-zero if the overhead
+#    exceeds 2% (MS_TS_GATE_PCT overrides).
 #
 # Usage: scripts/perfcheck.sh   (from the repo root)
 set -euo pipefail
@@ -76,6 +86,7 @@ cargo test --release -p ms-core --test zero_alloc_refine
 cargo test --release -p ms-telemetry --test zero_alloc
 cargo test --release -p ms-telemetry --test zero_alloc --features telemetry-spans
 cargo test --release -p ms-telemetry --test zero_alloc_flight
+cargo test --release -p ms-telemetry --test zero_alloc_timeseries
 
 echo "== cross-build determinism (spans on vs off) =="
 cargo run --release -q -p ms-bench --bin determinism_probe > /tmp/ms_probe_default.txt
@@ -102,7 +113,10 @@ cargo test --release -p ms-net --test chaos_codec
 cargo test --release -p ms-net --test loopback_smoke
 cargo test --release -p ms-net --test soak -- --ignored
 
-echo "== bench snapshots (kernels + net + reactor A/B + trace gate + prefix-refine gates) =="
+echo "== windowed time-series property tests =="
+cargo test --release -p ms-telemetry --test timeseries_props
+
+echo "== bench snapshots (kernels + net + reactor A/B + trace gate + prefix-refine + sampler gates) =="
 cargo run --release -p ms-bench --bin bench_snapshot > /dev/null
 
 echo "== allocation tripwire (hot layer bodies) =="
