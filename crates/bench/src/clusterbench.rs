@@ -1,0 +1,125 @@
+//! PR 9 cluster A/B: the elastic fleet against every fixed fleet on the
+//! same deterministic spike, scored by client-judged deadline hits per
+//! core-second.
+//!
+//! Same physics as `tests/cluster_elastic.rs`, shortened for the bench
+//! budget: shards plan against the quadratic `t_full = 2 ms` profile
+//! (capacity per 10 ms window: 5 at full width, 80 at the r = 0.25
+//! floor) and the spike runs ~2.9× one shard's floor capacity. Requires
+//! the `shard_server` binary on disk; callers soft-skip when it is
+//! missing (`cargo run` of a bench bin does not build ms-net's bins).
+
+use ms_cluster::{
+    run_trace, AutoscalerConfig, Cluster, ClusterConfig, LoadgenConfig, ShardSpec,
+};
+use ms_serving::workload::WorkloadTrace;
+use std::time::Duration;
+
+/// One fleet's scored run.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    pub label: String,
+    pub sent: u64,
+    pub deadline_hits: u64,
+    pub shed: u64,
+    pub failover_shed: u64,
+    pub lost: u64,
+    pub core_seconds: f64,
+    pub peak_shards: usize,
+    /// deadline hits per core-second — the headline.
+    pub efficiency: f64,
+}
+
+/// The full comparison: one elastic run plus fixed fleets of 1..=n.
+#[derive(Debug, Clone)]
+pub struct ClusterAb {
+    pub elastic: FleetRun,
+    pub fixed: Vec<FleetRun>,
+    pub scale_outs: u64,
+    pub scale_ins: u64,
+}
+
+impl ClusterAb {
+    /// Best fixed-fleet efficiency (the bar the elastic fleet must clear).
+    pub fn best_fixed_efficiency(&self) -> f64 {
+        self.fixed.iter().map(|f| f.efficiency).fold(0.0, f64::max)
+    }
+
+    /// elastic / best-fixed efficiency ratio.
+    pub fn advantage(&self) -> f64 {
+        let best = self.best_fixed_efficiency();
+        if best <= 0.0 {
+            return 0.0;
+        }
+        self.elastic.efficiency / best
+    }
+}
+
+fn loadgen_cfg() -> LoadgenConfig {
+    LoadgenConfig {
+        tick: Duration::from_millis(10),
+        deadline_micros: 0,
+        client_deadline: Duration::from_millis(250),
+        control_every: 25,
+        settle_timeout: Duration::from_secs(10),
+    }
+}
+
+/// Calm → spike → calm, shortened from the e2e: 150 calm ticks, 250
+/// spike ticks at ~228/tick, 300 calm ticks to watch scale-in. 7 s/run.
+fn bench_trace() -> WorkloadTrace {
+    WorkloadTrace::spike(700, 3.0, 76.0, 150, 250, 59)
+}
+
+fn autoscaled(max_shards: usize) -> AutoscalerConfig {
+    AutoscalerConfig {
+        min_shards: 1,
+        max_shards,
+        // Wire burns are 60 s-window figures; judge idleness on queue
+        // depth and controller rate at bench timescales.
+        idle_burn: f64::INFINITY,
+        idle_queue: 8.0,
+        r_high: 0.9,
+        idle_hold: 4,
+        cooldown: 1,
+        ..AutoscalerConfig::default()
+    }
+}
+
+fn score(label: String, cluster: &mut Cluster) -> FleetRun {
+    let report = run_trace(cluster, &bench_trace(), &loadgen_cfg(), |_, _| {});
+    FleetRun {
+        label,
+        sent: report.sent,
+        deadline_hits: report.deadline_hits,
+        shed: report.shed,
+        failover_shed: report.failover_shed,
+        lost: report.lost,
+        core_seconds: report.core_seconds,
+        peak_shards: report.peak_shards,
+        efficiency: report.hits_per_core_second(),
+    }
+}
+
+/// Runs the comparison, or `None` when the `shard_server` binary is not
+/// on disk (bench bins don't force ms-net's bins to build).
+pub fn elastic_vs_fixed(max_shards: usize) -> Option<ClusterAb> {
+    let bin = ShardSpec::discover_bin()?;
+    let spec = ShardSpec::small(bin);
+    let mut cluster =
+        Cluster::start(ClusterConfig::new(spec.clone(), autoscaled(max_shards))).ok()?;
+    let elastic = score(format!("elastic(1..={max_shards})"), &mut cluster);
+    let (scale_outs, scale_ins) = (cluster.scale_outs(), cluster.scale_ins());
+    drop(cluster);
+    let mut fixed = Vec::new();
+    for n in 1..=max_shards {
+        let mut c = Cluster::start(ClusterConfig::fixed(spec.clone(), n)).ok()?;
+        fixed.push(score(format!("fixed({n})"), &mut c));
+    }
+    Some(ClusterAb {
+        elastic,
+        fixed,
+        scale_outs,
+        scale_ins,
+    })
+}

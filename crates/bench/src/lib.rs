@@ -5,6 +5,7 @@ use ms_models::vgg::{Vgg, VggConfig};
 use ms_models::nnlm::{Nnlm, NnlmConfig};
 use ms_tensor::SeededRng;
 
+pub mod clusterbench;
 pub mod flightbench;
 pub mod netbench;
 pub mod prefixbench;

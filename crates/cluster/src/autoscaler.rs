@@ -1,0 +1,358 @@
+//! The fleet-sizing policy: scale-out → slice-down → shed, with
+//! SLO-burn-driven scale-out and hysteresis-held scale-in.
+//!
+//! The paper's degrade-before-shed ladder (§4.1) lives inside each
+//! engine: under load the Eq. 3 controller slices the model down before
+//! admission control sheds. The autoscaler extends that ladder one rung
+//! *upward*: when a shard's burn-rate alerts fire on both windows **and**
+//! its controller has already walked the rate to the r_min-adjacent
+//! floor — i.e. the in-process ladder is exhausted — the only remaining
+//! degradation is more capacity, so the fleet grows. Everything milder
+//! is left to the per-engine controllers: a firing alert with width to
+//! spare means slice-down has room, and a quiet fleet at full width
+//! means the ladder is unwound.
+//!
+//! Scale-in mirrors the `SloEngine` alert hysteresis (ms-telemetry):
+//! retirement needs `idle_hold` *consecutive* idle evaluations, any
+//! non-idle evaluation restarts the hold, and the band between the idle
+//! line and the firing thresholds neither scales out nor makes idle
+//! progress — so an oscillating load cannot flap the fleet size across
+//! a boundary. A cooldown after every scale event additionally spaces
+//! decisions out so a freshly added shard has time to take load before
+//! the next judgement.
+
+use ms_net::protocol::HealthReply;
+
+/// Policy knobs. Defaults mirror the `SloEngine` alert thresholds
+/// (fast 14.4× / slow 6× of error budget — the Google-SRE pairing the
+/// servers already evaluate) so a shard that reports firing alerts is
+/// exactly a shard the autoscaler considers hot.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscalerConfig {
+    /// Fleet floor — scale-in never goes below.
+    pub min_shards: usize,
+    /// Fleet ceiling — scale-out never goes above.
+    pub max_shards: usize,
+    /// Fast-window burn at/above which a shard's SLO counts as firing.
+    pub fast_fire: f64,
+    /// Slow-window burn at/above which a shard's SLO counts as firing.
+    pub slow_fire: f64,
+    /// Scale-out requires the fleet's mean served rate at or below this
+    /// (r_min-adjacent): capacity is added only once slice-down is
+    /// exhausted, never instead of it.
+    pub r_low: f32,
+    /// Idle line: every fast-window burn must sit at/below this for an
+    /// evaluation to count toward the idle hold (the resolve line of the
+    /// hysteresis band; must sit strictly below the firing thresholds).
+    /// The wire burns are *long-window* (60 s / 600 s) figures, so this
+    /// gate makes a retirement wait out roughly a minute of post-incident
+    /// calm — right for production cadences. Set to `f64::INFINITY` to
+    /// disable the gate and judge idleness on queue depth and controller
+    /// rate alone (what sub-minute experiments need, since a long-window
+    /// burn cannot decay on their timescale).
+    pub idle_burn: f64,
+    /// Per-shard queue depth at/below which a shard can count as idle.
+    pub idle_queue: f64,
+    /// Mean served rate at/above which a shard counts as unwound (the
+    /// engine is back at — or near — full width).
+    pub r_high: f32,
+    /// Consecutive idle evaluations required before a scale-in.
+    pub idle_hold: u32,
+    /// Evaluations after any scale event during which the policy holds.
+    pub cooldown: u32,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            min_shards: 1,
+            max_shards: 4,
+            fast_fire: 14.4,
+            slow_fire: 6.0,
+            r_low: 0.3,
+            idle_burn: 1.0,
+            idle_queue: 1.0,
+            r_high: 0.95,
+            idle_hold: 5,
+            cooldown: 3,
+        }
+    }
+}
+
+/// One shard's health digest, as the autoscaler sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardObservation {
+    /// Deadline-SLO burn over the fast window.
+    pub deadline_fast_burn: f64,
+    /// Deadline-SLO burn over the slow window.
+    pub deadline_slow_burn: f64,
+    /// Shed-SLO burn over the fast window.
+    pub shed_fast_burn: f64,
+    /// Shed-SLO burn over the slow window.
+    pub shed_slow_burn: f64,
+    /// Queue depth summed over the shard's replicas.
+    pub queue_depth: f64,
+    /// Mean controller rate over replicas that have sealed a batch;
+    /// `1.0` for a shard that has not served yet (an unsliced idle shard,
+    /// not a hot one).
+    pub mean_rate: f32,
+}
+
+impl ShardObservation {
+    /// Digests a wire [`HealthReply`] (burns default to 0 when the shard
+    /// has SLO sampling off — idle-shaped, never hot-shaped).
+    pub fn from_health(h: &HealthReply) -> Self {
+        let queue_depth = h.replicas.iter().map(|r| r.queue_depth).sum();
+        let sealed: Vec<f32> = h
+            .replicas
+            .iter()
+            .map(|r| r.rate)
+            .filter(|&r| r > 0.0)
+            .collect();
+        let mean_rate = if sealed.is_empty() {
+            1.0
+        } else {
+            sealed.iter().sum::<f32>() / sealed.len() as f32
+        };
+        let (dfb, dsb, sfb, ssb) = h
+            .slo
+            .as_ref()
+            .map(|s| {
+                (
+                    s.deadline_fast_burn,
+                    s.deadline_slow_burn,
+                    s.shed_fast_burn,
+                    s.shed_slow_burn,
+                )
+            })
+            .unwrap_or((0.0, 0.0, 0.0, 0.0));
+        ShardObservation {
+            deadline_fast_burn: dfb,
+            deadline_slow_burn: dsb,
+            shed_fast_burn: sfb,
+            shed_slow_burn: ssb,
+            queue_depth,
+            mean_rate,
+        }
+    }
+
+    /// Whether either SLO fires on *both* of its windows.
+    fn firing(&self, cfg: &AutoscalerConfig) -> bool {
+        (self.deadline_fast_burn >= cfg.fast_fire && self.deadline_slow_burn >= cfg.slow_fire)
+            || (self.shed_fast_burn >= cfg.fast_fire && self.shed_slow_burn >= cfg.slow_fire)
+    }
+
+    /// Whether this shard looks idle: fast burns at/below the idle line,
+    /// a near-empty queue, and the controller back at full width.
+    fn idle(&self, cfg: &AutoscalerConfig) -> bool {
+        self.deadline_fast_burn <= cfg.idle_burn
+            && self.shed_fast_burn <= cfg.idle_burn
+            && self.queue_depth <= cfg.idle_queue
+            && self.mean_rate >= cfg.r_high
+    }
+}
+
+/// What the control loop should do with the fleet right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Add one shard.
+    ScaleOut,
+    /// Retire one shard (drain first — the supervisor's job).
+    ScaleIn,
+    /// Leave the fleet alone; per-engine rate controllers keep working.
+    Hold,
+}
+
+/// The stateful policy loop. Feed it one observation set per evaluation
+/// tick; it returns at most one scale step per tick and holds through
+/// its hysteresis and cooldown windows.
+#[derive(Debug)]
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    idle_streak: u32,
+    cooldown_left: u32,
+}
+
+impl Autoscaler {
+    pub fn new(cfg: AutoscalerConfig) -> Self {
+        assert!(cfg.min_shards >= 1 && cfg.max_shards >= cfg.min_shards);
+        assert!(
+            cfg.idle_burn.is_infinite()
+                || (cfg.idle_burn < cfg.fast_fire && cfg.idle_burn < cfg.slow_fire),
+            "a finite idle line must sit strictly below the firing thresholds"
+        );
+        assert!(cfg.r_low <= cfg.r_high);
+        Autoscaler {
+            cfg,
+            idle_streak: 0,
+            cooldown_left: 0,
+        }
+    }
+
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.cfg
+    }
+
+    /// Consecutive idle evaluations accumulated so far (for tests and
+    /// status displays).
+    pub fn idle_streak(&self) -> u32 {
+        self.idle_streak
+    }
+
+    /// One policy evaluation over the live fleet. `observations` holds
+    /// one digest per live, non-retiring shard.
+    pub fn evaluate(&mut self, observations: &[ShardObservation]) -> ScaleDecision {
+        let n = observations.len();
+        if n == 0 {
+            return ScaleDecision::Hold;
+        }
+        // Hot: some shard fires on both windows of an SLO, and the fleet
+        // as a whole has sliced down to the floor — the in-process
+        // ladder is exhausted, more width cannot be bought locally.
+        let any_firing = observations.iter().any(|o| o.firing(&self.cfg));
+        let fleet_rate = observations.iter().map(|o| o.mean_rate).sum::<f32>() / n as f32;
+        let hot = any_firing && fleet_rate <= self.cfg.r_low;
+        // Idle: every shard is quiet, unqueued, and back at full width.
+        let idle = observations.iter().all(|o| o.idle(&self.cfg));
+
+        // Hysteresis bookkeeping runs every evaluation — including under
+        // cooldown — exactly like the SloEngine resolve hold: the band
+        // between idle and hot restarts the hold, it never advances it.
+        if idle {
+            self.idle_streak = self.idle_streak.saturating_add(1);
+        } else {
+            self.idle_streak = 0;
+        }
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return ScaleDecision::Hold;
+        }
+        if hot && n < self.cfg.max_shards {
+            self.cooldown_left = self.cfg.cooldown;
+            self.idle_streak = 0;
+            return ScaleDecision::ScaleOut;
+        }
+        if idle && self.idle_streak >= self.cfg.idle_hold && n > self.cfg.min_shards {
+            self.cooldown_left = self.cfg.cooldown;
+            self.idle_streak = 0;
+            return ScaleDecision::ScaleIn;
+        }
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(fast: f64, slow: f64, queue: f64, rate: f32) -> ShardObservation {
+        ShardObservation {
+            deadline_fast_burn: 0.0,
+            deadline_slow_burn: 0.0,
+            shed_fast_burn: fast,
+            shed_slow_burn: slow,
+            queue_depth: queue,
+            mean_rate: rate,
+        }
+    }
+
+    fn cfg() -> AutoscalerConfig {
+        AutoscalerConfig {
+            min_shards: 1,
+            max_shards: 3,
+            idle_hold: 3,
+            cooldown: 2,
+            ..AutoscalerConfig::default()
+        }
+    }
+
+    #[test]
+    fn firing_at_rate_floor_scales_out_and_cooldown_spaces_events() {
+        let mut a = Autoscaler::new(cfg());
+        let hot = [obs(50.0, 20.0, 100.0, 0.25)];
+        assert_eq!(a.evaluate(&hot), ScaleDecision::ScaleOut);
+        // Cooldown: the next two evaluations hold even though still hot.
+        assert_eq!(a.evaluate(&hot), ScaleDecision::Hold);
+        assert_eq!(a.evaluate(&hot), ScaleDecision::Hold);
+        let hot2 = [obs(50.0, 20.0, 100.0, 0.25), obs(0.0, 0.0, 0.0, 0.25)];
+        assert_eq!(a.evaluate(&hot2), ScaleDecision::ScaleOut);
+    }
+
+    #[test]
+    fn firing_with_width_to_spare_is_left_to_slice_down() {
+        let mut a = Autoscaler::new(cfg());
+        // Burns fire but the controller still runs at 0.75: the engine
+        // has rungs left, the fleet does not grow.
+        assert_eq!(
+            a.evaluate(&[obs(50.0, 20.0, 100.0, 0.75)]),
+            ScaleDecision::Hold
+        );
+    }
+
+    #[test]
+    fn scale_in_needs_the_full_idle_hold() {
+        let mut a = Autoscaler::new(cfg());
+        let idle = [obs(0.0, 0.0, 0.0, 1.0), obs(0.0, 0.0, 0.0, 1.0)];
+        assert_eq!(a.evaluate(&idle), ScaleDecision::Hold);
+        assert_eq!(a.evaluate(&idle), ScaleDecision::Hold);
+        assert_eq!(a.evaluate(&idle), ScaleDecision::ScaleIn);
+        // Cooldown blocks the next evaluations, but sustained idleness
+        // keeps earning the hold through it: with idleness unbroken the
+        // next retirement lands as soon as both gates are clear.
+        assert_eq!(a.evaluate(&idle), ScaleDecision::Hold);
+        assert_eq!(a.evaluate(&idle), ScaleDecision::Hold);
+        assert_eq!(a.evaluate(&idle), ScaleDecision::ScaleIn);
+    }
+
+    #[test]
+    fn band_restarts_the_hold_and_never_scales() {
+        let mut a = Autoscaler::new(cfg());
+        let idle = [obs(0.0, 0.0, 0.0, 1.0), obs(0.0, 0.0, 0.0, 1.0)];
+        // In-band: burns above the idle line, below firing.
+        let band = [obs(5.0, 2.0, 0.0, 1.0), obs(0.0, 0.0, 0.0, 1.0)];
+        assert_eq!(a.evaluate(&idle), ScaleDecision::Hold);
+        assert_eq!(a.evaluate(&idle), ScaleDecision::Hold);
+        assert_eq!(a.evaluate(&band), ScaleDecision::Hold); // restart
+        assert_eq!(a.evaluate(&idle), ScaleDecision::Hold);
+        assert_eq!(a.evaluate(&idle), ScaleDecision::Hold);
+        assert_eq!(a.evaluate(&idle), ScaleDecision::ScaleIn);
+    }
+
+    #[test]
+    fn fleet_bounds_clamp_decisions() {
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            min_shards: 2,
+            max_shards: 2,
+            idle_hold: 1,
+            cooldown: 0,
+            ..AutoscalerConfig::default()
+        });
+        let hot = [obs(50.0, 20.0, 100.0, 0.25), obs(50.0, 20.0, 100.0, 0.25)];
+        let idle = [obs(0.0, 0.0, 0.0, 1.0), obs(0.0, 0.0, 0.0, 1.0)];
+        assert_eq!(a.evaluate(&hot), ScaleDecision::Hold);
+        assert_eq!(a.evaluate(&idle), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn fresh_shard_reads_as_unsliced() {
+        use ms_net::protocol::{HealthReply, ReplicaHealth};
+        let h = HealthReply {
+            draining: false,
+            uptime_seconds: 0.1,
+            build: String::new(),
+            replicas: vec![ReplicaHealth {
+                draining: false,
+                queue_depth: 0.0,
+                p99_service_s: 0.0,
+                served: 0,
+                shed: 0,
+                rate: 0.0, // never sealed
+            }],
+            slo: None,
+            shard: None,
+        };
+        let o = ShardObservation::from_health(&h);
+        assert_eq!(o.mean_rate, 1.0);
+        assert_eq!(o.queue_depth, 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Cluster control plane: shard supervisor, SLO-driven autoscaler and
+//! open-loop load generator.
+//!
+//! This crate extends the paper's degrade-before-shed ladder (§4.1)
+//! across *processes*. Inside one engine the ladder is slice-down →
+//! shed: the Eq. 3 controller trades model width for capacity before
+//! admission control refuses work. A fleet adds a rung above both:
+//!
+//! ```text
+//!   scale-out  →  slice-down  →  shed
+//!   (cluster)      (engine)      (engine)
+//! ```
+//!
+//! The [`autoscaler`] only adds a shard when a shard's SLO burn alerts
+//! fire on both windows **and** the fleet has already sliced to the
+//! r_min-adjacent floor — capacity is the last resort, never a
+//! substitute for the cheaper in-process rungs. Scale-in requires a
+//! sustained idle hold with `SloEngine`-style hysteresis so an
+//! oscillating load cannot flap the fleet.
+//!
+//! The moving parts:
+//!
+//! * [`supervisor`] — spawns `shard_server` processes (ms-net), detects
+//!   exits, restarts crashes under a bumped generation, and retires
+//!   shards losslessly through the wire `Drain` (the shard flushes,
+//!   acks, and exits).
+//! * [`front`] — the front router: join-shortest-queue dispatch over
+//!   per-shard pipelined connections; a shard death settles its orphaned
+//!   correlation ids client-side as `Shed(Failover)` so every id is
+//!   accounted for.
+//! * [`autoscaler`] — the pure policy: burn-driven scale-out,
+//!   hysteresis-held scale-in, cooldown between steps.
+//! * [`cluster`] — the control loop tying the three together; a fixed
+//!   fleet is just `min_shards == max_shards` through the same path.
+//! * [`loadgen`] — open-loop trace-driven load with client-judged
+//!   deadline accounting; its report's `hits_per_core_second` is the
+//!   headline an elastic fleet wins on.
+
+pub mod autoscaler;
+pub mod cluster;
+pub mod front;
+pub mod loadgen;
+pub mod supervisor;
+
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleDecision, ShardObservation};
+pub use cluster::{Cluster, ClusterConfig};
+pub use front::FrontRouter;
+pub use loadgen::{run_trace, LoadgenConfig, LoadgenReport};
+pub use supervisor::{ExitKind, ShardExit, ShardProcess, ShardSpec, Supervisor};

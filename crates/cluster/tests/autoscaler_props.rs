@@ -1,0 +1,202 @@
+//! Property tests for the autoscaler policy: whatever the burn/queue/rate
+//! telemetry says, the fleet-sizing decisions must obey three invariants —
+//! scale-out is monotone in sustained burn (more burn never turns a
+//! ScaleOut into a ScaleIn), scale-in happens only after the full idle
+//! hold, and an input oscillating across the hysteresis band never flaps
+//! the fleet size.
+
+use ms_cluster::autoscaler::{Autoscaler, AutoscalerConfig, ScaleDecision, ShardObservation};
+use proptest::prelude::*;
+
+/// splitmix64: one `u64` seed expands into a whole scenario (the
+/// vendored proptest has no strategy combinators).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (self.next() as f64 / u64::MAX as f64)
+    }
+}
+
+fn cfg(m: &mut Mix) -> AutoscalerConfig {
+    AutoscalerConfig {
+        min_shards: 1,
+        max_shards: 2 + (m.next() % 4) as usize,
+        idle_hold: 1 + (m.next() % 5) as u32,
+        cooldown: (m.next() % 4) as u32,
+        ..AutoscalerConfig::default()
+    }
+}
+
+/// A shard that is unambiguously hot: both shed burns above the firing
+/// thresholds, deep queue, controller at the rate floor.
+fn hot_obs(m: &mut Mix, cfg: &AutoscalerConfig) -> ShardObservation {
+    ShardObservation {
+        deadline_fast_burn: m.f64_in(cfg.fast_fire, cfg.fast_fire * 10.0),
+        deadline_slow_burn: m.f64_in(cfg.slow_fire, cfg.slow_fire * 10.0),
+        shed_fast_burn: m.f64_in(cfg.fast_fire, cfg.fast_fire * 10.0),
+        shed_slow_burn: m.f64_in(cfg.slow_fire, cfg.slow_fire * 10.0),
+        queue_depth: m.f64_in(0.0, 1e4),
+        mean_rate: m.f64_in(0.25, cfg.r_low as f64) as f32,
+    }
+}
+
+/// A shard that is unambiguously idle: burns at/below the idle line, an
+/// empty-ish queue, controller back at full width.
+fn idle_obs(m: &mut Mix, cfg: &AutoscalerConfig) -> ShardObservation {
+    ShardObservation {
+        deadline_fast_burn: m.f64_in(0.0, cfg.idle_burn),
+        deadline_slow_burn: m.f64_in(0.0, cfg.idle_burn),
+        shed_fast_burn: m.f64_in(0.0, cfg.idle_burn),
+        shed_slow_burn: m.f64_in(0.0, cfg.idle_burn),
+        queue_depth: m.f64_in(0.0, cfg.idle_queue),
+        mean_rate: m.f64_in(cfg.r_high as f64, 1.0) as f32,
+    }
+}
+
+/// In the hysteresis band: burns between the idle line and firing, so
+/// the shard is neither hot nor idle.
+fn band_obs(m: &mut Mix, cfg: &AutoscalerConfig) -> ShardObservation {
+    ShardObservation {
+        deadline_fast_burn: m.f64_in(cfg.idle_burn * 1.5, cfg.fast_fire * 0.9),
+        deadline_slow_burn: m.f64_in(0.0, cfg.slow_fire * 0.9),
+        shed_fast_burn: m.f64_in(cfg.idle_burn * 1.5, cfg.fast_fire * 0.9),
+        shed_slow_burn: m.f64_in(0.0, cfg.slow_fire * 0.9),
+        queue_depth: m.f64_in(0.0, 10.0),
+        mean_rate: 1.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Sustained unambiguous burn below the fleet ceiling always scales
+    /// out once any cooldown expires, and never scales in — and the
+    /// decision is monotone: a ScaleOut is never revoked by burning
+    /// *harder* (every hot fleet yields the same decision sequence).
+    #[test]
+    fn sustained_burn_scales_out_and_never_in(seed in any::<u64>()) {
+        let mut m = Mix(seed);
+        let cfg = cfg(&mut m);
+        let mut a = Autoscaler::new(cfg);
+        let mut n = cfg.min_shards;
+        let mut saw_out = false;
+        for _ in 0..(cfg.cooldown as usize + 2) * cfg.max_shards {
+            let fleet: Vec<_> = (0..n).map(|_| hot_obs(&mut m, &cfg)).collect();
+            match a.evaluate(&fleet) {
+                ScaleDecision::ScaleIn => prop_assert!(false, "scale-in under sustained burn"),
+                ScaleDecision::ScaleOut => {
+                    prop_assert!(n < cfg.max_shards, "scale-out past the ceiling");
+                    n += 1;
+                    saw_out = true;
+                }
+                ScaleDecision::Hold => {}
+            }
+        }
+        // Enough evaluations ran for at least one scale-out (the ladder
+        // actually fires; it does not hold forever).
+        prop_assert!(saw_out || cfg.min_shards == cfg.max_shards);
+        // And with enough ticks the fleet reached the ceiling.
+        prop_assert_eq!(n, cfg.max_shards);
+    }
+
+    /// A ScaleIn decision implies the `idle_hold` most recent
+    /// evaluations were all idle — never sooner, whatever came before.
+    #[test]
+    fn scale_in_only_after_the_full_idle_hold(seed in any::<u64>()) {
+        let mut m = Mix(seed);
+        let cfg = cfg(&mut m);
+        let mut a = Autoscaler::new(cfg);
+        let n = cfg.max_shards; // room to scale in
+        let mut idle_run = 0u32; // consecutive idle evaluations so far
+        for _ in 0..64 {
+            let kind = m.next() % 3;
+            let fleet: Vec<_> = (0..n)
+                .map(|_| match kind {
+                    0 => hot_obs(&mut m, &cfg),
+                    1 => idle_obs(&mut m, &cfg),
+                    _ => band_obs(&mut m, &cfg),
+                })
+                .collect();
+            idle_run = if kind == 1 { idle_run + 1 } else { 0 };
+            match a.evaluate(&fleet) {
+                ScaleDecision::ScaleIn => {
+                    prop_assert!(
+                        idle_run >= cfg.idle_hold,
+                        "scaled in after only {} idle evaluations (hold {})",
+                        idle_run,
+                        cfg.idle_hold
+                    );
+                    idle_run = 0; // streak is consumed by the decision
+                }
+                ScaleDecision::ScaleOut => idle_run = 0,
+                ScaleDecision::Hold => {}
+            }
+        }
+    }
+
+    /// No flapping: telemetry oscillating between idle and the inside of
+    /// the hysteresis band never changes the fleet size in either
+    /// direction (the band restarts the idle hold before it completes).
+    #[test]
+    fn band_oscillation_never_scales(seed in any::<u64>()) {
+        let mut m = Mix(seed);
+        let mut cfg = cfg(&mut m);
+        cfg.idle_hold = cfg.idle_hold.max(2); // hold 1 tolerates no gaps anyway
+        let mut a = Autoscaler::new(cfg);
+        let n = cfg.max_shards;
+        let mut idle_left = 0usize;
+        for step in 0..128 {
+            // Oscillate: idle stretches strictly shorter than the hold,
+            // separated by band evaluations.
+            let idle = if idle_left > 0 {
+                idle_left -= 1;
+                true
+            } else if step % 2 == 0 {
+                idle_left = (m.next() % cfg.idle_hold as u64) as usize; // < hold
+                false
+            } else {
+                false
+            };
+            let fleet: Vec<_> = (0..n)
+                .map(|_| if idle { idle_obs(&mut m, &cfg) } else { band_obs(&mut m, &cfg) })
+                .collect();
+            let d = a.evaluate(&fleet);
+            prop_assert_eq!(d, ScaleDecision::Hold, "flapped at step {}", step);
+        }
+    }
+
+    /// Fleet bounds are absolute: a pinned fleet (`min == max`) never
+    /// scales in either direction, whatever the telemetry does.
+    #[test]
+    fn pinned_fleet_never_moves(seed in any::<u64>()) {
+        let mut m = Mix(seed);
+        let n = 1 + (m.next() % 4) as usize;
+        let cfg = AutoscalerConfig {
+            min_shards: n,
+            max_shards: n,
+            idle_hold: 1,
+            cooldown: 0,
+            ..AutoscalerConfig::default()
+        };
+        let mut a = Autoscaler::new(cfg);
+        for _ in 0..64 {
+            let fleet: Vec<_> = (0..n)
+                .map(|_| match m.next() % 3 {
+                    0 => hot_obs(&mut m, &cfg),
+                    1 => idle_obs(&mut m, &cfg),
+                    _ => band_obs(&mut m, &cfg),
+                })
+                .collect();
+            prop_assert_eq!(a.evaluate(&fleet), ScaleDecision::Hold);
+        }
+    }
+}

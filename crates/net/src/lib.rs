@@ -62,7 +62,7 @@ pub mod sys;
 pub use client::{Client, PipelinedClient};
 pub use protocol::{
     Frame, FrameDecoder, HealthReply, InferOutcome, InferRequest, InferResponse, NetError,
-    ReplicaHealth, SloHealth, WireError, WireShedReason,
+    ReplicaHealth, ShardIdentity, SloHealth, WireError, WireShedReason,
 };
 pub use protocol::{read_frame_traced, write_frame_traced};
 pub use router::{RouteError, Router, RouterConfig};

@@ -157,6 +157,12 @@ pub enum WireShedReason {
     Stopping,
     /// The server is draining and no longer accepts new work.
     Draining,
+    /// The shard process holding this request died mid-flight; the cluster
+    /// front router answered on its behalf rather than letting the client
+    /// time out. Synthesized client-side (ms-cluster), never by a live
+    /// server — a distinct cause so callers can tell a capacity refusal
+    /// from a crash.
+    Failover,
 }
 
 impl WireShedReason {
@@ -166,6 +172,7 @@ impl WireShedReason {
             WireShedReason::Admission => 2,
             WireShedReason::Stopping => 3,
             WireShedReason::Draining => 4,
+            WireShedReason::Failover => 5,
         }
     }
 
@@ -175,6 +182,7 @@ impl WireShedReason {
             2 => Ok(WireShedReason::Admission),
             3 => Ok(WireShedReason::Stopping),
             4 => Ok(WireShedReason::Draining),
+            5 => Ok(WireShedReason::Failover),
             _ => Err(WireError::Malformed("unknown shed reason")),
         }
     }
@@ -258,6 +266,31 @@ pub struct SloHealth {
     pub window_p99_s: f64,
 }
 
+/// Encoded size of the optional [`SloHealth`] tail: 4×f64 burns +
+/// u32 firing + f64 p99.
+const SLO_TAIL_LEN: usize = 44;
+/// Encoded size of the optional [`ShardIdentity`] tail: 3×u32.
+const SHARD_TAIL_LEN: usize = 12;
+
+/// Identity of the shard *process* behind a [`HealthReply`] — set by
+/// servers run as cluster shards (the `shard_server` bin), `None` for
+/// standalone servers. On the wire this is a second length-guarded
+/// optional tail after [`SloHealth`]: the fixed sizes of the two blocks
+/// (44 and 12 bytes) make every present/absent combination decodable
+/// from the remaining byte count alone, so pre-shard peers in either
+/// direction keep working without a version bump (the PR 8 byte-compat
+/// pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardIdentity {
+    /// Supervisor-assigned shard id, stable across restarts.
+    pub shard_id: u32,
+    /// OS process id of the serving process.
+    pub pid: u32,
+    /// Incarnation counter: 1 for the first spawn, bumped by the
+    /// supervisor on every restart of the same shard id.
+    pub generation: u32,
+}
+
 /// Reply to a [`Frame::HealthRequest`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthReply {
@@ -274,6 +307,9 @@ pub struct HealthReply {
     /// Live SLO status — optional wire tail; `None` from peers that
     /// predate it or have sampling disabled.
     pub slo: Option<SloHealth>,
+    /// Shard-process identity — second optional wire tail; `None` from
+    /// standalone servers and peers that predate it.
+    pub shard: Option<ShardIdentity>,
 }
 
 /// Every message the protocol can carry.
@@ -366,6 +402,12 @@ impl<'a> Reader<'a> {
     /// (fields appended after the original layout by newer encoders).
     fn has_remaining(&self) -> bool {
         self.pos < self.buf.len()
+    }
+
+    /// Payload bytes not yet consumed — length-guards optional tails of
+    /// fixed, mutually distinguishable sizes.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     /// The payload must be fully consumed — trailing bytes are corruption.
@@ -498,6 +540,14 @@ impl Frame {
                     out.extend_from_slice(&s.shed_slow_burn.to_bits().to_le_bytes());
                     out.extend_from_slice(&s.firing_alerts.to_le_bytes());
                     out.extend_from_slice(&s.window_p99_s.to_bits().to_le_bytes());
+                }
+                // Optional shard-identity tail, after the SLO block. The
+                // two blocks' fixed sizes (SLO_TAIL_LEN, SHARD_TAIL_LEN)
+                // keep every combination length-distinguishable.
+                if let Some(id) = &h.shard {
+                    out.extend_from_slice(&id.shard_id.to_le_bytes());
+                    out.extend_from_slice(&id.pid.to_le_bytes());
+                    out.extend_from_slice(&id.generation.to_le_bytes());
                 }
             }
             Frame::MetricsReply(text) | Frame::TraceDumpReply(text) => {
@@ -666,10 +716,16 @@ impl Frame {
                         rate: if version >= 2 { r.f32()? } else { 0.0 },
                     });
                 }
-                // Bytes left after the replicas are the optional SLO
-                // tail; their absence (all legacy frames, and v2 frames
-                // from samplers-off servers) decodes as `None`.
-                let slo = if r.has_remaining() {
+                // Bytes left after the replicas are the optional tails:
+                // the 44-byte SLO block, the 12-byte shard-identity
+                // block, both, or neither. Each combination leaves a
+                // distinct remaining length, so the tails are decoded by
+                // length-guard; anything else falls through to `done()`
+                // as trailing corruption. Absent tails (all legacy
+                // frames, samplers-off or standalone servers) decode as
+                // `None`.
+                let rem = r.remaining();
+                let slo = if rem == SLO_TAIL_LEN || rem == SLO_TAIL_LEN + SHARD_TAIL_LEN {
                     Some(SloHealth {
                         deadline_fast_burn: r.f64()?,
                         deadline_slow_burn: r.f64()?,
@@ -681,12 +737,22 @@ impl Frame {
                 } else {
                     None
                 };
+                let shard = if r.has_remaining() {
+                    Some(ShardIdentity {
+                        shard_id: r.u32()?,
+                        pid: r.u32()?,
+                        generation: r.u32()?,
+                    })
+                } else {
+                    None
+                };
                 Frame::HealthReply(HealthReply {
                     draining,
                     uptime_seconds,
                     build,
                     replicas,
                     slo,
+                    shard,
                 })
             }
             ty::METRICS_REQUEST => Frame::MetricsRequest,
@@ -940,6 +1006,7 @@ mod tests {
                     rate: 0.75,
                 }],
                 slo: None,
+                shard: None,
             }),
             Frame::HealthReply(HealthReply {
                 draining: false,
@@ -960,6 +1027,23 @@ mod tests {
                     shed_slow_burn: 0.125,
                     firing_alerts: 1,
                     window_p99_s: 0.0041,
+                }),
+                shard: Some(ShardIdentity {
+                    shard_id: 3,
+                    pid: 41_507,
+                    generation: 2,
+                }),
+            }),
+            Frame::HealthReply(HealthReply {
+                draining: false,
+                uptime_seconds: 4.5,
+                build: "ms-net 0.1.0 (debug)".to_string(),
+                replicas: vec![],
+                slo: None,
+                shard: Some(ShardIdentity {
+                    shard_id: 0,
+                    pid: 1,
+                    generation: 1,
                 }),
             }),
             Frame::MetricsRequest,
@@ -1042,6 +1126,7 @@ mod tests {
                 assert_eq!((r.served, r.shed), (500, 7));
                 assert_eq!(r.rate, 0.0);
                 assert_eq!(h.slo, None);
+                assert_eq!(h.shard, None);
             }
             other => panic!("wrong frame {other:?}"),
         }
@@ -1072,6 +1157,7 @@ mod tests {
                 firing_alerts: 0,
                 window_p99_s: 0.0019,
             }),
+            shard: None,
         };
         let mut without = with.clone();
         without.slo = None;
@@ -1095,6 +1181,97 @@ mod tests {
             Frame::decode(&stripped).unwrap(),
             Frame::HealthReply(without)
         );
+    }
+
+    #[test]
+    fn shard_tail_layouts_are_length_guarded() {
+        // All four slo × shard combinations must round-trip, and
+        // stripping the shard tail from any reply (re-stamping length +
+        // checksum) must yield exactly the bytes a pre-shard encoder
+        // would have produced for the same reply without it.
+        let base = HealthReply {
+            draining: false,
+            uptime_seconds: 8.0,
+            build: "b".to_string(),
+            replicas: vec![ReplicaHealth {
+                draining: false,
+                queue_depth: 4.0,
+                p99_service_s: 0.001,
+                served: 21,
+                shed: 2,
+                rate: 0.25,
+            }],
+            slo: None,
+            shard: None,
+        };
+        let slo = SloHealth {
+            deadline_fast_burn: 3.0,
+            deadline_slow_burn: 1.0,
+            shed_fast_burn: 0.5,
+            shed_slow_burn: 0.25,
+            firing_alerts: 2,
+            window_p99_s: 0.002,
+        };
+        let shard = ShardIdentity {
+            shard_id: 7,
+            pid: 9_001,
+            generation: 3,
+        };
+        for (with_slo, with_shard) in
+            [(false, false), (true, false), (false, true), (true, true)]
+        {
+            let mut h = base.clone();
+            h.slo = with_slo.then(|| slo.clone());
+            h.shard = with_shard.then_some(shard);
+            let bytes = Frame::HealthReply(h.clone()).to_bytes();
+            assert_eq!(
+                Frame::decode(&bytes).unwrap(),
+                Frame::HealthReply(h.clone()),
+                "slo={with_slo} shard={with_shard}"
+            );
+            if with_shard {
+                // Strip the 12-byte shard tail: must be byte-identical
+                // to the same reply encoded without it.
+                let mut plain = h.clone();
+                plain.shard = None;
+                let mut stripped = bytes;
+                stripped.truncate(stripped.len() - SHARD_TAIL_LEN);
+                let payload_len = (stripped.len() - HEADER_LEN - TRACE_EXT_LEN) as u32;
+                stripped[8..12].copy_from_slice(&payload_len.to_le_bytes());
+                let sum = fnv1a(FNV_OFFSET, &stripped[4..12]);
+                let sum = fnv1a(sum, &stripped[HEADER_LEN..]);
+                stripped[12..16].copy_from_slice(&sum.to_le_bytes());
+                assert_eq!(stripped, Frame::HealthReply(plain.clone()).to_bytes());
+                assert_eq!(Frame::decode(&stripped).unwrap(), Frame::HealthReply(plain));
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_health_tail_is_rejected() {
+        // A remainder that matches neither tail combination (here: a
+        // shard block with one trailing byte lopped off) must decode as
+        // an error, not as a partial tail.
+        let h = HealthReply {
+            draining: false,
+            uptime_seconds: 1.0,
+            build: String::new(),
+            replicas: vec![],
+            slo: None,
+            shard: Some(ShardIdentity {
+                shard_id: 1,
+                pid: 2,
+                generation: 3,
+            }),
+        };
+        let mut bytes = Frame::HealthReply(h).to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        let payload_len = (bytes.len() - HEADER_LEN - TRACE_EXT_LEN) as u32;
+        bytes[8..12].copy_from_slice(&payload_len.to_le_bytes());
+        let sum = fnv1a(FNV_OFFSET, &bytes[4..12]);
+        let sum = fnv1a(sum, &bytes[HEADER_LEN..]);
+        bytes[12..16].copy_from_slice(&sum.to_le_bytes());
+        assert!(Frame::decode(&bytes).is_err());
     }
 
     #[test]

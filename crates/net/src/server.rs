@@ -125,6 +125,11 @@ pub struct ServerConfig {
     pub deadline_objective: f64,
     /// Shed SLO objective: target fraction of requests *not* shed.
     pub shed_objective: f64,
+    /// Shard identity stamped into every `HealthReply` when this server
+    /// runs as a supervised cluster shard (the `shard_server` bin);
+    /// `None` for standalone servers (the identity tail stays off the
+    /// wire entirely).
+    pub shard: Option<crate::protocol::ShardIdentity>,
 }
 
 impl Default for ServerConfig {
@@ -139,6 +144,7 @@ impl Default for ServerConfig {
             sample_interval: Duration::from_secs(1),
             deadline_objective: 0.99,
             shed_objective: 0.99,
+            shard: None,
         }
     }
 }
@@ -554,6 +560,7 @@ impl Shared {
             build: build_string(),
             replicas,
             slo: self.slo_health(),
+            shard: self.cfg.shard,
         })
     }
 
@@ -721,6 +728,14 @@ impl Server {
     /// Whether the server has entered the drain state machine.
     pub fn is_draining(&self) -> bool {
         self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Whether the stop flag is up — for a wire-initiated drain this
+    /// means the flush finished and the `DrainAck` is queued, so a host
+    /// process may now call [`Server::shutdown`] (join) without racing
+    /// the drain thread. The `shard_server` bin keys its exit off this.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
     }
 
     /// Responses delivered so far (served + admission-shed).

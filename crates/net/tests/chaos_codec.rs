@@ -13,7 +13,7 @@
 
 use ms_net::protocol::{
     write_frame_traced, Frame, FrameDecoder, HealthReply, InferOutcome, InferRequest,
-    InferResponse, ReplicaHealth, SloHealth, WireError, WireShedReason, HEADER_LEN,
+    InferResponse, ReplicaHealth, ShardIdentity, SloHealth, WireError, WireShedReason, HEADER_LEN,
 };
 use proptest::prelude::*;
 use std::io::{self, Read, Write};
@@ -68,10 +68,11 @@ fn build_frame(variant: usize, seed: u64) -> Frame {
             })
         }
         2 => {
-            let reason = match m.next() % 4 {
+            let reason = match m.next() % 5 {
                 0 => WireShedReason::Backpressure,
                 1 => WireShedReason::Admission,
                 2 => WireShedReason::Stopping,
+                3 => WireShedReason::Failover,
                 _ => WireShedReason::Draining,
             };
             Frame::InferResponse(InferResponse {
@@ -109,12 +110,24 @@ fn build_frame(variant: usize, seed: u64) -> Frame {
             } else {
                 None
             };
+            // Independent coin for the shard tail: all four slo × shard
+            // layouts flow through every chaos property.
+            let shard = if m.next() % 2 == 0 {
+                Some(ShardIdentity {
+                    shard_id: (m.next() % 64) as u32,
+                    pid: m.next() as u32,
+                    generation: 1 + (m.next() % 9) as u32,
+                })
+            } else {
+                None
+            };
             Frame::HealthReply(HealthReply {
                 draining: m.next() % 2 == 0,
                 uptime_seconds: (m.next() % 1_000_000_000) as f64 * 1e-3,
                 build,
                 replicas,
                 slo,
+                shard,
             })
         }
         5 => Frame::MetricsRequest,

@@ -9,7 +9,8 @@
 
 use ms_net::protocol::{
     read_frame, read_frame_traced, Frame, HealthReply, InferOutcome, InferRequest, InferResponse,
-    ReplicaHealth, SloHealth, WireShedReason, HEADER_LEN, LEGACY_VERSION, MAGIC, MAX_PAYLOAD,
+    ReplicaHealth, ShardIdentity, SloHealth, WireShedReason, HEADER_LEN, LEGACY_VERSION, MAGIC,
+    MAX_PAYLOAD,
 };
 use proptest::prelude::*;
 
@@ -62,10 +63,11 @@ fn build_frame(variant: usize, seed: u64) -> Frame {
             })
         }
         2 => {
-            let reason = match m.next() % 4 {
+            let reason = match m.next() % 5 {
                 0 => WireShedReason::Backpressure,
                 1 => WireShedReason::Admission,
                 2 => WireShedReason::Stopping,
+                3 => WireShedReason::Failover,
                 _ => WireShedReason::Draining,
             };
             Frame::InferResponse(InferResponse {
@@ -106,12 +108,25 @@ fn build_frame(variant: usize, seed: u64) -> Frame {
             } else {
                 None
             };
+            // Independent coin for the shard-identity tail: round-trip,
+            // truncation, and bit-flip properties all cover the four
+            // slo × shard layouts.
+            let shard = if m.next() % 2 == 0 {
+                Some(ShardIdentity {
+                    shard_id: (m.next() % 64) as u32,
+                    pid: m.next() as u32,
+                    generation: 1 + (m.next() % 9) as u32,
+                })
+            } else {
+                None
+            };
             Frame::HealthReply(HealthReply {
                 draining: m.next() % 2 == 0,
                 uptime_seconds: (m.next() % 1_000_000_000) as f64 * 1e-3,
                 build,
                 replicas,
                 slo,
+                shard,
             })
         }
         5 => Frame::MetricsRequest,

@@ -83,6 +83,84 @@ impl WorkloadTrace {
         WorkloadTrace { arrivals, rates }
     }
 
+    /// Generates a trace from an explicit per-tick latent rate function —
+    /// the building block of the named shapes below. Arrivals stay
+    /// Poisson; only the rate schedule is caller-defined.
+    pub fn from_rate_fn(ticks: usize, seed: u64, rate_at: impl Fn(usize) -> f64) -> Self {
+        assert!(ticks > 0);
+        let mut rng = SeededRng::new(seed);
+        let mut arrivals = Vec::with_capacity(ticks);
+        let mut rates = Vec::with_capacity(ticks);
+        for t in 0..ticks {
+            let rate = rate_at(t);
+            assert!(rate >= 0.0, "negative rate at tick {t}");
+            rates.push(rate);
+            arrivals.push(poisson(rate, &mut rng));
+        }
+        WorkloadTrace { arrivals, rates }
+    }
+
+    /// Diurnal shape: a pure sinusoid between `base_rate` and
+    /// `base_rate × amplitude` with period `period` ticks — the slow
+    /// day/night swing an autoscaler should follow without flapping.
+    pub fn diurnal(ticks: usize, base_rate: f64, amplitude: f64, period: usize, seed: u64) -> Self {
+        assert!(base_rate > 0.0 && amplitude >= 1.0 && period > 0);
+        Self::from_rate_fn(ticks, seed, |t| {
+            let phase = 2.0 * std::f64::consts::PI * (t % period) as f64 / period as f64;
+            base_rate * (1.0 + (amplitude - 1.0) * 0.5 * (1.0 - phase.cos()))
+        })
+    }
+
+    /// Spike shape: flat `base_rate` except one deterministic window
+    /// `[spike_start, spike_start + spike_len)` at `base_rate ×
+    /// multiplier` — the single-event overload the cluster e2e and bench
+    /// drive, placed deterministically so fleet comparisons see the
+    /// identical schedule.
+    pub fn spike(
+        ticks: usize,
+        base_rate: f64,
+        multiplier: f64,
+        spike_start: usize,
+        spike_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(base_rate > 0.0 && multiplier >= 1.0);
+        let window = spike_start..spike_start.saturating_add(spike_len);
+        Self::from_rate_fn(ticks, seed, |t| {
+            if window.contains(&t) {
+                base_rate * multiplier
+            } else {
+                base_rate
+            }
+        })
+    }
+
+    /// Flash-crowd shape: `crowds` evenly spaced spikes of `crowd_len`
+    /// ticks at `base_rate × multiplier` (the paper's "10×–16× with
+    /// unpredictable extreme cases", §1, made repeatable).
+    pub fn flash_crowd(
+        ticks: usize,
+        base_rate: f64,
+        multiplier: f64,
+        crowds: usize,
+        crowd_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(base_rate > 0.0 && multiplier >= 1.0 && crowds > 0);
+        let stride = (ticks / crowds).max(1);
+        Self::from_rate_fn(ticks, seed, |t| {
+            // Each crowd occupies the middle of its stride so the trace
+            // starts and ends calm.
+            let offset = t % stride;
+            let start = stride.saturating_sub(crowd_len) / 2;
+            if offset >= start && offset < start + crowd_len {
+                base_rate * multiplier
+            } else {
+                base_rate
+            }
+        })
+    }
+
     /// Peak-to-mean ratio of the latent rate — the volatility figure.
     pub fn volatility(&self) -> f64 {
         let mean = self.rates.iter().sum::<f64>() / self.rates.len() as f64;
@@ -154,6 +232,28 @@ mod tests {
         let t = WorkloadTrace::generate(&cfg);
         // Peak includes diurnal max × spike multiplier; mean is much lower.
         assert!(t.volatility() > 8.0, "volatility {}", t.volatility());
+    }
+
+    #[test]
+    fn named_shapes_are_deterministic_and_shaped() {
+        let d = WorkloadTrace::diurnal(1000, 4.0, 3.0, 250, 7);
+        assert_eq!(d.arrivals, WorkloadTrace::diurnal(1000, 4.0, 3.0, 250, 7).arrivals);
+        let dmax = d.rates.iter().cloned().fold(0.0f64, f64::max);
+        let dmin = d.rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((dmax - 12.0).abs() < 1e-6 && (dmin - 4.0).abs() < 1e-6);
+
+        let s = WorkloadTrace::spike(100, 2.0, 10.0, 30, 20, 7);
+        for (t, &r) in s.rates.iter().enumerate() {
+            let expect = if (30..50).contains(&t) { 20.0 } else { 2.0 };
+            assert_eq!(r, expect, "tick {t}");
+        }
+
+        let f = WorkloadTrace::flash_crowd(300, 2.0, 8.0, 3, 10, 7);
+        let hot = f.rates.iter().filter(|&&r| r > 2.0).count();
+        assert_eq!(hot, 30, "3 crowds x 10 ticks");
+        // Starts and ends calm.
+        assert_eq!(f.rates[0], 2.0);
+        assert_eq!(*f.rates.last().unwrap(), 2.0);
     }
 
     #[test]

@@ -68,6 +68,22 @@
 #    per-tick SLO burn-rate evaluation vs stopped, writing
 #    results/BENCH_slo_pr8.json and exiting non-zero if the overhead
 #    exceeds 2% (MS_TS_GATE_PCT overrides).
+# 12. The elastic-cluster gates (PR 9): the autoscaler policy property
+#    tests (ms-cluster/tests/autoscaler_props.rs — scale-out monotone in
+#    sustained burn, scale-in only after the full idle hold, no flapping
+#    across the hysteresis band) must pass; the root e2e
+#    (tests/cluster_elastic.rs) must show the autoscaled fleet of real
+#    shard_server processes strictly beating every fixed fleet of 1..=3
+#    shards on client-judged deadline hits per core-second with zero lost
+#    correlation ids, and a shard SIGKILLed mid-run must fail over (every
+#    orphan settled as an explicit Failover shed) and restart under a
+#    bumped generation. `bench_snapshot` (step above) additionally runs
+#    the shortened elastic-vs-fixed A/B, writes
+#    results/BENCH_cluster_pr9.json and exits non-zero unless the elastic
+#    fleet's efficiency is >= MS_CLUSTER_GATE (default 1.0) times the
+#    best fixed fleet's. Both the e2e and the bench need the release
+#    shard_server binary, which step 1's `cargo build --release
+#    --workspace` provides.
 #
 # Usage: scripts/perfcheck.sh   (from the repo root)
 set -euo pipefail
@@ -116,7 +132,11 @@ cargo test --release -p ms-net --test soak -- --ignored
 echo "== windowed time-series property tests =="
 cargo test --release -p ms-telemetry --test timeseries_props
 
-echo "== bench snapshots (kernels + net + reactor A/B + trace gate + prefix-refine + sampler gates) =="
+echo "== elastic cluster: autoscaler properties + e2e (elastic beats fixed, kill-failover) =="
+cargo test --release -p ms-cluster --test autoscaler_props
+cargo test --release --test cluster_elastic
+
+echo "== bench snapshots (kernels + net + reactor A/B + trace gate + prefix-refine + sampler + cluster gates) =="
 cargo run --release -p ms-bench --bin bench_snapshot > /dev/null
 
 echo "== allocation tripwire (hot layer bodies) =="

@@ -35,6 +35,10 @@
 //! - [`telemetry`] — zero-cost observability: the global metrics registry,
 //!   feature-gated span tracing and Prometheus/JSON exposition
 //!   ([`ms_telemetry`]).
+//! - [`cluster`] — the elastic fleet: shard supervisor over `shard_server`
+//!   processes, SLO-burn-driven autoscaler (scale-out → slice-down → shed),
+//!   hard-failover front router and open-loop load generator
+//!   ([`ms_cluster`]).
 //!
 //! ## Quickstart
 //!
@@ -62,6 +66,7 @@
 //! ```
 
 pub use ms_baselines as baselines;
+pub use ms_cluster as cluster;
 pub use ms_core as slicing;
 pub use ms_data as data;
 pub use ms_models as models;
